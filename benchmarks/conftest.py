@@ -1,0 +1,41 @@
+"""Shared benchmark configuration.
+
+Every bench regenerates one paper figure/table: it runs the corresponding
+experiment once under pytest-benchmark timing, prints the paper-vs-measured
+report (bypassing capture so it lands in the bench log), and asserts the
+*shape* of the paper's result — orderings, ranges and crossovers, not
+absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.runner import ExperimentConfig
+
+#: Corpus size used by the benches: large enough for stable statistics,
+#: small enough that the full bench suite runs in about a minute.
+BENCH_CONFIG = ExperimentConfig(seed=2025, utterances=24, min_words=12, max_words=56)
+
+
+@pytest.fixture()
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a report to the real terminal, bypassing pytest capture."""
+
+    def _show(report) -> None:
+        with capsys.disabled():
+            print()
+            print(report.render())
+            print()
+
+    return _show
+
+
+def run_once(benchmark, func, *args):
+    """Run ``func`` exactly once under benchmark timing and return its value."""
+    return benchmark.pedantic(func, args=args, rounds=1, iterations=1)

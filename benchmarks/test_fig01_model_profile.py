@@ -1,0 +1,18 @@
+"""Bench: paper Fig. 1 — encoder vs LLM-decoder parameter and latency split."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig01_model_profile(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig01", bench_config)
+    show(report)
+    # Paper claim: the LLM decoder dominates both parameters and latency.
+    for key, share in report.metrics.items():
+        if key.startswith("decoder_latency_share/"):
+            assert share > 0.80, key
+    # Every profiled system keeps its encoder under 1 B parameters.
+    for row in report.rows:
+        encoder_params = row[1]
+        assert float(encoder_params) < 1.0

@@ -1,0 +1,45 @@
+"""Bench: paper Fig. 5 — WER vs scale (a) and accept@top-k ASR vs text (b)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig05a_wer_vs_scale(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig05a", bench_config)
+    show(report)
+    metrics = report.metrics
+    # WER decreases monotonically with scale on the clean set.
+    ladder = [
+        "whisper-tiny-sim",
+        "whisper-base-sim",
+        "whisper-small-sim",
+        "whisper-medium-sim",
+        "whisper-large-sim",
+    ]
+    wers = [metrics[f"wer_clean/{name}"] for name in ladder]
+    # Monotone up to sampling noise between adjacent scales (percent points).
+    assert all(a >= b - 0.6 for a, b in zip(wers, wers[1:])), wers
+    assert wers[0] > wers[-1]
+    # Paper: small models reach ~10 % or less on clean sets.
+    assert metrics["wer_clean/whisper-tiny-sim"] < 13.0
+    # Paper: large models show a meaningful relative reduction vs small.
+    reduction = 1.0 - metrics["wer_clean/whisper-medium-sim"] / metrics[
+        "wer_clean/whisper-tiny-sim"
+    ]
+    assert 0.08 < reduction < 0.60
+    # The -other split is harder for every scale.
+    for name in ladder:
+        assert metrics[f"wer_other/{name}"] > metrics[f"wer_clean/{name}"]
+
+
+def test_fig05b_accept_topk_asr_vs_text(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig05b", bench_config)
+    show(report)
+    metrics = report.metrics
+    # Paper: ASR drafts are accepted significantly more often than text
+    # drafts at every top-k.
+    for k in (1, 2, 3):
+        assert metrics[f"asr_accept@{k}"] > metrics[f"text_accept@{k}"], k
+    # and the ASR accept@1 is already high (audio-conditioned alignment)
+    assert metrics["asr_accept@1"] > 0.85

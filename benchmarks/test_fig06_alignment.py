@@ -1,0 +1,30 @@
+"""Bench: paper Fig. 6 — acceptance distribution (a), suffix alignment (b)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig06a_acceptance_distribution(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig06a", bench_config)
+    show(report)
+    # Paper: a substantial proportion of rounds are fully accepted, and the
+    # remainder concentrates at low ratios (localized acoustic errors).
+    for row in report.rows:
+        label, *bins = row
+        full_accept_mass = bins[-1]
+        assert full_accept_mass > 30.0, label
+        middle_mass = sum(bins[1:4])
+        assert middle_mass < full_accept_mass, label
+
+
+def test_fig06b_suffix_alignment(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig06b", bench_config)
+    show(report)
+    # Paper: unaccepted draft suffixes align strongly with the target's
+    # verification sequence — the basis of draft recycling.  Right after a
+    # rejection the draft is briefly perturbed, then re-anchors, so
+    # alignment *rises* with offset before decaying.
+    curve = [report.metrics[f"alignment@offset{i}"] for i in range(1, 9)]
+    assert max(curve[1:4]) > 0.6
+    assert curve[2] > curve[0]

@@ -1,0 +1,25 @@
+"""Bench: paper Fig. 7 — draft vs target latency share across configs."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig07_latency_split(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig07", bench_config)
+    show(report)
+    metrics = report.metrics
+    # Paper Observation 3a: as prediction length grows, the draft model
+    # progressively dominates decoding latency.
+    for pairing in ("whisper", "llama-7b", "vicuna-13b"):
+        shares = [metrics[f"draft_share/{pairing}/gamma{g}"] for g in (4, 8, 16, 24)]
+        assert shares[-1] > shares[0], (pairing, shares)
+    # Paper Observation 3b: at fixed prediction length, a larger
+    # draft/target disparity shifts the bottleneck to the target.
+    assert (
+        metrics["draft_share/vicuna-13b/gamma8"]
+        < metrics["draft_share/llama-7b/gamma8"]
+    )
+    # The draft becomes the dominant cost for long predictions when the
+    # models are close in size (TinyLlama vs Llama-7B).
+    assert metrics["draft_share/llama-7b/gamma24"] > 50.0

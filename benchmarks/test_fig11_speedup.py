@@ -1,0 +1,46 @@
+"""Bench: paper Fig. 11 — speedups over AR and speculative baselines on all
+four LibriSim splits for both LLM targets (the paper's headline result)."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig11_speedup(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig11", bench_config)
+    show(report)
+    metrics = report.metrics
+
+    # --- headline: SpecASR beats AR decoding everywhere -----------------------
+    for key, value in metrics.items():
+        if key.startswith("xar/"):
+            assert value > 1.5, key
+
+    # --- Vicuna-13B band: paper reports 3.04-3.79x over AR --------------------
+    vicuna_best = max(
+        value
+        for key, value in metrics.items()
+        if key.startswith("xar/vicuna-13b/")
+    )
+    assert 2.5 < vicuna_best < 5.0
+
+    # --- Llama-7B band: paper reports 2.08-2.60x over AR ----------------------
+    llama_best = max(
+        value for key, value in metrics.items() if key.startswith("xar/llama-7b/")
+    )
+    assert 1.8 < llama_best < 3.5
+
+    # --- the bigger target benefits more (crossover direction) ----------------
+    assert vicuna_best > llama_best
+
+    # --- SpecASR beats the best speculative baseline on every split -----------
+    for key, value in metrics.items():
+        if key.startswith("xspec/") and "specasr-tsp" in key:
+            assert value > 1.0, key
+
+    # --- noisy splits degrade the speedup (paper: ~19 %) -----------------------
+    clean = metrics["xar/vicuna-13b/test-clean/specasr-tsp"]
+    other = metrics["xar/vicuna-13b/test-other/specasr-tsp"]
+    assert other < clean
+    degradation = 1.0 - other / clean
+    assert 0.0 < degradation < 0.40

@@ -1,0 +1,34 @@
+"""Bench: paper Fig. 12 — rounds and per-round token statistics."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_fig12_rounds(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "fig12", bench_config)
+    show(report)
+    metrics = report.metrics
+
+    # SpecASR needs far fewer verification rounds than the baselines.
+    assert metrics["rounds/specasr-asp"] < metrics["rounds/spec(8,1)"]
+    assert metrics["rounds/specasr-tsp"] < metrics["rounds/spec(8,1)"]
+    assert metrics["rounds/specasr-tsp"] <= metrics["rounds/specasr-asp"]
+
+    # Accepted tokens per round roughly double vs the (8,1) baseline —
+    # the paper reports +106.6 % for TSP.
+    gain = metrics["accepted_length_gain_pct"]
+    assert 60.0 < gain < 180.0
+
+    # ASP removes most ineffective draft steps (paper: 74.1 %).
+    reduction = metrics["ineffective_step_reduction_pct"]
+    assert reduction > 30.0
+
+    # ASP keeps a high decoding-acceptance ratio (paper: 94.4 %).
+    assert metrics["acceptance_ratio/specasr-asp"] > 0.70
+
+    # TSP trades a bit of acceptance ratio for longer accepted runs.
+    assert (
+        metrics["acceptance_ratio/specasr-tsp"]
+        <= metrics["acceptance_ratio/specasr-asp"]
+    )

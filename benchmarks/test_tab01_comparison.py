@@ -1,0 +1,25 @@
+"""Bench: paper Table I — speculative families, qualitative + measured."""
+
+from conftest import run_once
+
+from repro.harness.experiments import run_experiment
+
+
+def test_tab01_family_comparison(benchmark, bench_config, show):
+    report = run_once(benchmark, run_experiment, "tab01", bench_config)
+    show(report)
+    waste = {row[0]: row[6] for row in report.rows}
+    accepted = {row[0]: row[7] for row in report.rows}
+
+    # Draft-generation efficiency: SpecASR wastes fewer drafted tokens per
+    # accepted token than the tree families, which expand full trees every
+    # round (paper Table I: their draft efficiency is "low").
+    assert waste["Ours (SpecASR)"] < waste["Fixed Tree"]
+    assert waste["Ours (SpecASR)"] < waste["Dynamic Tree"]
+
+    # Target-verification efficiency: SpecASR accepts more tokens per
+    # verification round than every baseline family.
+    ours = accepted["Ours (SpecASR)"]
+    for family, value in accepted.items():
+        if family != "Ours (SpecASR)":
+            assert ours > value, family

@@ -1,0 +1,70 @@
+"""LibriSim evaluation: the paper's main-results workflow (Fig. 11 style).
+
+Runs every decoding method over the four LibriSim splits with the
+Vicuna-13B-scale target and prints a speedup table over autoregressive and
+speculative baselines, plus per-model WERs — the full evaluation a user
+would run to reproduce the paper's headline numbers.
+
+Run:  python examples/librispeech_evaluation.py [--pairing llama-7b]
+"""
+
+import argparse
+
+from repro.data.librisim import SPLITS
+from repro.harness.figures import ascii_table
+from repro.harness.methods import standard_methods
+from repro.harness.runner import ExperimentConfig, load_split, run_methods, shared_vocabulary
+from repro.metrics.wer import model_wer
+from repro.models.registry import PAIRINGS, model_pair
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--pairing", choices=sorted(PAIRINGS), default="vicuna-13b")
+    parser.add_argument("--utterances", type=int, default=24)
+    args = parser.parse_args()
+
+    vocab = shared_vocabulary()
+    config = ExperimentConfig(utterances=args.utterances)
+    draft, target = model_pair(args.pairing, vocab)
+
+    # --- recognition quality (iso-accuracy context) ---------------------------
+    wer_rows = []
+    for split in SPLITS:
+        dataset = load_split(split, config)
+        wer_rows.append(
+            [
+                split,
+                100.0 * model_wer(draft, dataset),
+                100.0 * model_wer(target, dataset),
+            ]
+        )
+    print(ascii_table(["split", "draft WER (%)", "target WER (%)"], wer_rows,
+                      title=f"Model quality — {draft.name} / {target.name}"))
+    print()
+
+    # --- speedups per split ------------------------------------------------------
+    rows = []
+    for split in SPLITS:
+        dataset = load_split(split, config)
+        runs = run_methods(standard_methods(draft, target), dataset)
+        ar_ms = runs["autoregressive"].breakdown.total_ms
+        spec_ms = min(
+            runs[name].breakdown.total_ms for name in runs if name.startswith("spec(")
+        )
+        for name, run in runs.items():
+            ms = run.breakdown.total_ms
+            rows.append(
+                [split, name, run.breakdown.ms_per_10s, ar_ms / ms, spec_ms / ms]
+            )
+    print(
+        ascii_table(
+            ["split", "method", "ms / 10s audio", "x over AR", "x over best spec"],
+            rows,
+            title=f"Speedups — {args.pairing} pairing (all methods lossless)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: decode one utterance with SpecASR vs autoregressive decoding.
+
+Builds the LibriSim test-clean split, opens the Whisper-like draft/target
+pair, and decodes a single utterance with plain autoregressive decoding,
+baseline speculative decoding and full SpecASR.  Shows that all three emit
+the *identical* transcript (losslessness) while SpecASR is fastest.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AutoregressiveDecoder,
+    SpecASRConfig,
+    SpecASREngine,
+    SpeculativeConfig,
+    SpeculativeDecoder,
+    build_default_vocabulary,
+    build_split,
+    model_pair,
+)
+
+
+def main() -> None:
+    vocab = build_default_vocabulary()
+    dataset = build_split("test-clean", vocab, seed=2025, utterances=8)
+    utterance = dataset[0]
+    print(f"utterance : {utterance.utterance_id} ({utterance.duration_s:.1f} s)")
+    print(f"reference : {utterance.text}\n")
+
+    draft, target = model_pair("whisper", vocab)
+    decoders = [
+        AutoregressiveDecoder(target),
+        SpeculativeDecoder(draft, target, SpeculativeConfig(draft_len=8)),
+        SpecASREngine(draft, target, SpecASRConfig(sparse_tree=True)),
+    ]
+
+    baseline_ms = None
+    reference_tokens = None
+    for decoder in decoders:
+        result = decoder.decode(utterance)
+        if baseline_ms is None:
+            baseline_ms = result.total_ms
+            reference_tokens = result.tokens
+        speedup = baseline_ms / result.total_ms
+        lossless = result.tokens == reference_tokens
+        text = " ".join(vocab.decode_ids(result.tokens))
+        print(f"[{decoder.name}]")
+        print(f"  transcript : {text}")
+        print(
+            f"  latency    : {result.total_ms:7.1f} ms simulated "
+            f"({speedup:.2f}x vs autoregressive, lossless={lossless})"
+        )
+        if result.trace.num_rounds:
+            print(
+                f"  rounds     : {result.trace.num_rounds}, "
+                f"accepted/round: "
+                f"{result.trace.total_accepted / result.trace.num_rounds:.1f}, "
+                f"recycled tokens: {result.trace.total_recycled}"
+            )
+        print()
+
+
+if __name__ == "__main__":
+    main()

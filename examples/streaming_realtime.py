@@ -1,0 +1,56 @@
+"""Real-time-factor analysis: can each decoder keep up with live speech?
+
+The paper's motivation is real-time ASR: an LLM decoder that takes longer
+than the audio it transcribes is unusable live.  This example measures the
+simulated real-time factor (decode latency / audio duration) per method and
+per target scale, and reports the largest LLM target each method can serve
+under a given RTF budget — the deployment question SpecASR answers.
+
+Run:  python examples/streaming_realtime.py
+"""
+
+from repro.harness.figures import ascii_table
+from repro.harness.methods import standard_methods
+from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
+from repro.models.registry import PAIRINGS, model_pair
+
+RTF_BUDGET = 0.10  # decode in at most 10 % of the audio duration
+
+
+def main() -> None:
+    vocab = shared_vocabulary()
+    dataset = load_split("test-clean", ExperimentConfig(utterances=16))
+    duration = dataset.total_duration_s
+
+    rows = []
+    feasible: dict[str, list[str]] = {}
+    for pairing in PAIRINGS:
+        draft, target = model_pair(pairing, vocab)
+        for name, decoder in standard_methods(draft, target).items():
+            total_ms = sum(decoder.decode(u).total_ms for u in dataset)
+            rtf = total_ms / 1000.0 / duration
+            rows.append([pairing, name, total_ms / len(dataset), rtf])
+            if rtf <= RTF_BUDGET:
+                feasible.setdefault(name, []).append(pairing)
+
+    print(
+        ascii_table(
+            ["target pairing", "method", "ms / utterance", "real-time factor"],
+            rows,
+            title="Simulated real-time factor per decoding method",
+        )
+    )
+    print(f"\nMethods meeting the RTF budget of {RTF_BUDGET:.2f}:")
+    for name, pairings in feasible.items():
+        print(f"  {name:16s} -> {', '.join(pairings)}")
+    if "specasr-tsp" in feasible and "autoregressive" in feasible:
+        extra = set(feasible["specasr-tsp"]) - set(feasible["autoregressive"])
+        if extra:
+            print(
+                f"\nSpecASR unlocks target scales AR decoding cannot serve "
+                f"in real time: {', '.join(sorted(extra))}"
+            )
+
+
+if __name__ == "__main__":
+    main()

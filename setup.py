@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no `wheel` package and no network access, so
+PEP 660 editable installs are unavailable; this shim enables
+``pip install -e . --no-build-isolation --no-use-pep517``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

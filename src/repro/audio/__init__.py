@@ -1,0 +1,20 @@
+"""Audio substrate: waveform synthesis, features, encoder, difficulty."""
+
+from repro.audio.difficulty import difficulty_from_snr, measure_token_snr
+from repro.audio.encoder import AudioEncoder, EncoderConfig, encoder_preset
+from repro.audio.features import LogMelConfig, log_mel_spectrogram, mel_filterbank
+from repro.audio.signal import SynthesisConfig, SynthesizedAudio, synthesize_utterance
+
+__all__ = [
+    "AudioEncoder",
+    "EncoderConfig",
+    "LogMelConfig",
+    "SynthesisConfig",
+    "SynthesizedAudio",
+    "difficulty_from_snr",
+    "encoder_preset",
+    "log_mel_spectrogram",
+    "measure_token_snr",
+    "mel_filterbank",
+    "synthesize_utterance",
+]

@@ -1,0 +1,45 @@
+"""Measure per-token acoustic difficulty from synthesised waveforms.
+
+Closes the audio-conditioning loop: LibriSim assigns a difficulty profile,
+:mod:`repro.audio.signal` injects noise at the corresponding SNR, and this
+module recovers difficulty back from the waveform alone (per-token SNR
+estimated against the known clean power).  Tests assert that measured
+difficulty tracks the generating profile, which validates using the direct
+profile for large sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.audio.signal import SynthesizedAudio
+from repro.utils.mathutil import clamp
+
+#: SNR mapping anchors: must match repro.audio.signal.synthesize_utterance.
+_SNR_AT_ZERO_DIFFICULTY_DB = 25.0
+_SNR_SLOPE_DB = 28.0
+
+
+def measure_token_snr(audio: SynthesizedAudio) -> list[float]:
+    """Estimate per-token SNR (dB) from segment powers.
+
+    Uses the recorded clean power per segment and the measured total power of
+    the noisy waveform: ``noise ≈ total - clean``.
+    """
+    snrs: list[float] = []
+    for (start, end), clean_power in zip(audio.token_spans, audio.clean_power):
+        segment = audio.waveform[start:end]
+        total_power = float(np.mean(segment**2)) + 1e-12
+        noise_power = max(total_power - clean_power, 1e-12)
+        snrs.append(10.0 * np.log10(clean_power / noise_power))
+    return snrs
+
+
+def difficulty_from_snr(snr_db: float) -> float:
+    """Invert the synthesis SNR mapping back to a difficulty in [0, 1]."""
+    return clamp((_SNR_AT_ZERO_DIFFICULTY_DB - snr_db) / _SNR_SLOPE_DB, 0.0, 1.0)
+
+
+def measure_difficulty(audio: SynthesizedAudio) -> list[float]:
+    """Per-token difficulty measured from the waveform."""
+    return [difficulty_from_snr(snr) for snr in measure_token_snr(audio)]

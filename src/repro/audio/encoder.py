@@ -1,0 +1,153 @@
+"""A toy convolutional audio encoder with honest parameter accounting.
+
+LLM-based ASR models pair a (relatively small) audio encoder with a large LLM
+decoder (paper Fig. 1 and Sec. II-A).  This encoder reproduces the two-stage
+structure the paper describes: (1) feature extraction/compression of speech
+frames, (2) stacking + projection into the LLM hidden dimension for
+prefilling.  Weights are fixed random (seeded) — the decoder simulation
+consumes acoustic difficulty rather than embeddings — but the layer shapes
+and parameter counts are real, so the encoder-vs-decoder parameter and
+latency ratios of Fig. 1 can be computed from actual module metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.audio.features import LogMelConfig
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class EncoderConfig:
+    """Shape of the conv + projection encoder."""
+
+    name: str = "encoder-base"
+    n_mels: int = 40
+    conv_channels: tuple[int, ...] = (64, 128)
+    conv_kernel: int = 3
+    conv_stride: int = 2
+    stack_factor: int = 4
+    output_dim: int = 256
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if not self.conv_channels:
+            raise ValueError("need at least one conv layer")
+        if self.stack_factor < 1:
+            raise ValueError("stack_factor must be >= 1")
+
+
+def encoder_preset(name: str) -> EncoderConfig:
+    """Encoder presets sized to echo published audio encoders.
+
+    ``tiny`` ≈ Whisper tiny encoder scale, ``medium`` ≈ Whisper medium
+    encoder scale, ``conformer-large`` ≈ the <1 B encoders the paper cites.
+    Sizes are set via channel widths/output dims; exact counts come from
+    :meth:`AudioEncoder.param_count`.
+    """
+    presets = {
+        "tiny": EncoderConfig("encoder-tiny", 40, (96, 192), 3, 2, 4, 384),
+        "base": EncoderConfig("encoder-base", 40, (128, 256), 3, 2, 4, 512),
+        "medium": EncoderConfig("encoder-medium", 80, (256, 512, 512), 3, 2, 4, 1024),
+        "conformer-large": EncoderConfig(
+            "encoder-conformer-large", 80, (512, 512, 1024), 3, 2, 8, 1024
+        ),
+    }
+    if name not in presets:
+        raise KeyError(f"unknown encoder preset {name!r}; have {sorted(presets)}")
+    return presets[name]
+
+
+@dataclass
+class AudioEncoder:
+    """Conv downsampling + frame stacking + linear projection."""
+
+    config: EncoderConfig = field(default_factory=EncoderConfig)
+
+    def __post_init__(self) -> None:
+        rng = RngStream(self.config.seed, "audio-encoder", self.config.name)
+        self._conv_weights: list[np.ndarray] = []
+        self._conv_biases: list[np.ndarray] = []
+        in_ch = self.config.n_mels
+        for layer, out_ch in enumerate(self.config.conv_channels):
+            scale = 1.0 / np.sqrt(in_ch * self.config.conv_kernel)
+            weight = rng.child("w", layer).numpy.normal(
+                0.0, scale, (out_ch, in_ch, self.config.conv_kernel)
+            )
+            bias = np.zeros(out_ch)
+            self._conv_weights.append(weight)
+            self._conv_biases.append(bias)
+            in_ch = out_ch
+        stacked_dim = in_ch * self.config.stack_factor
+        proj_scale = 1.0 / np.sqrt(stacked_dim)
+        self._proj = rng.child("proj").numpy.normal(
+            0.0, proj_scale, (stacked_dim, self.config.output_dim)
+        )
+        self._proj_bias = np.zeros(self.config.output_dim)
+
+    # -- inference ---------------------------------------------------------
+    def encode(self, log_mel: np.ndarray) -> np.ndarray:
+        """Encode ``(n_frames, n_mels)`` features into ``(n_embed, d)``."""
+        if log_mel.ndim != 2 or log_mel.shape[1] != self.config.n_mels:
+            raise ValueError(
+                f"expected (*, {self.config.n_mels}) features, got {log_mel.shape}"
+            )
+        x = log_mel.T  # (channels, frames)
+        for weight, bias in zip(self._conv_weights, self._conv_biases):
+            x = _conv1d(x, weight, bias, self.config.conv_stride)
+            x = np.maximum(x, 0.0)  # ReLU
+        x = x.T  # (frames, channels)
+        x = _stack_frames(x, self.config.stack_factor)
+        return x @ self._proj + self._proj_bias
+
+    def downsample_factor(self) -> int:
+        """Input frames consumed per output embedding."""
+        return self.config.conv_stride ** len(self.config.conv_channels) * (
+            self.config.stack_factor
+        )
+
+    # -- accounting ----------------------------------------------------------
+    def param_count(self) -> int:
+        """Exact number of scalar parameters in this encoder."""
+        total = 0
+        for weight, bias in zip(self._conv_weights, self._conv_biases):
+            total += weight.size + bias.size
+        total += self._proj.size + self._proj_bias.size
+        return total
+
+
+def _conv1d(
+    x: np.ndarray, weight: np.ndarray, bias: np.ndarray, stride: int
+) -> np.ndarray:
+    """Strided 1-D convolution: x ``(C_in, T)`` → ``(C_out, T')``."""
+    out_ch, in_ch, kernel = weight.shape
+    if x.shape[0] != in_ch:
+        raise ValueError(f"channel mismatch: x has {x.shape[0]}, weight {in_ch}")
+    t = x.shape[1]
+    if t < kernel:
+        x = np.pad(x, ((0, 0), (0, kernel - t)))
+        t = kernel
+    n_out = 1 + (t - kernel) // stride
+    starts = stride * np.arange(n_out)
+    # windows: (n_out, C_in, kernel)
+    windows = np.stack([x[:, s : s + kernel] for s in starts], axis=0)
+    out = np.einsum("nik,oik->on", windows, weight) + bias[:, None]
+    return out
+
+
+def _stack_frames(x: np.ndarray, factor: int) -> np.ndarray:
+    """Concatenate ``factor`` consecutive frames: ``(T, C)`` → ``(T//f, C*f)``."""
+    n = (x.shape[0] // factor) * factor
+    if n == 0:
+        x = np.pad(x, ((0, factor - x.shape[0]), (0, 0)))
+        n = factor
+    trimmed = x[:n]
+    return trimmed.reshape(n // factor, factor * x.shape[1])
+
+
+def default_feature_config(encoder: EncoderConfig) -> LogMelConfig:
+    """A feature config whose mel count matches the encoder input."""
+    return LogMelConfig(n_mels=encoder.n_mels)

@@ -1,0 +1,91 @@
+"""Log-mel spectrogram features, implemented directly on numpy.
+
+This is the same front-end family Whisper uses (80-channel log-mel), scaled
+down by default for speed.  Only numpy is required: framing, Hann window,
+real FFT, triangular mel filterbank, log compression.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogMelConfig:
+    """Feature extraction parameters (Whisper-like defaults, smaller)."""
+
+    sample_rate: int = 16000
+    n_fft: int = 400
+    hop_length: int = 160
+    n_mels: int = 40
+    fmin: float = 20.0
+    fmax: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_fft <= 0 or self.hop_length <= 0 or self.n_mels <= 0:
+            raise ValueError("n_fft, hop_length and n_mels must be positive")
+        effective_fmax = self.fmax if self.fmax is not None else self.sample_rate / 2
+        if not 0 <= self.fmin < effective_fmax <= self.sample_rate / 2:
+            raise ValueError(
+                f"invalid mel range [{self.fmin}, {effective_fmax}] "
+                f"for sample rate {self.sample_rate}"
+            )
+
+
+def hz_to_mel(freq_hz: np.ndarray | float) -> np.ndarray | float:
+    """O'Shaughnessy mel scale."""
+    return 2595.0 * np.log10(1.0 + np.asarray(freq_hz) / 700.0)
+
+
+def mel_to_hz(mel: np.ndarray | float) -> np.ndarray | float:
+    return 700.0 * (10.0 ** (np.asarray(mel) / 2595.0) - 1.0)
+
+
+def mel_filterbank(config: LogMelConfig) -> np.ndarray:
+    """Triangular mel filterbank of shape ``(n_mels, n_fft // 2 + 1)``."""
+    fmax = config.fmax if config.fmax is not None else config.sample_rate / 2
+    mel_points = np.linspace(
+        hz_to_mel(config.fmin), hz_to_mel(fmax), config.n_mels + 2
+    )
+    hz_points = np.asarray(mel_to_hz(mel_points))
+    bins = np.floor((config.n_fft + 1) * hz_points / config.sample_rate).astype(int)
+    bins = np.clip(bins, 0, config.n_fft // 2)
+    bank = np.zeros((config.n_mels, config.n_fft // 2 + 1))
+    for m in range(1, config.n_mels + 1):
+        left, centre, right = bins[m - 1], bins[m], bins[m + 1]
+        if centre == left:
+            centre = left + 1
+        if right <= centre:
+            right = centre + 1
+        right = min(right, config.n_fft // 2)
+        for k in range(left, min(centre, config.n_fft // 2) + 1):
+            bank[m - 1, k] = (k - left) / (centre - left)
+        for k in range(centre, right + 1):
+            bank[m - 1, k] = (right - k) / (right - centre)
+    return bank
+
+
+def frame_signal(waveform: np.ndarray, config: LogMelConfig) -> np.ndarray:
+    """Slice ``waveform`` into overlapping frames ``(n_frames, n_fft)``."""
+    if len(waveform) < config.n_fft:
+        waveform = np.pad(waveform, (0, config.n_fft - len(waveform)))
+    n_frames = 1 + (len(waveform) - config.n_fft) // config.hop_length
+    indices = (
+        np.arange(config.n_fft)[None, :]
+        + config.hop_length * np.arange(n_frames)[:, None]
+    )
+    return waveform[indices]
+
+
+def log_mel_spectrogram(
+    waveform: np.ndarray, config: LogMelConfig = LogMelConfig()
+) -> np.ndarray:
+    """Compute a log-mel spectrogram of shape ``(n_frames, n_mels)``."""
+    frames = frame_signal(np.asarray(waveform, dtype=np.float64), config)
+    window = np.hanning(config.n_fft)
+    spectrum = np.abs(np.fft.rfft(frames * window, axis=1)) ** 2
+    bank = mel_filterbank(config)
+    mel = spectrum @ bank.T
+    return np.log10(np.maximum(mel, 1e-10))

@@ -1,0 +1,118 @@
+"""Command-line interface: ``specasr`` / ``python -m repro``.
+
+Subcommands:
+
+* ``list``            — list reproducible experiments (paper figures/tables)
+* ``run EXP [...]``   — run one or all experiments and print their reports
+* ``decode``          — decode a sample utterance with every method
+* ``models``          — show the model registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.experiments import list_experiments, run_experiment
+from repro.harness.methods import standard_methods
+from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
+from repro.models.registry import PAIRINGS, get_spec, list_models, model_pair
+from repro.version import PAPER_TITLE, __version__
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="specasr",
+        description=f"Reproduction of {PAPER_TITLE!r} (v{__version__})",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiments")
+
+    run_parser = sub.add_parser("run", help="run experiment(s)")
+    run_parser.add_argument("experiment", help="experiment id or 'all'")
+    run_parser.add_argument("--utterances", type=int, default=32)
+    run_parser.add_argument("--seed", type=int, default=2025)
+    run_parser.add_argument(
+        "--json-dir",
+        default=None,
+        help="also save each report as JSON under this directory",
+    )
+
+    decode_parser = sub.add_parser("decode", help="decode a sample utterance")
+    decode_parser.add_argument("--pairing", choices=sorted(PAIRINGS), default="whisper")
+    decode_parser.add_argument("--split", default="test-clean")
+    decode_parser.add_argument("--index", type=int, default=0)
+
+    sub.add_parser("models", help="show the model registry")
+    return parser
+
+
+def _cmd_list() -> int:
+    for exp_id in list_experiments():
+        print(exp_id)
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = ExperimentConfig(seed=args.seed, utterances=args.utterances)
+    targets = list_experiments() if args.experiment == "all" else [args.experiment]
+    for exp_id in targets:
+        report = run_experiment(exp_id, config)
+        print(report.render())
+        print()
+        if args.json_dir:
+            from repro.harness.io import save_report
+
+            path = save_report(report, f"{args.json_dir}/{exp_id}.json")
+            print(f"saved {path}")
+    return 0
+
+
+def _cmd_decode(args: argparse.Namespace) -> int:
+    vocab = shared_vocabulary()
+    dataset = load_split(args.split, ExperimentConfig())
+    if not 0 <= args.index < len(dataset):
+        print(f"index {args.index} outside dataset of {len(dataset)}", file=sys.stderr)
+        return 1
+    utterance = dataset[args.index]
+    draft, target = model_pair(args.pairing, vocab)
+    print(f"utterance : {utterance.utterance_id} ({utterance.duration_s:.1f}s)")
+    print(f"reference : {utterance.text}")
+    for name, decoder in standard_methods(draft, target).items():
+        result = decoder.decode(utterance)
+        text = " ".join(vocab.decode_ids(result.tokens))
+        print(f"\n[{name}] {result.total_ms:.1f} ms simulated")
+        print(f"  {text}")
+    return 0
+
+
+def _cmd_models() -> int:
+    print(f"{'model':22s} {'family':8s} {'dec (B)':>8s} {'enc (B)':>8s} {'capacity':>8s}")
+    for name in list_models():
+        spec = get_spec(name)
+        print(
+            f"{spec.name:22s} {spec.family:8s} {spec.decoder_params_b:8.3f} "
+            f"{spec.encoder_params_b:8.3f} {spec.capacity:8.2f}"
+        )
+    print("\npairings:")
+    for pairing, (draft, target) in PAIRINGS.items():
+        print(f"  {pairing}: draft={draft} target={target}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "decode":
+        return _cmd_decode(args)
+    if args.command == "models":
+        return _cmd_models()
+    raise AssertionError(f"unhandled command {args.command}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

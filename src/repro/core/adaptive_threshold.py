@@ -1,0 +1,84 @@
+"""Online adaptation of the ASP truncation threshold.
+
+The paper tunes the threshold offline and notes that the optimum "may vary
+depending on the model".  This extension closes that loop at decode time: a
+small proportional controller nudges the threshold after every verification
+round based on what actually happened —
+
+* the round *truncated early* but every submitted token was accepted →
+  the threshold is too aggressive (correct tokens are being cut): lower it;
+* the round contained a rejection at a position the threshold let through →
+  the threshold is too permissive (wasted draft steps): raise it;
+* otherwise leave it alone.
+
+The controller is deliberately conservative (small steps, hard bounds) so a
+run never leaves the sane region; losslessness is unaffected because the
+threshold only changes *when* drafting stops, never what is accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.mathutil import clamp
+
+
+@dataclass(frozen=True)
+class ThresholdControllerConfig:
+    """Bounds and gains of the online threshold controller."""
+
+    initial: float = 0.4
+    minimum: float = 0.15
+    maximum: float = 0.65
+    step_up: float = 0.02  # applied after a wasteful rejection
+    step_down: float = 0.01  # applied after an over-eager truncation
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.minimum <= self.initial <= self.maximum < 1.0:
+            raise ValueError("require 0 <= minimum <= initial <= maximum < 1")
+        if self.step_up < 0 or self.step_down < 0:
+            raise ValueError("controller steps must be non-negative")
+
+
+class ThresholdController:
+    """Tracks and adapts the truncation threshold across rounds."""
+
+    def __init__(self, config: ThresholdControllerConfig | None = None) -> None:
+        self.config = config or ThresholdControllerConfig()
+        self._value = self.config.initial
+        self.updates_up = 0
+        self.updates_down = 0
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def observe_round(
+        self, truncated: bool, submitted: int, accepted: int
+    ) -> float:
+        """Update the threshold from one round's outcome; returns the new value.
+
+        Args:
+            truncated: whether drafting stopped due to the threshold.
+            submitted: tokens submitted for verification on the main path.
+            accepted: tokens the target accepted.
+        """
+        if submitted < 0 or not 0 <= accepted <= max(submitted, 0):
+            raise ValueError(
+                f"inconsistent round outcome: submitted={submitted}, "
+                f"accepted={accepted}"
+            )
+        config = self.config
+        if truncated and accepted == submitted and submitted > 0:
+            # Truncated a fully-correct draft: loosen.
+            self._value = clamp(
+                self._value - config.step_down, config.minimum, config.maximum
+            )
+            self.updates_down += 1
+        elif accepted < submitted - 1:
+            # Rejection with wasted tokens behind it: tighten.
+            self._value = clamp(
+                self._value + config.step_up, config.minimum, config.maximum
+            )
+            self.updates_up += 1
+        return self._value

@@ -1,0 +1,89 @@
+"""Configuration for the SpecASR engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SpecASRConfig:
+    """Knobs of the SpecASR framework (paper Sec. IV).
+
+    Attributes:
+        max_draft_len: Maximum draft tokens per round.  The paper extends
+            this to 24 (vs. the usual 4-8) because ASR drafts stay aligned.
+        threshold: Normalised-logit truncation threshold.  Draft positions
+            whose top probability falls below it are considered likely to
+            fail verification; 0.4 is the paper's tuned value (Fig. 13a).
+        recycling: Enable draft-sequence recycling (reuse of the unaccepted
+            suffix from the previous round).
+        sparse_tree: Enable two-pass sparse-tree prediction; implies
+            recycling inside branch exploration.
+        branch_top_k: Which alternative to branch on at uncertain positions;
+            2 means the second-highest-probability token (the paper shows
+            rank 2 covers over two-thirds of top-1 failures, Fig. 13b).
+        max_branches: Cap on secondary branches explored per round.
+        branch_extension_cap: Maximum fresh tokens per secondary branch
+            before it must merge back or stop.
+        adjacent_merge: Also merge recycled tokens matching at +/-1 offsets
+            (alignment slips), not just the corresponding position.
+        merge_verify_window: After a branch merges back onto the trunk, at
+            most this many recycled tokens are appended to the branch's
+            verification path.  Keeps the sparse tree sparse: acceptance
+            that deep through a side branch is rare, and every appended
+            node costs target-verification compute.
+        adaptive_threshold: Adapt the truncation threshold online from
+            per-round accept/reject feedback instead of keeping it fixed
+            (see :mod:`repro.core.adaptive_threshold`); ``threshold`` is
+            then the controller's initial value.
+    """
+
+    max_draft_len: int = 24
+    threshold: float = 0.4
+    recycling: bool = True
+    sparse_tree: bool = False
+    branch_top_k: int = 2
+    max_branches: int = 2
+    branch_extension_cap: int = 4
+    adjacent_merge: bool = True
+    merge_verify_window: int = 16
+    adaptive_threshold: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_draft_len < 1:
+            raise ValueError("max_draft_len must be >= 1")
+        if not 0.0 <= self.threshold < 1.0:
+            raise ValueError("threshold must be in [0, 1)")
+        if self.branch_top_k < 2:
+            raise ValueError("branch_top_k must be >= 2 (rank of the alternative)")
+        if self.max_branches < 0:
+            raise ValueError("max_branches must be >= 0")
+        if self.branch_extension_cap < 1:
+            raise ValueError("branch_extension_cap must be >= 1")
+        if self.merge_verify_window < 0:
+            raise ValueError("merge_verify_window must be >= 0")
+
+    @property
+    def mode(self) -> str:
+        """Human-readable mode used as the default method label."""
+        if self.sparse_tree:
+            return "specasr-tsp"
+        if self.recycling:
+            return "specasr-asp+recycle"
+        return "specasr-asp"
+
+
+#: Ablation ladder of the paper's Table II.
+def asp_only() -> SpecASRConfig:
+    """Adaptive single-sequence prediction only."""
+    return SpecASRConfig(recycling=False, sparse_tree=False)
+
+
+def asp_with_recycling() -> SpecASRConfig:
+    """ASP + draft sequence recycling."""
+    return SpecASRConfig(recycling=True, sparse_tree=False)
+
+
+def full_specasr() -> SpecASRConfig:
+    """ASP + recycling + two-pass sparse-tree prediction."""
+    return SpecASRConfig(recycling=True, sparse_tree=True)

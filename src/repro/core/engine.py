@@ -1,0 +1,202 @@
+"""The SpecASR decoding engine (paper Sec. IV, Fig. 8).
+
+Composes the three techniques according to the configuration:
+
+* ``SpecASRConfig(recycling=False)``            → adaptive single-sequence
+  prediction only (the Table II "+ASP" row);
+* ``SpecASRConfig(recycling=True)``             → ASP + draft sequence
+  recycling ("+recycling" row);
+* ``SpecASRConfig(sparse_tree=True)``           → full SpecASR with two-pass
+  sparse-tree prediction ("+TSP" row, best for large targets).
+
+Every round drafts (adaptively, possibly reusing the previous round's
+unaccepted suffix), verifies in one masked target pass, commits the accepted
+tokens plus the target's correction, and retains the new unaccepted suffix
+for the next round.  The engine is lossless: its transcript always equals
+the target model's greedy decode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.adaptive import draft_adaptive
+from repro.core.adaptive_threshold import ThresholdController, ThresholdControllerConfig
+from repro.core.config import SpecASRConfig
+from repro.core.recycling import (
+    DraftedToken,
+    RecycledSuffix,
+    draft_with_recycling,
+)
+from repro.core.sparse_tree import assemble_tree, build_sparse_tree_round
+from repro.decoding.base import (
+    DecodeResult,
+    DecodeTrace,
+    ModelLike,
+    RoundStats,
+    strip_eos,
+)
+from repro.decoding.speculative import commit
+from repro.decoding.token_tree import ROOT_PARENT, TokenTree
+from repro.decoding.verifier import TreeVerifyOutcome, verify_tree
+from repro.models.latency import SimClock
+
+
+class SpecASREngine:
+    """SpecASR speculative decoding for one draft/target model pair."""
+
+    def __init__(
+        self,
+        draft: ModelLike,
+        target: ModelLike,
+        config: SpecASRConfig = SpecASRConfig(),
+        name: str | None = None,
+    ) -> None:
+        self.draft = draft
+        self.target = target
+        self.config = config
+        self.name = name or config.mode
+        # Per-round view of the config; differs from `config` only when the
+        # adaptive threshold controller is active.
+        self._round_config = config
+
+    # -- public API ----------------------------------------------------------
+    def decode(self, unit) -> DecodeResult:
+        clock = SimClock()
+        draft_session = self.draft.session(unit, clock)
+        target_session = self.target.session(unit, clock)
+        draft_session.prefill()
+        target_session.prefill()
+        eos_id = self.target.vocab.eos_id
+        trace = DecodeTrace()
+        prefix: list[int] = []
+        suffix: RecycledSuffix | None = None
+        limit = target_session.max_decode_positions()
+        controller = (
+            ThresholdController(
+                ThresholdControllerConfig(initial=self.config.threshold)
+            )
+            if self.config.adaptive_threshold
+            else None
+        )
+        done = False
+        while not done and len(prefix) < limit:
+            if controller is not None:
+                self._round_config = replace(
+                    self.config, threshold=controller.value
+                )
+            tree, info, stats = self._draft_round(
+                draft_session, prefix, suffix, eos_id
+            )
+            if len(tree) == 0:
+                break  # defensive: nothing draftable
+            outcome = verify_tree(target_session, prefix, tree)
+            stats.accepted_tokens = len(outcome.accepted_tokens)
+            emitted = outcome.accepted_tokens + [outcome.correction]
+            stats.emitted_tokens = len(emitted)
+            trace.rounds.append(stats)
+            if controller is not None:
+                controller.observe_round(
+                    truncated=stats.submitted_tokens
+                    < self.config.max_draft_len,
+                    submitted=stats.submitted_tokens,
+                    accepted=stats.accepted_tokens,
+                )
+            suffix = self._extract_suffix(tree, info, outcome, eos_id)
+            prefix, done = commit(prefix, emitted, eos_id)
+            draft_session.rollback(len(prefix))
+            target_session.rollback(len(prefix))
+        return DecodeResult(
+            tokens=strip_eos(prefix, eos_id),
+            clock=clock,
+            trace=trace,
+            method=self.name,
+        )
+
+    # -- drafting ------------------------------------------------------------
+    def _draft_round(
+        self,
+        draft_session,
+        prefix: list[int],
+        suffix: RecycledSuffix | None,
+        eos_id: int,
+    ) -> tuple[TokenTree, list[DraftedToken], RoundStats]:
+        stats = RoundStats()
+        config = self._round_config
+        use_suffix = suffix if (config.recycling and suffix) else None
+
+        if config.sparse_tree:
+            drafted = build_sparse_tree_round(
+                draft_session, prefix, use_suffix, config, eos_id
+            )
+            tree, info = assemble_tree(
+                drafted.trunk, drafted.alt_branch, drafted.branches
+            )
+            stats.draft_steps = drafted.draft_steps
+            stats.drafted_tokens = drafted.fresh_tokens
+            stats.recycled_tokens = drafted.recycled_tokens
+            stats.submitted_tokens = len(drafted.trunk)
+            stats.tree_nodes = len(tree)
+            return tree, info, stats
+
+        if use_suffix is not None:
+            drafted = draft_with_recycling(
+                draft_session, prefix, use_suffix, config, eos_id, truncate=True
+            )
+            tree, info = assemble_tree(drafted.main, drafted.alt)
+            stats.draft_steps = drafted.draft_steps
+            stats.drafted_tokens = drafted.fresh_tokens
+            stats.recycled_tokens = drafted.recycled_tokens
+            stats.submitted_tokens = len(drafted.main)
+            stats.tree_nodes = len(tree)
+            return tree, info, stats
+
+        plain = draft_adaptive(draft_session, prefix, config, eos_id, truncate=True)
+        items = [
+            DraftedToken(token, prob, ())
+            for token, prob in zip(plain.tokens, plain.probs)
+        ]
+        tree, info = assemble_tree(items)
+        stats.draft_steps = plain.draft_steps
+        stats.drafted_tokens = len(items)
+        stats.submitted_tokens = len(items)
+        stats.tree_nodes = len(tree)
+        return tree, info, stats
+
+    # -- suffix retention ------------------------------------------------------
+    def _extract_suffix(
+        self,
+        tree: TokenTree,
+        info: list[DraftedToken],
+        outcome: TreeVerifyOutcome,
+        eos_id: int,
+    ) -> RecycledSuffix | None:
+        """Retain the unaccepted remainder of the verified main path.
+
+        The path containing the deepest accepted node is "sequence 1" in the
+        paper's Fig. 9; everything after its rejected token becomes the
+        recycled suffix for the next round.
+        """
+        if not self.config.recycling:
+            return None
+        best = outcome.accepted_node
+        leaves = tree.leaves()
+        if best == ROOT_PARENT:
+            eligible = leaves
+        else:
+            eligible = [leaf for leaf in leaves if best in tree.ancestors(leaf)]
+        if not eligible:
+            return None
+        leaf = max(eligible, key=tree.depth_of)
+        path = tree.ancestors(leaf)
+        accepted_len = len(outcome.accepted_tokens)
+        # path[accepted_len] is the rejected node (replaced by the
+        # correction); everything after it is reusable.
+        remainder = path[accepted_len + 1 :]
+        if not remainder:
+            return None
+        items = [info[node] for node in remainder]
+        retained = RecycledSuffix.from_items(
+            items, eos_id, self.config.max_draft_len
+        )
+        return retained if retained else None

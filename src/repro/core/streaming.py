@@ -1,0 +1,156 @@
+"""Streaming SpecASR: decode while audio is still arriving.
+
+Real-time ASR (the paper's motivating deployment, cf. Speech-ReaLLM) cannot
+wait for the full utterance: audio arrives in chunks, the encoder prefixes
+grow incrementally, and the decoder may only emit tokens whose supporting
+audio has actually been heard.  This module simulates that pipeline on a
+wall-clock timeline:
+
+* audio chunks arrive every ``chunk_s`` seconds of stream time;
+* after each arrival the engine decodes as far as the *available* audio
+  allows (a position cap derived from the audio duration heard so far, minus
+  a lookahead margin the models need for stable context);
+* decoding compute is charged on the same timeline, so a token's *emission
+  time* is ``max(arrival of its audio, end of the compute that produced
+  it)``.
+
+The result reports per-token emission latencies, the first-token latency,
+and the final latency after the last chunk — the quantities a streaming
+system is judged by.  The transcript is identical to offline decoding of the
+full utterance (the decoder is still lossless; streaming only restricts how
+far ahead it may decode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import SpecASRConfig
+from repro.core.engine import SpecASREngine
+from repro.data.corpus import Utterance
+from repro.decoding.base import ModelLike
+
+
+@dataclass(frozen=True)
+class StreamingConfig:
+    """Streaming pipeline parameters."""
+
+    chunk_s: float = 1.0
+    lookahead_s: float = 0.3  # audio the decoder must hold back
+    specasr: SpecASRConfig = SpecASRConfig()
+
+    def __post_init__(self) -> None:
+        if self.chunk_s <= 0:
+            raise ValueError("chunk_s must be positive")
+        if self.lookahead_s < 0:
+            raise ValueError("lookahead_s must be >= 0")
+
+
+@dataclass
+class StreamingResult:
+    """Timeline of one streamed decode."""
+
+    tokens: list[int]
+    emission_times_s: list[float]  # stream time each token became final
+    audio_duration_s: float
+    total_compute_ms: float
+    chunks: int
+    partials: list[tuple[float, int]] = field(default_factory=list)
+    # (stream time, tokens emitted so far) after each chunk
+
+    @property
+    def first_token_latency_s(self) -> float:
+        """Delay from stream start to the first final token."""
+        return self.emission_times_s[0] if self.emission_times_s else 0.0
+
+    @property
+    def final_latency_s(self) -> float:
+        """Delay from end-of-audio to the last final token."""
+        if not self.emission_times_s:
+            return 0.0
+        return max(self.emission_times_s[-1] - self.audio_duration_s, 0.0)
+
+    @property
+    def real_time_factor(self) -> float:
+        return self.total_compute_ms / 1000.0 / self.audio_duration_s
+
+
+class StreamingSpecASR:
+    """Chunked streaming wrapper around the SpecASR engine.
+
+    Implementation note: the offline engine is deterministic and lossless,
+    so the streamed transcript is computed per-chunk by decoding the
+    utterance under a growing position cap; only *newly final* tokens are
+    charged to the current chunk's compute window.  This mirrors how a
+    streaming server re-enters its decode loop as context grows, without
+    duplicating the engine's round logic.
+    """
+
+    def __init__(
+        self,
+        draft: ModelLike,
+        target: ModelLike,
+        config: StreamingConfig = StreamingConfig(),
+    ) -> None:
+        self.draft = draft
+        self.target = target
+        self.config = config
+        self._engine = SpecASREngine(draft, target, config.specasr)
+
+    # -- helpers ---------------------------------------------------------------
+    def _positions_available(self, utterance: Utterance, heard_s: float) -> int:
+        """How many transcript positions the heard audio supports."""
+        if heard_s >= utterance.duration_s:
+            return utterance.num_tokens
+        usable = max(heard_s - self.config.lookahead_s, 0.0)
+        rate = utterance.num_tokens / utterance.duration_s
+        return min(int(usable * rate), utterance.num_tokens)
+
+    def decode_stream(self, utterance: Utterance) -> StreamingResult:
+        config = self.config
+        full = self._engine.decode(utterance)
+        full_tokens = full.tokens
+        total_compute_ms = full.total_ms
+
+        # Stream timeline: chunk i arrives at (i+1) * chunk_s.
+        n_chunks = max(1, int(-(-utterance.duration_s // config.chunk_s)))
+        emission_times: list[float] = []
+        partials: list[tuple[float, int]] = []
+        finalized = 0
+        clock_s = 0.0
+        # Compute cost is distributed over chunks proportionally to the new
+        # tokens finalized after each chunk (a decode round costs the same
+        # whether run incrementally or not — same engine, same rounds).
+        per_token_ms = total_compute_ms / max(len(full_tokens), 1)
+        for chunk in range(n_chunks):
+            arrival_s = min((chunk + 1) * config.chunk_s, utterance.duration_s)
+            clock_s = max(clock_s, arrival_s)
+            available = self._positions_available(utterance, arrival_s)
+            newly_final = max(min(available, len(full_tokens)) - finalized, 0)
+            compute_s = newly_final * per_token_ms / 1000.0
+            clock_s += compute_s
+            for offset in range(newly_final):
+                # tokens finalize progressively across the compute window
+                fraction = (offset + 1) / newly_final
+                emission_times.append(
+                    clock_s - compute_s * (1.0 - fraction)
+                )
+            finalized += newly_final
+            partials.append((clock_s, finalized))
+        # Anything left (lookahead margin) finalizes after end-of-audio.
+        remaining = len(full_tokens) - finalized
+        if remaining > 0:
+            compute_s = remaining * per_token_ms / 1000.0
+            clock_s = max(clock_s, utterance.duration_s) + compute_s
+            for offset in range(remaining):
+                fraction = (offset + 1) / remaining
+                emission_times.append(clock_s - compute_s * (1.0 - fraction))
+            partials.append((clock_s, len(full_tokens)))
+        return StreamingResult(
+            tokens=full_tokens,
+            emission_times_s=emission_times,
+            audio_duration_s=utterance.duration_s,
+            total_compute_ms=total_compute_ms,
+            chunks=n_chunks,
+            partials=partials,
+        )

@@ -1,0 +1,20 @@
+"""Synthetic data substrate: lexicon, utterances, LibriSim corpus, text tasks."""
+
+from repro.data.corpus import Dataset, Utterance
+from repro.data.lexicon import Lexicon, SentenceSampler, default_lexicon
+from repro.data.librisim import LibriSimBuilder, LibriSimConfig, build_split
+from repro.data.text_tasks import TextPrompt, TextTaskConfig, build_text_corpus
+
+__all__ = [
+    "Dataset",
+    "Lexicon",
+    "LibriSimBuilder",
+    "LibriSimConfig",
+    "SentenceSampler",
+    "TextPrompt",
+    "TextTaskConfig",
+    "Utterance",
+    "build_split",
+    "build_text_corpus",
+    "default_lexicon",
+]

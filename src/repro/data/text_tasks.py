@@ -1,0 +1,56 @@
+"""Text-generation task corpus — the *non*-audio-conditioned comparator.
+
+Fig. 5b of the paper contrasts speculative acceptance on ASR against plain
+text tasks: in text generation there is no audio anchor, so once draft and
+target disagree their continuations diverge.  This module provides prompts
+for the :class:`repro.models.textlm.SimulatedTextLM` pair used to reproduce
+that contrast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.data.lexicon import SentenceSampler
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class TextPrompt:
+    """One text-continuation task: a prompt plus a generation budget."""
+
+    prompt_id: str
+    prompt_words: tuple[str, ...]
+    max_new_tokens: int
+
+    @property
+    def seed(self) -> int:
+        from repro.utils.hashing import stable_hash
+
+        return stable_hash("text-prompt", self.prompt_id)
+
+
+@dataclass(frozen=True)
+class TextTaskConfig:
+    seed: int = 7
+    num_prompts: int = 32
+    prompt_words: int = 12
+    max_new_tokens: int = 48
+
+
+def build_text_corpus(config: TextTaskConfig = TextTaskConfig()) -> list[TextPrompt]:
+    """Build a deterministic list of text-continuation prompts."""
+    sampler = SentenceSampler()
+    root = RngStream(config.seed, "text-tasks")
+    prompts = []
+    for index in range(config.num_prompts):
+        rng = root.child("prompt", index)
+        words = sampler.sentence(rng, config.prompt_words, config.prompt_words + 6)
+        prompts.append(
+            TextPrompt(
+                prompt_id=f"text/{index:04d}",
+                prompt_words=tuple(words[: config.prompt_words]),
+                max_new_tokens=config.max_new_tokens,
+            )
+        )
+    return prompts

@@ -1,0 +1,42 @@
+"""Decoding algorithms: autoregressive and speculative baselines, token trees."""
+
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.decoding.base import DecodeResult, DecodeTrace, Decoder, RoundStats
+from repro.decoding.dynamic_tree import DynamicTreeConfig, DynamicTreeDecoder
+from repro.decoding.sampling import (
+    SamplingConfig,
+    SamplingDecoder,
+    SpeculativeSamplingDecoder,
+)
+from repro.decoding.speculative import SpeculativeConfig, SpeculativeDecoder
+from repro.decoding.token_tree import TokenTree, TreeNode
+from repro.decoding.tree_spec import FixedTreeConfig, FixedTreeDecoder
+from repro.decoding.verifier import (
+    SequenceVerifyOutcome,
+    TreeVerifyOutcome,
+    verify_sequence,
+    verify_tree,
+)
+
+__all__ = [
+    "AutoregressiveDecoder",
+    "DecodeResult",
+    "DecodeTrace",
+    "Decoder",
+    "DynamicTreeConfig",
+    "DynamicTreeDecoder",
+    "FixedTreeConfig",
+    "FixedTreeDecoder",
+    "RoundStats",
+    "SamplingConfig",
+    "SamplingDecoder",
+    "SequenceVerifyOutcome",
+    "SpeculativeConfig",
+    "SpeculativeDecoder",
+    "SpeculativeSamplingDecoder",
+    "TokenTree",
+    "TreeNode",
+    "TreeVerifyOutcome",
+    "verify_sequence",
+    "verify_tree",
+]

@@ -1,0 +1,31 @@
+"""Plain autoregressive (greedy) decoding — the paper's primary baseline."""
+
+from __future__ import annotations
+
+from repro.decoding.base import DecodeResult, DecodeTrace, ModelLike, strip_eos
+from repro.models.latency import KIND_DECODE, SimClock
+
+
+class AutoregressiveDecoder:
+    """One forward pass per output token on the target model."""
+
+    def __init__(self, target: ModelLike, name: str = "autoregressive") -> None:
+        self.target = target
+        self.name = name
+
+    def decode(self, unit) -> DecodeResult:
+        clock = SimClock()
+        session = self.target.session(unit, clock)
+        session.prefill()
+        tokens: list[int] = []
+        limit = session.max_decode_positions()
+        while len(tokens) < limit:
+            result = session.step(tokens, kind=KIND_DECODE)
+            tokens.append(result.token)
+            if session.is_eos(result.token):
+                break
+        eos_id = self.target.vocab.eos_id if hasattr(self.target, "vocab") else None
+        final = strip_eos(tokens, eos_id) if eos_id is not None else tokens
+        return DecodeResult(
+            tokens=final, clock=clock, trace=DecodeTrace(), method=self.name
+        )

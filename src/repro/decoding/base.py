@@ -1,0 +1,146 @@
+"""Decoder interface and trace/result types shared by all strategies.
+
+A decoder consumes "sessions" — anything exposing the
+``prefill / peek / step / step_frontier / verify_eval / rollback`` interface
+of :class:`repro.models.simulated.DecodeSession` (ASR) or
+:class:`repro.models.textlm.TextSession` (text) — so every algorithm in this
+package runs unchanged on both task families.
+
+The :class:`DecodeTrace` counters are exactly the quantities the paper's
+figures report: rounds, draft steps, predicted/accepted tokens per round,
+recycled tokens, tree nodes verified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence
+
+from repro.models.latency import SimClock
+
+
+@dataclass
+class RoundStats:
+    """Counters for one draft→verify round."""
+
+    draft_steps: int = 0  # draft forward passes in this round
+    drafted_tokens: int = 0  # fresh tokens the draft generated
+    recycled_tokens: int = 0  # tokens reused from a previous draft sequence
+    submitted_tokens: int = 0  # tokens sent for verification (main path)
+    tree_nodes: int = 0  # unique nodes billed to the verification pass
+    accepted_tokens: int = 0  # draft tokens the target accepted
+    emitted_tokens: int = 0  # accepted + correction/bonus token
+
+    @property
+    def acceptance_ratio(self) -> float:
+        """Accepted fraction of submitted tokens (the paper's
+        decoding-acceptance ratio)."""
+        if self.submitted_tokens == 0:
+            return 0.0
+        return self.accepted_tokens / self.submitted_tokens
+
+
+@dataclass
+class DecodeTrace:
+    """Per-decode counters, one entry per speculation round."""
+
+    rounds: list[RoundStats] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_draft_steps(self) -> int:
+        return sum(r.draft_steps for r in self.rounds)
+
+    @property
+    def total_drafted(self) -> int:
+        return sum(r.drafted_tokens for r in self.rounds)
+
+    @property
+    def total_recycled(self) -> int:
+        return sum(r.recycled_tokens for r in self.rounds)
+
+    @property
+    def total_submitted(self) -> int:
+        return sum(r.submitted_tokens for r in self.rounds)
+
+    @property
+    def total_accepted(self) -> int:
+        return sum(r.accepted_tokens for r in self.rounds)
+
+    @property
+    def acceptance_ratio(self) -> float:
+        submitted = self.total_submitted
+        if submitted == 0:
+            return 0.0
+        return self.total_accepted / submitted
+
+    def mean_per_round(self, attribute: str) -> float:
+        if not self.rounds:
+            return 0.0
+        return sum(getattr(r, attribute) for r in self.rounds) / len(self.rounds)
+
+
+@dataclass
+class DecodeResult:
+    """Outcome of decoding one utterance/prompt."""
+
+    tokens: list[int]  # final transcript tokens, EOS stripped
+    clock: SimClock
+    trace: DecodeTrace
+    method: str
+
+    @property
+    def total_ms(self) -> float:
+        return self.clock.total_ms()
+
+    def ms_per_10s(self, duration_s: float) -> float:
+        """Latency normalised per 10 seconds of audio (paper Table II)."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_ms * 10.0 / duration_s
+
+
+class SessionLike(Protocol):
+    """Structural interface decoders require from a model session."""
+
+    def prefill(self) -> None: ...
+
+    def peek(self, prefix: Sequence[int]): ...
+
+    def step(self, prefix: Sequence[int], kind: str = ...): ...
+
+    def step_frontier(self, prefixes, kind: str = ...): ...
+
+    def verify_eval(self, prefixes, billed_tokens: int | None = ...): ...
+
+    def rollback(self, kept_prefix_len: int) -> None: ...
+
+    def is_eos(self, token: int) -> bool: ...
+
+    def max_decode_positions(self) -> int: ...
+
+
+class ModelLike(Protocol):
+    """Structural interface decoders require from a model."""
+
+    name: str
+
+    def session(self, unit, clock: SimClock) -> SessionLike: ...
+
+
+class Decoder(Protocol):
+    """A decoding strategy."""
+
+    name: str
+
+    def decode(self, unit) -> DecodeResult: ...
+
+
+def strip_eos(tokens: list[int], eos_id: int) -> list[int]:
+    """Drop a trailing EOS token if present."""
+    if tokens and tokens[-1] == eos_id:
+        return tokens[:-1]
+    return tokens

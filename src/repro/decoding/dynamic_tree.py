@@ -1,0 +1,155 @@
+"""Dynamic token-tree speculative decoding (ProPD / EAGLE-2 family).
+
+The "Dynamic Tree" row of the paper's Table I: instead of a fixed branching
+schedule, the draft grows the token tree guided by its own probabilities —
+a frontier node is expanded with every candidate whose *path probability*
+(product of candidate probabilities along the branch) stays above a
+threshold, and the whole tree is capped by a node budget, keeping
+verification batches small while spending width only where the draft is
+genuinely uncertain.
+
+This is a faithful baseline implementation, not part of SpecASR itself; it
+exists so the Table I comparison measures a real dynamic-tree competitor.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.decoding.base import (
+    DecodeResult,
+    DecodeTrace,
+    ModelLike,
+    RoundStats,
+    strip_eos,
+)
+from repro.decoding.speculative import commit
+from repro.decoding.token_tree import ROOT_PARENT, TokenTree
+from repro.decoding.verifier import verify_tree
+from repro.models.latency import KIND_DRAFT, SimClock
+
+
+@dataclass(frozen=True)
+class DynamicTreeConfig:
+    """Probability-guided tree growth parameters.
+
+    Attributes:
+        node_budget: Maximum tree nodes per round (verification batch cap).
+        max_depth: Maximum tree depth per round.
+        expand_threshold: Minimum path probability for a candidate to enter
+            the tree; below it the branch is pruned (ProPD-style).
+        max_children: Cap on children expanded per node.
+    """
+
+    node_budget: int = 24
+    max_depth: int = 10
+    expand_threshold: float = 0.08
+    max_children: int = 3
+
+    def __post_init__(self) -> None:
+        if self.node_budget < 1:
+            raise ValueError("node_budget must be >= 1")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if not 0.0 < self.expand_threshold < 1.0:
+            raise ValueError("expand_threshold must be in (0, 1)")
+        if self.max_children < 1:
+            raise ValueError("max_children must be >= 1")
+
+
+class DynamicTreeDecoder:
+    """Speculative decoding with a probability-guided dynamic token tree."""
+
+    def __init__(
+        self,
+        draft: ModelLike,
+        target: ModelLike,
+        config: DynamicTreeConfig = DynamicTreeConfig(),
+        name: str | None = None,
+    ) -> None:
+        self.draft = draft
+        self.target = target
+        self.config = config
+        self.name = name or f"dynamic-tree(n={config.node_budget})"
+
+    def decode(self, unit) -> DecodeResult:
+        clock = SimClock()
+        draft_session = self.draft.session(unit, clock)
+        target_session = self.target.session(unit, clock)
+        draft_session.prefill()
+        target_session.prefill()
+        eos_id = self.target.vocab.eos_id
+        trace = DecodeTrace()
+        prefix: list[int] = []
+        limit = target_session.max_decode_positions()
+        done = False
+        while not done and len(prefix) < limit:
+            done = self._round(prefix, draft_session, target_session, trace, eos_id)
+        return DecodeResult(
+            tokens=strip_eos(prefix, eos_id),
+            clock=clock,
+            trace=trace,
+            method=self.name,
+        )
+
+    def _round(self, prefix, draft_session, target_session, trace, eos_id) -> bool:
+        stats = RoundStats()
+        tree = TokenTree()
+        config = self.config
+        # Path probability per node; ROOT_PARENT's is 1.
+        path_prob: dict[int, float] = {ROOT_PARENT: 1.0}
+        # Frontier of nodes whose children have not been generated yet.
+        frontier: list[int] = [ROOT_PARENT]
+        depth = 0
+        while frontier and len(tree) < config.node_budget and depth < config.max_depth:
+            prefixes = [
+                prefix + (tree.path_tokens(node) if node != ROOT_PARENT else [])
+                for node in frontier
+            ]
+            results = draft_session.step_frontier(prefixes, kind=KIND_DRAFT)
+            stats.draft_steps += 1
+            # Collect candidate children across the whole frontier, then
+            # admit the highest-path-probability ones within the budget.
+            candidates: list[tuple[float, int, int, int, float]] = []
+            for order, (node, result) in enumerate(zip(frontier, results)):
+                seen: set[int] = set()
+                for token, prob in result.topk[: config.max_children]:
+                    if token in seen:
+                        continue
+                    seen.add(token)
+                    p_path = path_prob[node] * prob
+                    if p_path < config.expand_threshold:
+                        continue
+                    # heapq is a min-heap: negate for best-first.
+                    candidates.append((-p_path, order, node, token, prob))
+            heapq.heapify(candidates)
+            next_frontier: list[int] = []
+            while candidates and len(tree) < config.node_budget:
+                neg_p, _order, node, token, prob = heapq.heappop(candidates)
+                child = tree.add(token, node, prob)
+                path_prob[child] = -neg_p
+                if token != eos_id:
+                    next_frontier.append(child)
+            frontier = next_frontier
+            depth += 1
+
+        if len(tree) == 0:
+            # Degenerate round (nothing above threshold): draft one token.
+            result = draft_session.step(prefix, kind=KIND_DRAFT)
+            stats.draft_steps += 1
+            node = tree.add(result.token, ROOT_PARENT, result.top_prob)
+            path_prob[node] = result.top_prob
+
+        stats.drafted_tokens = len(tree)
+        stats.submitted_tokens = tree.max_depth()
+        stats.tree_nodes = len(tree)
+        outcome = verify_tree(target_session, prefix, tree)
+        stats.accepted_tokens = len(outcome.accepted_tokens)
+        emitted = outcome.accepted_tokens + [outcome.correction]
+        stats.emitted_tokens = len(emitted)
+        trace.rounds.append(stats)
+        prefix, done = commit(prefix, emitted, eos_id)
+        draft_session.rollback(len(prefix))
+        target_session.rollback(len(prefix))
+        return done

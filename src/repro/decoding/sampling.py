@@ -1,0 +1,197 @@
+"""Stochastic decoding: temperature sampling and speculative *sampling*.
+
+The paper (and this repo's core) uses greedy decoding, where acceptance is
+exact token match.  Production ASR sometimes samples (e.g. temperature
+fallback in Whisper), and speculative decoding has a sampling-correct
+counterpart (Leviathan et al.; Chen et al.): accept a draft token ``x`` with
+probability ``min(1, p_target(x) / p_draft(x))`` and, on rejection, resample
+from the residual distribution ``max(p_target - p_draft, 0)``.  The combined
+process provably emits tokens distributed exactly as target sampling —
+lossless in distribution rather than in value.
+
+Distributions here are the session top-k distributions renormalised; the
+distribution-preservation property is verified statistically in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decoding.base import (
+    DecodeResult,
+    DecodeTrace,
+    ModelLike,
+    RoundStats,
+    strip_eos,
+)
+from repro.models.latency import KIND_DECODE, KIND_DRAFT, SimClock
+from repro.models.simulated import StepResult
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Sampling-mode parameters."""
+
+    seed: int = 0
+    draft_len: int = 8
+
+    def __post_init__(self) -> None:
+        if self.draft_len < 1:
+            raise ValueError("draft_len must be >= 1")
+
+
+def _distribution(step: StepResult) -> dict[int, float]:
+    """The step's top-k distribution, renormalised to sum to 1."""
+    total = sum(prob for _tok, prob in step.topk)
+    if total <= 0:
+        raise ValueError("degenerate step distribution")
+    return {token: prob / total for token, prob in step.topk}
+
+
+def _sample(dist: dict[int, float], rng: RngStream) -> int:
+    draw = rng.uniform()
+    cumulative = 0.0
+    last = None
+    for token, prob in dist.items():
+        cumulative += prob
+        last = token
+        if draw < cumulative:
+            return token
+    return last  # numeric slack lands on the final token
+
+
+class SamplingDecoder:
+    """Plain autoregressive *sampling* on the target model."""
+
+    def __init__(
+        self, target: ModelLike, config: SamplingConfig = SamplingConfig(), name: str = "sampling"
+    ) -> None:
+        self.target = target
+        self.config = config
+        self.name = name
+
+    def decode(self, unit) -> DecodeResult:
+        clock = SimClock()
+        session = self.target.session(unit, clock)
+        session.prefill()
+        rng = RngStream(self.config.seed, "sampling", unit.seed)
+        eos_id = self.target.vocab.eos_id
+        tokens: list[int] = []
+        limit = session.max_decode_positions()
+        while len(tokens) < limit:
+            step = session.step(tokens, kind=KIND_DECODE)
+            token = _sample(_distribution(step), rng.child("tok", len(tokens)))
+            tokens.append(token)
+            if token == eos_id:
+                break
+        return DecodeResult(
+            tokens=strip_eos(tokens, eos_id),
+            clock=clock,
+            trace=DecodeTrace(),
+            method=self.name,
+        )
+
+
+class SpeculativeSamplingDecoder:
+    """Speculative sampling: draft proposals + probability-ratio acceptance.
+
+    Emits tokens with *exactly* the target's sampling distribution (over the
+    shared top-k support), while most tokens are proposed by the cheap draft.
+    """
+
+    def __init__(
+        self,
+        draft: ModelLike,
+        target: ModelLike,
+        config: SamplingConfig = SamplingConfig(),
+        name: str | None = None,
+    ) -> None:
+        self.draft = draft
+        self.target = target
+        self.config = config
+        self.name = name or f"spec-sampling({config.draft_len})"
+
+    def decode(self, unit) -> DecodeResult:
+        clock = SimClock()
+        draft_session = self.draft.session(unit, clock)
+        target_session = self.target.session(unit, clock)
+        draft_session.prefill()
+        target_session.prefill()
+        rng = RngStream(self.config.seed, "spec-sampling", unit.seed)
+        eos_id = self.target.vocab.eos_id
+        trace = DecodeTrace()
+        prefix: list[int] = []
+        limit = target_session.max_decode_positions()
+        step_index = 0
+        done = False
+        while not done and len(prefix) < limit:
+            stats = RoundStats()
+            # --- draft phase: sample gamma tokens from the draft -----------------
+            drafts: list[int] = []
+            draft_dists: list[dict[int, float]] = []
+            for _ in range(self.config.draft_len):
+                step = draft_session.step(prefix + drafts, kind=KIND_DRAFT)
+                stats.draft_steps += 1
+                dist = _distribution(step)
+                token = _sample(dist, rng.child("draft", step_index, len(drafts)))
+                drafts.append(token)
+                draft_dists.append(dist)
+                if token == eos_id:
+                    break
+            stats.drafted_tokens = len(drafts)
+            stats.submitted_tokens = len(drafts)
+            stats.tree_nodes = len(drafts)
+            # --- verification: one batched target pass --------------------------
+            prefixes = [
+                tuple(prefix) + tuple(drafts[:i]) for i in range(len(drafts) + 1)
+            ]
+            results = target_session.verify_eval(prefixes, billed_tokens=len(drafts))
+            emitted: list[int] = []
+            accepted = 0
+            for index, token in enumerate(drafts):
+                target_dist = _distribution(results[index])
+                p_target = target_dist.get(token, 0.0)
+                p_draft = draft_dists[index].get(token, 1e-12)
+                ratio = min(1.0, p_target / p_draft)
+                if rng.child("accept", step_index, index).uniform() < ratio:
+                    accepted += 1
+                    emitted.append(token)
+                    continue
+                # Rejected: resample from the residual distribution.
+                residual = {
+                    tok: max(prob - draft_dists[index].get(tok, 0.0), 0.0)
+                    for tok, prob in target_dist.items()
+                }
+                total = sum(residual.values())
+                if total <= 0.0:
+                    residual = target_dist
+                    total = 1.0
+                residual = {tok: prob / total for tok, prob in residual.items()}
+                emitted.append(
+                    _sample(residual, rng.child("resample", step_index, index))
+                )
+                break
+            else:
+                # All drafts accepted: bonus token from the final distribution.
+                bonus_dist = _distribution(results[len(drafts)])
+                emitted.append(
+                    _sample(bonus_dist, rng.child("bonus", step_index))
+                )
+            stats.accepted_tokens = accepted
+            stats.emitted_tokens = len(emitted)
+            trace.rounds.append(stats)
+            for token in emitted:
+                prefix.append(token)
+                if token == eos_id:
+                    done = True
+                    break
+            draft_session.rollback(len(prefix))
+            target_session.rollback(len(prefix))
+            step_index += 1
+        return DecodeResult(
+            tokens=strip_eos(prefix, eos_id),
+            clock=clock,
+            trace=trace,
+            method=self.name,
+        )

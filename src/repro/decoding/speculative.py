@@ -1,0 +1,166 @@
+"""Vanilla speculative decoding — the paper's speculative baselines.
+
+Configurations mirror the paper's baselines: (prediction length, beam size)
+of (8, 1), (16, 1) and (8, 2).  With one beam the draft proposes a single
+linear sequence of fixed length; with two beams the first uncertain position
+spawns a second branch (top-2 token) and both branches are extended in
+batched draft passes, then verified together as a token tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decoding.base import (
+    DecodeResult,
+    DecodeTrace,
+    ModelLike,
+    RoundStats,
+    strip_eos,
+)
+from repro.decoding.token_tree import ROOT_PARENT, TokenTree
+from repro.decoding.verifier import verify_sequence, verify_tree
+from repro.models.latency import KIND_DRAFT, SimClock
+
+
+@dataclass(frozen=True)
+class SpeculativeConfig:
+    """(prediction length, beam size) of the speculative baseline."""
+
+    draft_len: int = 8
+    beams: int = 1
+
+    def __post_init__(self) -> None:
+        if self.draft_len < 1:
+            raise ValueError("draft_len must be >= 1")
+        if self.beams not in (1, 2):
+            raise ValueError("beams must be 1 or 2")
+
+    @property
+    def label(self) -> str:
+        return f"({self.draft_len}, {self.beams})"
+
+
+def commit(
+    prefix: list[int], new_tokens: list[int], eos_id: int
+) -> tuple[list[int], bool]:
+    """Append ``new_tokens`` to ``prefix``; stop at the first EOS."""
+    done = False
+    for token in new_tokens:
+        prefix.append(token)
+        if token == eos_id:
+            done = True
+            break
+    return prefix, done
+
+
+class SpeculativeDecoder:
+    """Draft-then-verify decoding with a fixed prediction length."""
+
+    def __init__(
+        self,
+        draft: ModelLike,
+        target: ModelLike,
+        config: SpeculativeConfig = SpeculativeConfig(),
+        name: str | None = None,
+    ) -> None:
+        self.draft = draft
+        self.target = target
+        self.config = config
+        self.name = name or f"speculative{config.label}"
+
+    # -- public API ----------------------------------------------------------
+    def decode(self, unit) -> DecodeResult:
+        clock = SimClock()
+        draft_session = self.draft.session(unit, clock)
+        target_session = self.target.session(unit, clock)
+        draft_session.prefill()
+        target_session.prefill()
+        eos_id = self.target.vocab.eos_id
+        trace = DecodeTrace()
+        prefix: list[int] = []
+        limit = target_session.max_decode_positions()
+        done = False
+        while not done and len(prefix) < limit:
+            if self.config.beams == 1:
+                done = self._round_single(
+                    prefix, draft_session, target_session, trace, eos_id
+                )
+            else:
+                done = self._round_beams(
+                    prefix, draft_session, target_session, trace, eos_id
+                )
+        return DecodeResult(
+            tokens=strip_eos(prefix, eos_id),
+            clock=clock,
+            trace=trace,
+            method=self.name,
+        )
+
+    # -- single-beam round ------------------------------------------------------
+    def _round_single(
+        self, prefix, draft_session, target_session, trace, eos_id
+    ) -> bool:
+        stats = RoundStats()
+        drafts: list[int] = []
+        for _ in range(self.config.draft_len):
+            result = draft_session.step(prefix + drafts, kind=KIND_DRAFT)
+            stats.draft_steps += 1
+            drafts.append(result.token)
+            if result.token == eos_id:
+                break
+        stats.drafted_tokens = len(drafts)
+        stats.submitted_tokens = len(drafts)
+        stats.tree_nodes = len(drafts)
+        outcome = verify_sequence(target_session, prefix, drafts)
+        stats.accepted_tokens = outcome.accepted
+        emitted = drafts[: outcome.accepted] + [outcome.correction]
+        stats.emitted_tokens = len(emitted)
+        trace.rounds.append(stats)
+        prefix, done = commit(prefix, emitted, eos_id)
+        draft_session.rollback(len(prefix))
+        target_session.rollback(len(prefix))
+        return done
+
+    # -- two-beam round ------------------------------------------------------
+    def _round_beams(
+        self, prefix, draft_session, target_session, trace, eos_id
+    ) -> bool:
+        stats = RoundStats()
+        tree = TokenTree()
+        first = draft_session.step(prefix, kind=KIND_DRAFT)
+        stats.draft_steps += 1
+        primary = tree.add(first.token, ROOT_PARENT, first.top_prob)
+        frontier = [primary]
+        if len(first.topk) > 1 and first.topk[1][0] != first.token:
+            secondary_token, secondary_prob = first.topk[1]
+            secondary = tree.add(secondary_token, ROOT_PARENT, secondary_prob)
+            frontier.append(secondary)
+        # Extend every live branch one token per batched draft pass.
+        for _ in range(self.config.draft_len - 1):
+            live = [
+                node
+                for node in frontier
+                if tree.nodes[node].token != eos_id
+            ]
+            if not live:
+                break
+            prefixes = [prefix + tree.path_tokens(node) for node in live]
+            results = draft_session.step_frontier(prefixes, kind=KIND_DRAFT)
+            stats.draft_steps += 1
+            frontier = [
+                tree.add(result.token, node, result.top_prob)
+                for node, result in zip(live, results)
+            ]
+        stats.drafted_tokens = len(tree)
+        stats.submitted_tokens = tree.max_depth()
+        stats.tree_nodes = len(tree)
+        outcome = verify_tree(target_session, prefix, tree)
+        stats.accepted_tokens = len(outcome.accepted_tokens)
+        emitted = outcome.accepted_tokens + [outcome.correction]
+        stats.emitted_tokens = len(emitted)
+        trace.rounds.append(stats)
+        prefix, done = commit(prefix, emitted, eos_id)
+        draft_session.rollback(len(prefix))
+        target_session.rollback(len(prefix))
+        return done

@@ -1,0 +1,117 @@
+"""SpecInfer-style fixed-shape token-tree speculative decoding.
+
+A fixed branching schedule (e.g. top-2 at the first two depths, then single
+chains) is expanded every round regardless of model confidence — the
+"Fixed Tree" family of the paper's Table I: good verification acceptance,
+but the draft burns a full tree of forward passes every round and the tree
+depth is capped to keep the node count bounded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decoding.base import (
+    DecodeResult,
+    DecodeTrace,
+    ModelLike,
+    RoundStats,
+    strip_eos,
+)
+from repro.decoding.speculative import commit
+from repro.decoding.token_tree import ROOT_PARENT, TokenTree
+from repro.decoding.verifier import verify_tree
+from repro.models.latency import KIND_DRAFT, SimClock
+
+
+@dataclass(frozen=True)
+class FixedTreeConfig:
+    """Branching factor per tree depth."""
+
+    branching: tuple[int, ...] = (2, 2, 1, 1, 1, 1, 1, 1)
+
+    def __post_init__(self) -> None:
+        if not self.branching:
+            raise ValueError("branching schedule cannot be empty")
+        if any(b < 1 for b in self.branching):
+            raise ValueError("branching factors must be >= 1")
+
+    @property
+    def depth(self) -> int:
+        return len(self.branching)
+
+
+class FixedTreeDecoder:
+    """Fixed token-tree speculative decoding (SpecInfer-like baseline)."""
+
+    def __init__(
+        self,
+        draft: ModelLike,
+        target: ModelLike,
+        config: FixedTreeConfig = FixedTreeConfig(),
+        name: str | None = None,
+    ) -> None:
+        self.draft = draft
+        self.target = target
+        self.config = config
+        self.name = name or f"fixed-tree(depth={config.depth})"
+
+    def decode(self, unit) -> DecodeResult:
+        clock = SimClock()
+        draft_session = self.draft.session(unit, clock)
+        target_session = self.target.session(unit, clock)
+        draft_session.prefill()
+        target_session.prefill()
+        eos_id = self.target.vocab.eos_id
+        trace = DecodeTrace()
+        prefix: list[int] = []
+        limit = target_session.max_decode_positions()
+        done = False
+        while not done and len(prefix) < limit:
+            done = self._round(prefix, draft_session, target_session, trace, eos_id)
+        return DecodeResult(
+            tokens=strip_eos(prefix, eos_id),
+            clock=clock,
+            trace=trace,
+            method=self.name,
+        )
+
+    def _round(self, prefix, draft_session, target_session, trace, eos_id) -> bool:
+        stats = RoundStats()
+        tree = TokenTree()
+        frontier: list[int] = [ROOT_PARENT]
+        for depth, branch_factor in enumerate(self.config.branching):
+            live = [
+                node
+                for node in frontier
+                if node == ROOT_PARENT or tree.nodes[node].token != eos_id
+            ]
+            if not live:
+                break
+            prefixes = [
+                prefix + (tree.path_tokens(node) if node != ROOT_PARENT else [])
+                for node in live
+            ]
+            results = draft_session.step_frontier(prefixes, kind=KIND_DRAFT)
+            stats.draft_steps += 1
+            next_frontier: list[int] = []
+            for node, result in zip(live, results):
+                taken: set[int] = set()
+                for token, prob in result.topk[:branch_factor]:
+                    if token in taken:
+                        continue
+                    taken.add(token)
+                    next_frontier.append(tree.add(token, node, prob))
+            frontier = next_frontier
+        stats.drafted_tokens = len(tree)
+        stats.submitted_tokens = tree.max_depth()
+        stats.tree_nodes = len(tree)
+        outcome = verify_tree(target_session, prefix, tree)
+        stats.accepted_tokens = len(outcome.accepted_tokens)
+        emitted = outcome.accepted_tokens + [outcome.correction]
+        stats.emitted_tokens = len(emitted)
+        trace.rounds.append(stats)
+        prefix, done = commit(prefix, emitted, eos_id)
+        draft_session.rollback(len(prefix))
+        target_session.rollback(len(prefix))
+        return done

@@ -1,0 +1,66 @@
+"""Registry of paper-figure/table experiments.
+
+Each entry maps an experiment id to a callable
+``run(config: ExperimentConfig) -> ExperimentReport`` that regenerates the
+corresponding figure or table of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.harness.experiments import (
+    ext01,
+    fig01,
+    fig05,
+    fig06,
+    fig07,
+    fig11,
+    fig12,
+    fig13,
+    tab01,
+    tab02,
+)
+from repro.harness.experiments.base import ExperimentReport
+from repro.harness.runner import ExperimentConfig
+
+EXPERIMENTS: dict[str, Callable[[ExperimentConfig], ExperimentReport]] = {
+    "fig01": fig01.run,
+    "fig05a": fig05.run_wer,
+    "fig05b": fig05.run_topk,
+    "fig06a": fig06.run_distribution,
+    "fig06b": fig06.run_alignment,
+    "fig07": fig07.run,
+    "fig11": fig11.run,
+    "fig12": fig12.run,
+    "fig13a": fig13.run_threshold,
+    "fig13b": fig13.run_rank,
+    "tab01": tab01.run,
+    "tab02": tab02.run,
+    # Extensions beyond the paper's figures:
+    "ext01-adaptive": ext01.run_adaptive,
+    "ext01-sampling": ext01.run_sampling,
+    "ext01-streaming": ext01.run_streaming,
+}
+
+
+def list_experiments() -> list[str]:
+    return sorted(EXPERIMENTS)
+
+
+def run_experiment(
+    exp_id: str, config: ExperimentConfig | None = None
+) -> ExperimentReport:
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {list_experiments()}"
+        )
+    return EXPERIMENTS[exp_id](config or ExperimentConfig())
+
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "list_experiments",
+    "run_experiment",
+]

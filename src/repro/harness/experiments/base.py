@@ -1,0 +1,30 @@
+"""Experiment report type shared by every per-figure experiment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.harness.figures import ascii_table
+from repro.harness.paper_values import paper_notes
+
+
+@dataclass
+class ExperimentReport:
+    """Output of one paper-figure/table reproduction."""
+
+    exp_id: str
+    title: str
+    headers: list[str]
+    rows: list[list] = field(default_factory=list)
+    extra_sections: list[str] = field(default_factory=list)
+    metrics: dict[str, float] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [
+            ascii_table(self.headers, self.rows, title=f"[{self.exp_id}] {self.title}")
+        ]
+        parts.extend(self.extra_sections)
+        notes = paper_notes(self.exp_id.split("-")[0])
+        if notes:
+            parts.append(notes)
+        return "\n\n".join(parts)

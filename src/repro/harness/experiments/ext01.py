@@ -1,0 +1,108 @@
+"""Extension experiments (beyond the paper's figures).
+
+``ext01-adaptive``  — online threshold adaptation vs fixed thresholds.
+``ext01-sampling``  — speculative sampling acceptance/latency profile.
+``ext01-streaming`` — streaming latency profile of SpecASR vs AR decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import SpecASRConfig, full_specasr
+from repro.core.engine import SpecASREngine
+from repro.core.streaming import StreamingConfig, StreamingSpecASR
+from repro.decoding.sampling import SamplingConfig, SpeculativeSamplingDecoder
+from repro.harness.experiments.base import ExperimentReport
+from repro.harness.runner import (
+    ExperimentConfig,
+    load_split,
+    run_method,
+    shared_vocabulary,
+)
+from repro.models.registry import model_pair
+
+
+def run_adaptive(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
+    """Fixed vs adaptive truncation thresholds, well- and mis-tuned starts."""
+    report = ExperimentReport(
+        exp_id="ext01-adaptive",
+        title="Online threshold adaptation (extension)",
+        headers=["variant", "ms/10s", "draft steps/utt", "rounds/utt"],
+    )
+    vocab = shared_vocabulary()
+    dataset = load_split("test-clean", config)
+    draft, target = model_pair("whisper", vocab)
+    variants = {
+        "fixed 0.4": SpecASRConfig(),
+        "adaptive from 0.4": SpecASRConfig(adaptive_threshold=True),
+        "fixed 0.65 (mistuned)": SpecASRConfig(threshold=0.65),
+        "adaptive from 0.65": SpecASRConfig(threshold=0.65, adaptive_threshold=True),
+    }
+    for label, cfg in variants.items():
+        run = run_method(SpecASREngine(draft, target, cfg, name=label), dataset)
+        report.rows.append(
+            [label, run.breakdown.ms_per_10s, run.mean_draft_steps, run.mean_rounds]
+        )
+        report.metrics[f"ms/{label}"] = run.breakdown.ms_per_10s
+    return report
+
+
+def run_sampling(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
+    """Speculative sampling acceptance and latency across model pairs."""
+    report = ExperimentReport(
+        exp_id="ext01-sampling",
+        title="Speculative sampling (extension)",
+        headers=["pairing", "ms/10s", "acceptance ratio (%)", "rounds/utt"],
+    )
+    vocab = shared_vocabulary()
+    dataset = load_split("test-clean", config)
+    for pairing in ("whisper", "llama-7b", "vicuna-13b"):
+        draft, target = model_pair(pairing, vocab)
+        decoder = SpeculativeSamplingDecoder(
+            draft, target, SamplingConfig(seed=config.seed, draft_len=8)
+        )
+        run = run_method(decoder, dataset)
+        report.rows.append(
+            [
+                pairing,
+                run.breakdown.ms_per_10s,
+                100.0 * run.acceptance_ratio,
+                run.mean_rounds,
+            ]
+        )
+        report.metrics[f"acceptance/{pairing}"] = run.acceptance_ratio
+    return report
+
+
+def run_streaming(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
+    """Streaming latency profile: first-token latency, tail latency, RTF."""
+    report = ExperimentReport(
+        exp_id="ext01-streaming",
+        title="Streaming SpecASR latency profile (extension)",
+        headers=[
+            "pairing",
+            "first-token (s)",
+            "tail after EOS (ms)",
+            "real-time factor",
+        ],
+    )
+    vocab = shared_vocabulary()
+    dataset = load_split("test-clean", config)
+    for pairing in ("whisper", "vicuna-13b"):
+        draft, target = model_pair(pairing, vocab)
+        streamer = StreamingSpecASR(
+            draft,
+            target,
+            StreamingConfig(chunk_s=1.0, specasr=full_specasr()),
+        )
+        first = tail = rtf = 0.0
+        for utterance in dataset:
+            result = streamer.decode_stream(utterance)
+            first += result.first_token_latency_s
+            tail += result.final_latency_s * 1000.0
+            rtf += result.real_time_factor
+        n = len(dataset)
+        report.rows.append([pairing, first / n, tail / n, rtf / n])
+        report.metrics[f"rtf/{pairing}"] = rtf / n
+    return report

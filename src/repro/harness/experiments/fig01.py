@@ -1,0 +1,71 @@
+"""Fig. 1 — parameter ratio and relative latency of encoder vs LLM decoder."""
+
+from __future__ import annotations
+
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.harness.experiments.base import ExperimentReport
+from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
+from repro.models.registry import PAIRINGS, get_model, get_spec, published_asr_configs
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
+    report = ExperimentReport(
+        exp_id="fig01",
+        title="Encoder vs LLM-decoder parameter and latency split",
+        headers=[
+            "system",
+            "encoder (B)",
+            "decoder (B)",
+            "decoder share (%)",
+            "enc ms/10s",
+            "decode ms/10s",
+            "decoder latency share (%)",
+        ],
+    )
+    vocab = shared_vocabulary()
+    dataset = load_split("test-clean", config)
+
+    # Published configurations (parameter split from the cited papers).
+    for published in published_asr_configs():
+        total = published.encoder_params_b + published.decoder_params_b
+        report.rows.append(
+            [
+                published.name + " (paper cfg)",
+                published.encoder_params_b,
+                published.decoder_params_b,
+                100.0 * published.decoder_params_b / total,
+                "-",
+                "-",
+                100.0 * (1.0 - published.encoder_latency_share),
+            ]
+        )
+
+    # Our simulated target models: measure AR decode vs encoder latency.
+    for pairing, (_draft_name, target_name) in PAIRINGS.items():
+        spec = get_spec(target_name)
+        target = get_model(target_name, vocab)
+        decoder = AutoregressiveDecoder(target)
+        encode_ms = decode_ms = 0.0
+        duration = 0.0
+        for utterance in dataset:
+            result = decoder.decode(utterance)
+            encode_ms += result.clock.total_for_kind("encode")
+            decode_ms += result.clock.total_for_kind("decode", "prefill")
+            duration += utterance.duration_s
+        total_params = spec.encoder_params_b + spec.decoder_params_b
+        total_ms = encode_ms + decode_ms
+        report.rows.append(
+            [
+                f"{target_name} ({pairing})",
+                spec.encoder_params_b,
+                spec.decoder_params_b,
+                100.0 * spec.decoder_params_b / total_params,
+                encode_ms * 10.0 / duration,
+                decode_ms * 10.0 / duration,
+                100.0 * decode_ms / total_ms,
+            ]
+        )
+        report.metrics[f"decoder_latency_share/{target_name}"] = (
+            decode_ms / total_ms
+        )
+    return report

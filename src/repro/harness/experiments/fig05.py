@@ -1,0 +1,92 @@
+"""Fig. 5 — WER vs model scale (a) and accept@top-k, ASR vs text (b)."""
+
+from __future__ import annotations
+
+from repro.data.text_tasks import TextTaskConfig, build_text_corpus
+from repro.harness.experiments.base import ExperimentReport
+from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
+from repro.metrics.acceptance import accept_at_topk
+from repro.metrics.wer import model_wer
+from repro.models.latency import LatencyProfile
+from repro.models.registry import get_model, get_spec
+from repro.models.textlm import SimulatedTextLM
+
+#: Whisper-family scale ladder evaluated in Fig. 5a.
+SCALE_LADDER = (
+    "whisper-tiny-sim",
+    "whisper-base-sim",
+    "whisper-small-sim",
+    "whisper-medium-sim",
+    "whisper-large-sim",
+)
+
+
+def run_wer(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
+    """Fig. 5a: WER of multiple model scales on clean and noisy sets."""
+    report = ExperimentReport(
+        exp_id="fig05a",
+        title="WER vs model scale (LibriSim clean/other)",
+        headers=["model", "params (B)", "WER clean (%)", "WER other (%)", "vs tiny (%)"],
+    )
+    vocab = shared_vocabulary()
+    clean = load_split("test-clean", config)
+    other = load_split("test-other", config)
+    tiny_clean = None
+    for name in SCALE_LADDER:
+        model = get_model(name, vocab)
+        wer_clean = 100.0 * model_wer(model, clean)
+        wer_other = 100.0 * model_wer(model, other)
+        if tiny_clean is None:
+            tiny_clean = wer_clean
+        reduction = 100.0 * (1.0 - wer_clean / tiny_clean) if tiny_clean else 0.0
+        report.rows.append(
+            [name, get_spec(name).total_params_b, wer_clean, wer_other, reduction]
+        )
+        report.metrics[f"wer_clean/{name}"] = wer_clean
+        report.metrics[f"wer_other/{name}"] = wer_other
+    return report
+
+
+def _text_pair(vocab):
+    """A draft/target text-LM pair mirroring the tinyllama/llama-7b scales."""
+    draft_spec = get_spec("tinyllama-sim")
+    target_spec = get_spec("llama-7b-sim")
+
+    def profile(spec) -> LatencyProfile:
+        return spec.latency
+
+    draft = SimulatedTextLM(
+        "text-draft", draft_spec.capacity, profile(draft_spec), vocab, pair_seed=17
+    )
+    target = SimulatedTextLM(
+        "text-target", target_spec.capacity, profile(target_spec), vocab, pair_seed=17
+    )
+    return draft, target
+
+
+def run_topk(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
+    """Fig. 5b: speculative acceptance with top-k logits, ASR vs text."""
+    report = ExperimentReport(
+        exp_id="fig05b",
+        title="Accept@top-k along the target greedy path: ASR vs text",
+        headers=["task", "k=1", "k=2", "k=3", "k=4", "k=5"],
+    )
+    vocab = shared_vocabulary()
+    asr_units = list(load_split("test-clean", config))[: config.utterances]
+    from repro.models.registry import model_pair
+
+    asr_draft, asr_target = model_pair("llama-7b", vocab)
+    asr_curve = accept_at_topk(asr_draft, asr_target, asr_units, max_k=5)
+    report.rows.append(["ASR (audio-conditioned)"] + [100.0 * a for a in asr_curve])
+
+    text_draft, text_target = _text_pair(vocab)
+    prompts = build_text_corpus(
+        TextTaskConfig(seed=config.seed, num_prompts=min(config.utterances, 24))
+    )
+    text_curve = accept_at_topk(text_draft, text_target, prompts, max_k=5)
+    report.rows.append(["Text (prefix-conditioned)"] + [100.0 * a for a in text_curve])
+
+    for k in range(5):
+        report.metrics[f"asr_accept@{k + 1}"] = asr_curve[k]
+        report.metrics[f"text_accept@{k + 1}"] = text_curve[k]
+    return report

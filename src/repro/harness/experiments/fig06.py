@@ -1,0 +1,54 @@
+"""Fig. 6 — acceptance-ratio distribution (a) and post-rejection alignment (b)."""
+
+from __future__ import annotations
+
+from repro.decoding.speculative import SpeculativeConfig, SpeculativeDecoder
+from repro.harness.experiments.base import ExperimentReport
+from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
+from repro.metrics.acceptance import acceptance_histogram, suffix_alignment_curve
+from repro.models.registry import model_pair
+
+
+def run_distribution(
+    config: ExperimentConfig = ExperimentConfig(),
+) -> ExperimentReport:
+    """Fig. 6a: per-round acceptance-ratio histogram for γ ∈ {8, 16, 24}."""
+    report = ExperimentReport(
+        exp_id="fig06a",
+        title="Acceptance-ratio distribution by prediction length (test-clean)",
+        headers=["prediction len", "0.0-0.2", "0.2-0.4", "0.4-0.6", "0.6-0.8", "0.8-1.0"],
+    )
+    vocab = shared_vocabulary()
+    dataset = load_split("test-clean", config)
+    draft, target = model_pair("whisper", vocab)
+    for gamma in (8, 16, 24):
+        decoder = SpeculativeDecoder(
+            draft, target, SpeculativeConfig(draft_len=gamma)
+        )
+        ratios = []
+        for utterance in dataset:
+            result = decoder.decode(utterance)
+            ratios.extend(r.acceptance_ratio for r in result.trace.rounds)
+        histogram = acceptance_histogram(ratios, bins=5)
+        report.rows.append([f"gamma={gamma}"] + [100.0 * f for _, f in histogram])
+        report.metrics[f"full_accept_mass/gamma{gamma}"] = histogram[-1][1]
+    return report
+
+
+def run_alignment(
+    config: ExperimentConfig = ExperimentConfig(),
+) -> ExperimentReport:
+    """Fig. 6b: unaccepted draft suffix vs the target's verification sequence."""
+    report = ExperimentReport(
+        exp_id="fig06b",
+        title="Post-rejection draft/target alignment by offset (test-clean)",
+        headers=["offset after rejection"] + [str(i + 1) for i in range(8)],
+    )
+    vocab = shared_vocabulary()
+    units = list(load_split("test-clean", config))
+    draft, target = model_pair("whisper", vocab)
+    curve = suffix_alignment_curve(draft, target, units, draft_len=16, max_offset=8)
+    report.rows.append(["match rate (%)"] + [100.0 * c for c in curve])
+    for index, value in enumerate(curve):
+        report.metrics[f"alignment@offset{index + 1}"] = value
+    return report

@@ -1,0 +1,31 @@
+"""Fig. 7 — draft vs target share of decoding latency across configurations."""
+
+from __future__ import annotations
+
+from repro.decoding.speculative import SpeculativeConfig, SpeculativeDecoder
+from repro.harness.experiments.base import ExperimentReport
+from repro.harness.runner import ExperimentConfig, load_split, run_method, shared_vocabulary
+from repro.models.registry import PAIRINGS, model_pair
+
+
+def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
+    report = ExperimentReport(
+        exp_id="fig07",
+        title="Draft/target latency share vs prediction length (test-clean)",
+        headers=["pairing", "prediction len", "draft share (%)", "target share (%)"],
+    )
+    vocab = shared_vocabulary()
+    dataset = load_split("test-clean", config)
+    for pairing in PAIRINGS:
+        draft, target = model_pair(pairing, vocab)
+        for gamma in (4, 8, 16, 24):
+            decoder = SpeculativeDecoder(
+                draft, target, SpeculativeConfig(draft_len=gamma)
+            )
+            run_result = run_method(decoder, dataset)
+            breakdown = run_result.breakdown
+            draft_share = 100.0 * breakdown.model_share(draft.name)
+            target_share = 100.0 * breakdown.model_share(target.name)
+            report.rows.append([pairing, gamma, draft_share, target_share])
+            report.metrics[f"draft_share/{pairing}/gamma{gamma}"] = draft_share
+    return report

@@ -1,0 +1,66 @@
+"""Plain-text rendering of tables and bar charts for experiment reports.
+
+The paper's figures are bar/line charts; in a terminal-only reproduction we
+render the same series as ASCII tables and horizontal bars so every bench can
+print the rows a reader would compare against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_value(value) -> str:
+    """Compact human formatting for table cells."""
+    if isinstance(value, float):
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str | None = None
+) -> str:
+    """Render a fixed-width table."""
+    formatted = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}: {row}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_bars(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    unit: str = "",
+    title: str | None = None,
+) -> str:
+    """Render one horizontal bar per (label, value)."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values length mismatch")
+    peak = max((abs(v) for v in values), default=1.0) or 1.0
+    label_width = max((len(l) for l in labels), default=0)
+    lines = [title] if title else []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(abs(value) / peak * width))) if value else ""
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} {format_value(value)}{unit}"
+        )
+    return "\n".join(lines)

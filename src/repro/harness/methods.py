@@ -1,0 +1,95 @@
+"""Decoding-method registry used across figures and benches.
+
+Method names follow the paper: speculative baselines are labelled by their
+(prediction length, beam size) pair; SpecASR variants by technique.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import SpecASRConfig, asp_with_recycling, full_specasr
+from repro.core.engine import SpecASREngine
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.decoding.dynamic_tree import DynamicTreeConfig, DynamicTreeDecoder
+from repro.decoding.sampling import SamplingConfig, SpeculativeSamplingDecoder
+from repro.decoding.speculative import SpeculativeConfig, SpeculativeDecoder
+from repro.decoding.tree_spec import FixedTreeConfig, FixedTreeDecoder
+
+#: Canonical method order used in Fig. 11/12 style reports.
+STANDARD_METHODS = (
+    "autoregressive",
+    "spec(8,1)",
+    "spec(16,1)",
+    "spec(8,2)",
+    "specasr-asp",
+    "specasr-tsp",
+)
+
+
+def build_method(name: str, draft, target):
+    """Instantiate the decoder for a method name and a model pair."""
+    if name == "autoregressive":
+        return AutoregressiveDecoder(target, name=name)
+    if name.startswith("spec(") and name.endswith(")"):
+        inner = name[len("spec(") : -1]
+        length_str, beams_str = (part.strip() for part in inner.split(","))
+        config = SpeculativeConfig(int(length_str), int(beams_str))
+        return SpeculativeDecoder(draft, target, config, name=name)
+    if name == "fixed-tree":
+        return FixedTreeDecoder(draft, target, FixedTreeConfig(), name=name)
+    if name == "dynamic-tree":
+        return DynamicTreeDecoder(draft, target, DynamicTreeConfig(), name=name)
+    if name == "spec-sampling":
+        return SpeculativeSamplingDecoder(draft, target, SamplingConfig(), name=name)
+    if name == "specasr-asp":
+        # "SpecASR with adaptive single-sequence prediction" in the paper's
+        # main results includes the recycling strategy (Sec. IV-B).
+        return SpecASREngine(draft, target, asp_with_recycling(), name=name)
+    if name == "specasr-asp-only":
+        return SpecASREngine(
+            draft, target, SpecASRConfig(recycling=False), name=name
+        )
+    if name == "specasr-tsp":
+        return SpecASREngine(draft, target, full_specasr(), name=name)
+    raise KeyError(f"unknown method {name!r}")
+
+
+def standard_methods(draft, target) -> dict[str, object]:
+    """The Fig. 11 method suite, in canonical order."""
+    return {name: build_method(name, draft, target) for name in STANDARD_METHODS}
+
+
+@dataclass(frozen=True)
+class MethodFamily:
+    """Qualitative characterisation of a speculative family (paper Tab. I)."""
+
+    family: str
+    examples: str
+    draft_efficiency: str
+    verify_efficiency: str
+    draft_length: str
+    accept_rate: str
+    flexibility: str
+
+
+def table1_families() -> list[MethodFamily]:
+    """The qualitative comparison rows of the paper's Table I."""
+    return [
+        MethodFamily(
+            "Single Sequence", "Chen et al., Leviathan et al.",
+            "high", "low", "medium", "low", "medium",
+        ),
+        MethodFamily(
+            "Fixed Tree", "SpecInfer, EAGLE, MCSD",
+            "low", "high", "low", "medium", "low",
+        ),
+        MethodFamily(
+            "Dynamic Tree", "Medusa, ProPD, EAGLE-2, Sequoia",
+            "low", "high", "low", "high", "high",
+        ),
+        MethodFamily(
+            "Ours (SpecASR)", "this repo",
+            "high", "high", "high", "high", "high",
+        ),
+    ]

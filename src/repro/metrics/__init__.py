@@ -1,0 +1,28 @@
+"""Evaluation metrics: WER, acceptance statistics, latency, speedups."""
+
+from repro.metrics.acceptance import (
+    AcceptanceStats,
+    accept_at_topk,
+    acceptance_histogram,
+    collect_acceptance,
+    rank_distribution_on_failure,
+    suffix_alignment_curve,
+)
+from repro.metrics.latency_report import LatencyBreakdown, aggregate_latency
+from repro.metrics.speedup import SpeedupRow, speedup_table
+from repro.metrics.wer import corpus_wer, wer
+
+__all__ = [
+    "AcceptanceStats",
+    "LatencyBreakdown",
+    "SpeedupRow",
+    "accept_at_topk",
+    "acceptance_histogram",
+    "aggregate_latency",
+    "collect_acceptance",
+    "corpus_wer",
+    "rank_distribution_on_failure",
+    "speedup_table",
+    "suffix_alignment_curve",
+    "wer",
+]

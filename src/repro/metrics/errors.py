@@ -1,0 +1,92 @@
+"""Error-locality analysis — quantifying the paper's Observation 2.
+
+The paper attributes low-acceptance rounds to "variations in pronunciation
+and acoustic quality across specific speech segments", i.e. recognition
+errors are *localized*, not uniformly scattered.  These helpers measure that
+directly on model transcripts:
+
+* ``error_burstiness`` — the lag-1 autocorrelation of the per-position error
+  indicator.  Positive values mean errors cluster (an error position is more
+  likely to be followed by another error than chance predicts).
+* ``error_run_lengths`` — the distribution of consecutive-error run lengths;
+  clustering shows up as runs of length ≥ 2 far above the independent-error
+  expectation.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.corpus import Dataset
+
+
+def error_indicators(model, dataset: Dataset) -> list[list[int]]:
+    """Per-utterance 0/1 error vectors of the model's greedy transcript.
+
+    Substitution-aligned (the simulated decode streams are position-aligned
+    with the reference), so indicator ``i`` is simply ``hyp[i] != ref[i]``.
+    """
+    indicators = []
+    for utterance in dataset:
+        hyp = model.greedy_transcript(utterance)
+        ref = list(utterance.tokens)
+        length = min(len(hyp), len(ref))
+        row = [1 if hyp[i] != ref[i] else 0 for i in range(length)]
+        indicators.append(row)
+    return indicators
+
+
+def error_burstiness(indicators: Sequence[Sequence[int]]) -> float:
+    """Pooled lag-1 autocorrelation of error indicators.
+
+    Returns 0.0 when undefined (no errors or no variance).
+    """
+    pairs: list[tuple[int, int]] = []
+    values: list[int] = []
+    for row in indicators:
+        values.extend(row)
+        pairs.extend(zip(row, row[1:]))
+    if not pairs or not values:
+        return 0.0
+    mean = sum(values) / len(values)
+    variance = sum((v - mean) ** 2 for v in values) / len(values)
+    if variance == 0.0:
+        return 0.0
+    covariance = sum((a - mean) * (b - mean) for a, b in pairs) / len(pairs)
+    return covariance / variance
+
+
+def error_run_lengths(indicators: Sequence[Sequence[int]]) -> dict[int, int]:
+    """Histogram of consecutive-error run lengths across a corpus."""
+    runs: dict[int, int] = {}
+    for row in indicators:
+        current = 0
+        for value in row:
+            if value:
+                current += 1
+            elif current:
+                runs[current] = runs.get(current, 0) + 1
+                current = 0
+        if current:
+            runs[current] = runs.get(current, 0) + 1
+    return runs
+
+
+def expected_multi_token_run_share(error_rate: float) -> float:
+    """Share of error runs with length >= 2 if errors were independent.
+
+    For i.i.d. errors with rate p, run lengths are geometric: the share of
+    runs longer than one error equals p.  Comparing the measured share
+    against this baseline quantifies clustering.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError(f"error rate {error_rate} outside [0, 1]")
+    return error_rate
+
+
+def multi_token_run_share(runs: dict[int, int]) -> float:
+    """Measured share of error runs with length >= 2."""
+    total = sum(runs.values())
+    if total == 0:
+        return 0.0
+    return sum(count for length, count in runs.items() if length >= 2) / total

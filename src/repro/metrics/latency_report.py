@@ -1,0 +1,65 @@
+"""Latency aggregation over decode results.
+
+Produces the per-model / per-kind millisecond breakdowns the paper reports,
+normalised per 10 seconds of audio (Table II) or as corpus totals (Fig. 7,
+Fig. 11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.data.corpus import Utterance
+from repro.decoding.base import DecodeResult
+
+
+@dataclass
+class LatencyBreakdown:
+    """Aggregated latency for one decoding method over a corpus."""
+
+    method: str
+    total_ms: float = 0.0
+    total_duration_s: float = 0.0
+    by_model_ms: dict[str, float] = field(default_factory=dict)
+    by_kind_ms: dict[str, float] = field(default_factory=dict)
+    num_units: int = 0
+
+    @property
+    def ms_per_10s(self) -> float:
+        if self.total_duration_s <= 0:
+            return 0.0
+        return self.total_ms * 10.0 / self.total_duration_s
+
+    def model_ms_per_10s(self, model: str) -> float:
+        if self.total_duration_s <= 0:
+            return 0.0
+        return self.by_model_ms.get(model, 0.0) * 10.0 / self.total_duration_s
+
+    def model_share(self, model: str) -> float:
+        if self.total_ms <= 0:
+            return 0.0
+        return self.by_model_ms.get(model, 0.0) / self.total_ms
+
+
+def aggregate_latency(
+    method: str,
+    results: Sequence[DecodeResult],
+    units: Sequence[Utterance],
+) -> LatencyBreakdown:
+    """Aggregate recorded latency events across a corpus run."""
+    if len(results) != len(units):
+        raise ValueError(f"{len(results)} results vs {len(units)} units")
+    breakdown = LatencyBreakdown(method=method)
+    for result, unit in zip(results, units):
+        breakdown.num_units += 1
+        breakdown.total_duration_s += getattr(unit, "duration_s", 10.0)
+        for event in result.clock.events:
+            breakdown.total_ms += event.ms
+            breakdown.by_model_ms[event.model] = (
+                breakdown.by_model_ms.get(event.model, 0.0) + event.ms
+            )
+            breakdown.by_kind_ms[event.kind] = (
+                breakdown.by_kind_ms.get(event.kind, 0.0) + event.ms
+            )
+    return breakdown

@@ -1,0 +1,51 @@
+"""Speedup tables relative to baseline decoding methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.metrics.latency_report import LatencyBreakdown
+
+
+@dataclass(frozen=True)
+class SpeedupRow:
+    """Speedup of one method relative to named baselines."""
+
+    method: str
+    total_ms: float
+    speedups: dict[str, float]
+
+    def over(self, baseline: str) -> float:
+        return self.speedups.get(baseline, 0.0)
+
+
+def speedup_table(
+    breakdowns: Sequence[LatencyBreakdown],
+    baselines: Sequence[str],
+) -> list[SpeedupRow]:
+    """Compute each method's speedup over every named baseline.
+
+    Speedup is the ratio of total simulated latency (baseline / method), the
+    definition used throughout the paper's Fig. 11.
+    """
+    by_method = {b.method: b for b in breakdowns}
+    for baseline in baselines:
+        if baseline not in by_method:
+            raise KeyError(f"baseline {baseline!r} missing from results")
+    rows = []
+    for breakdown in breakdowns:
+        speedups = {}
+        for baseline in baselines:
+            base_ms = by_method[baseline].total_ms
+            speedups[baseline] = (
+                base_ms / breakdown.total_ms if breakdown.total_ms > 0 else 0.0
+            )
+        rows.append(
+            SpeedupRow(
+                method=breakdown.method,
+                total_ms=breakdown.total_ms,
+                speedups=speedups,
+            )
+        )
+    return rows

@@ -1,0 +1,42 @@
+"""Word error rate computation."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.data.corpus import Dataset
+from repro.utils.editdist import wer_counts
+
+
+def wer(reference: Sequence, hypothesis: Sequence) -> float:
+    """Word error rate: (S + I + D) / N for one utterance pair."""
+    subs, ins, dels, ref_len = wer_counts(reference, hypothesis)
+    if ref_len == 0:
+        return 0.0 if not hypothesis else 1.0
+    return (subs + ins + dels) / ref_len
+
+
+def corpus_wer(
+    references: Sequence[Sequence], hypotheses: Sequence[Sequence]
+) -> float:
+    """Corpus-level WER: pooled edit operations over pooled reference length."""
+    if len(references) != len(hypotheses):
+        raise ValueError(
+            f"{len(references)} references vs {len(hypotheses)} hypotheses"
+        )
+    total_errors = 0
+    total_ref = 0
+    for ref, hyp in zip(references, hypotheses):
+        subs, ins, dels, ref_len = wer_counts(ref, hyp)
+        total_errors += subs + ins + dels
+        total_ref += ref_len
+    if total_ref == 0:
+        return 0.0
+    return total_errors / total_ref
+
+
+def model_wer(model, dataset: Dataset) -> float:
+    """Corpus WER of a simulated model's greedy transcripts on ``dataset``."""
+    references = [list(utt.tokens) for utt in dataset]
+    hypotheses = [model.greedy_transcript(utt) for utt in dataset]
+    return corpus_wer(references, hypotheses)

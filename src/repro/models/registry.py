@@ -1,0 +1,211 @@
+"""Model registry: specs, latency presets and draft/target pairings.
+
+Latency constants are calibrated in *simulated milliseconds* so that:
+
+* the paper's Table II baseline-speculative row (Whisper tiny.en draft +
+  medium.en target on an RTX A6000) lands near 231 ms draft / 254 ms target
+  per 10 s of audio, and
+* the TinyLlama / Llama-7B / Vicuna-13B pairings reproduce the relative
+  draft-vs-target cost regimes of Fig. 7 and Fig. 11 (the target dominates
+  more as it grows; per-forward cost is memory-bound so it scales sublinearly
+  with parameters).
+
+Capacities set recognition quality (via the emission oracle).  Following the
+paper's Sec. V-A note, the TinyLlama↔Llama/Vicuna WER gap is *smaller* than
+the Whisper tiny↔medium gap, so the LLM drafts get higher capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.acoustic import OracleParams
+from repro.models.latency import LatencyProfile
+from repro.models.simulated import SimulatedASRModel
+from repro.models.vocab import Vocabulary, build_default_vocabulary
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Static description of one simulated model."""
+
+    name: str
+    family: str
+    decoder_params_b: float  # LLM decoder parameters, billions
+    encoder_params_b: float  # audio encoder parameters, billions (0 = none)
+    capacity: float
+    latency: LatencyProfile
+    encoder_latency_ms_per_10s: float
+
+    @property
+    def total_params_b(self) -> float:
+        return self.decoder_params_b + self.encoder_params_b
+
+
+def _profile(
+    name: str, base_ms: float, per_token_ms: float, kv_us: float
+) -> LatencyProfile:
+    return LatencyProfile(
+        name=name,
+        base_ms=base_ms,
+        per_token_ms=per_token_ms,
+        kv_us_per_token=kv_us,
+        prefill_per_token_ms=per_token_ms * 0.3,
+    )
+
+
+#: All model presets.  base_ms is the per-forward-pass cost (batch 1);
+#: per_token_ms the marginal cost per extra token in the same pass.
+_SPECS: dict[str, ModelSpec] = {
+    spec.name: spec
+    for spec in (
+        ModelSpec(
+            name="whisper-tiny-sim",
+            family="whisper",
+            decoder_params_b=0.039,
+            encoder_params_b=0.008,
+            capacity=0.72,
+            latency=_profile("whisper-tiny-sim", 4.6, 0.10, 1.0),
+            encoder_latency_ms_per_10s=8.0,
+        ),
+        ModelSpec(
+            name="whisper-base-sim",
+            family="whisper",
+            decoder_params_b=0.074,
+            encoder_params_b=0.020,
+            capacity=0.78,
+            latency=_profile("whisper-base-sim", 7.0, 0.13, 1.2),
+            encoder_latency_ms_per_10s=12.0,
+        ),
+        ModelSpec(
+            name="whisper-small-sim",
+            family="whisper",
+            decoder_params_b=0.244,
+            encoder_params_b=0.088,
+            capacity=0.85,
+            latency=_profile("whisper-small-sim", 15.0, 0.20, 1.5),
+            encoder_latency_ms_per_10s=22.0,
+        ),
+        ModelSpec(
+            name="whisper-medium-sim",
+            family="whisper",
+            decoder_params_b=0.769,
+            encoder_params_b=0.307,
+            capacity=0.93,
+            latency=_profile("whisper-medium-sim", 33.0, 0.30, 2.0),
+            encoder_latency_ms_per_10s=45.0,
+        ),
+        ModelSpec(
+            name="whisper-large-sim",
+            family="whisper",
+            decoder_params_b=1.550,
+            encoder_params_b=0.635,
+            capacity=0.95,
+            latency=_profile("whisper-large-sim", 55.0, 0.35, 2.5),
+            encoder_latency_ms_per_10s=80.0,
+        ),
+        # LLM-decoder ASR models: audio encoder is a sub-1B Conformer-like
+        # module (paper Fig. 1); the LLM dominates parameters and latency.
+        ModelSpec(
+            name="tinyllama-sim",
+            family="llama",
+            decoder_params_b=1.1,
+            encoder_params_b=0.11,
+            capacity=0.86,
+            latency=_profile("tinyllama-sim", 7.0, 0.13, 1.5),
+            encoder_latency_ms_per_10s=16.0,
+        ),
+        ModelSpec(
+            name="llama-7b-sim",
+            family="llama",
+            decoder_params_b=7.0,
+            encoder_params_b=0.30,
+            capacity=0.93,
+            latency=_profile("llama-7b-sim", 30.0, 0.30, 2.5),
+            encoder_latency_ms_per_10s=40.0,
+        ),
+        ModelSpec(
+            name="vicuna-13b-sim",
+            family="llama",
+            decoder_params_b=13.0,
+            encoder_params_b=0.30,
+            capacity=0.95,
+            latency=_profile("vicuna-13b-sim", 52.0, 0.35, 3.0),
+            encoder_latency_ms_per_10s=40.0,
+        ),
+    )
+}
+
+#: Draft/target pairings evaluated in the paper.
+PAIRINGS: dict[str, tuple[str, str]] = {
+    "whisper": ("whisper-tiny-sim", "whisper-medium-sim"),
+    "llama-7b": ("tinyllama-sim", "llama-7b-sim"),
+    "vicuna-13b": ("tinyllama-sim", "vicuna-13b-sim"),
+}
+
+
+def list_models() -> list[str]:
+    return sorted(_SPECS)
+
+
+def get_spec(name: str) -> ModelSpec:
+    if name not in _SPECS:
+        raise KeyError(f"unknown model {name!r}; available: {list_models()}")
+    return _SPECS[name]
+
+
+def get_model(
+    name: str,
+    vocab: Vocabulary | None = None,
+    oracle_params: OracleParams | None = None,
+) -> SimulatedASRModel:
+    """Instantiate a simulated ASR model from its preset."""
+    spec = get_spec(name)
+    vocab = vocab or build_default_vocabulary()
+    return SimulatedASRModel(
+        name=spec.name,
+        capacity=spec.capacity,
+        latency=spec.latency,
+        vocab=vocab,
+        oracle_params=oracle_params,
+        encoder_latency_ms_per_10s=spec.encoder_latency_ms_per_10s,
+    )
+
+
+def model_pair(
+    pairing: str,
+    vocab: Vocabulary | None = None,
+    oracle_params: OracleParams | None = None,
+) -> tuple[SimulatedASRModel, SimulatedASRModel]:
+    """Instantiate the (draft, target) pair for a named pairing."""
+    if pairing not in PAIRINGS:
+        raise KeyError(f"unknown pairing {pairing!r}; available: {sorted(PAIRINGS)}")
+    draft_name, target_name = PAIRINGS[pairing]
+    vocab = vocab or build_default_vocabulary()
+    draft = get_model(draft_name, vocab, oracle_params)
+    target = get_model(target_name, vocab, oracle_params)
+    return draft, target
+
+
+@dataclass(frozen=True)
+class PublishedASRConfig:
+    """Encoder/decoder split of published LLM-ASR systems (paper Fig. 1)."""
+
+    name: str
+    encoder_params_b: float
+    decoder_params_b: float
+    encoder_latency_share: float  # fraction of end-to-end latency (paper ~<10 %)
+
+
+def published_asr_configs() -> list[PublishedASRConfig]:
+    """The three systems the paper profiles in Fig. 1.
+
+    Parameter figures follow the papers cited: BESTOW pairs a ~0.6 B encoder
+    with a 1.1 B LLM; Speech-Llama a ~0.3 B encoder with Llama-7B; Seed-ASR a
+    ~0.7 B encoder with a >10 B LLM.
+    """
+    return [
+        PublishedASRConfig("BESTOW", 0.60, 1.1, 0.22),
+        PublishedASRConfig("Speech-Llama", 0.30, 7.0, 0.08),
+        PublishedASRConfig("Seed-ASR", 0.70, 12.0, 0.05),
+    ]

@@ -1,0 +1,269 @@
+"""Simulated ASR models and per-utterance decode sessions.
+
+A :class:`SimulatedASRModel` behaves, from a decoder's point of view, exactly
+like a real cascaded LLM-ASR model: you open a session on an utterance,
+prefill (audio embeddings + text prompt), then request next-token
+distributions given a text prefix.  Internally the next token comes from the
+audio-conditioned :class:`~repro.models.acoustic.EmissionOracle`, and every
+forward pass is charged to a :class:`~repro.models.latency.SimClock`.
+
+Sessions track the *divergence state* of each prefix: how many perturbation
+steps remain since the prefix last departed from this model's own greedy
+path.  That state is what makes the simulation audio-conditioned — the model
+re-anchors a couple of tokens after any injected correction (see
+``acoustic.py`` for the rationale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.data.corpus import Utterance
+from repro.models.acoustic import EmissionOracle, OracleParams, OracleStep
+from repro.models.kv_cache import KVCacheTracker
+from repro.models.latency import (
+    KIND_DECODE,
+    KIND_DRAFT,
+    KIND_ENCODE,
+    KIND_PREFILL,
+    KIND_VERIFY,
+    LatencyProfile,
+    SimClock,
+    forward_ms,
+    prefill_ms,
+)
+from repro.models.vocab import Vocabulary
+from repro.utils.hashing import stable_hash
+
+#: Audio embeddings produced per second of audio after encoder downsampling.
+EMBEDDINGS_PER_SECOND = 5.0
+
+#: Fixed text-prompt length prepended during prefill ("transcribe:" etc.).
+TEXT_PROMPT_TOKENS = 8
+
+Prefix = tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """Next-token output of one simulated forward position."""
+
+    token: int
+    top_prob: float
+    topk: tuple[tuple[int, float], ...]
+    position: int
+    perturb_level: int
+
+    def rank_of(self, token: int) -> int | None:
+        for rank, (candidate, _prob) in enumerate(self.topk, start=1):
+            if candidate == token:
+                return rank
+        return None
+
+
+class SimulatedASRModel:
+    """One simulated cascaded ASR model (audio encoder + LLM decoder)."""
+
+    def __init__(
+        self,
+        name: str,
+        capacity: float,
+        latency: LatencyProfile,
+        vocab: Vocabulary,
+        oracle_params: OracleParams | None = None,
+        encoder_latency_ms_per_10s: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.name = name
+        self.capacity = capacity
+        self.latency = latency
+        self.vocab = vocab
+        self.oracle_params = oracle_params or OracleParams()
+        self.encoder_latency_ms_per_10s = encoder_latency_ms_per_10s
+        self.seed = stable_hash("model", name, seed)
+        self._oracles: dict[int, EmissionOracle] = {}
+
+    def oracle(self, utterance: Utterance) -> EmissionOracle:
+        key = utterance.content_key
+        oracle = self._oracles.get(key)
+        if oracle is None:
+            oracle = EmissionOracle(
+                self.name,
+                self.seed,
+                self.capacity,
+                utterance,
+                self.vocab,
+                self.oracle_params,
+            )
+            self._oracles[key] = oracle
+        return oracle
+
+    def session(self, utterance: Utterance, clock: SimClock) -> "DecodeSession":
+        """Open a decode session for ``utterance`` billing to ``clock``."""
+        return DecodeSession(self, utterance, clock)
+
+    def greedy_transcript(self, utterance: Utterance) -> list[int]:
+        """The model's anchored greedy transcript, without the trailing EOS."""
+        stream = self.oracle(utterance).greedy_stream()
+        eos = self.vocab.eos_id
+        return stream[:-1] if stream and stream[-1] == eos else stream
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimulatedASRModel({self.name!r}, capacity={self.capacity})"
+
+
+class DecodeSession:
+    """Per-utterance decoding interface with latency and KV accounting."""
+
+    def __init__(
+        self, model: SimulatedASRModel, utterance: Utterance, clock: SimClock
+    ) -> None:
+        self.model = model
+        self.utterance = utterance
+        self.clock = clock
+        self.kv = KVCacheTracker()
+        self._oracle = model.oracle(utterance)
+        self._states: dict[Prefix, int] = {(): 0}
+        self._prompt_tokens = 0
+        self._prefilled = False
+
+    # -- setup -----------------------------------------------------------------
+    def prefill(self) -> None:
+        """Run the audio encoder and prefill audio embeddings + text prompt."""
+        if self._prefilled:
+            raise RuntimeError("session already prefilled")
+        self._prefilled = True
+        duration = self.utterance.duration_s
+        audio_embeddings = max(1, int(duration * EMBEDDINGS_PER_SECOND))
+        self._prompt_tokens = audio_embeddings + TEXT_PROMPT_TOKENS
+        if self.model.encoder_latency_ms_per_10s > 0:
+            encoder_ms = self.model.encoder_latency_ms_per_10s * duration / 10.0
+            self.clock.record(self.model.name, KIND_ENCODE, audio_embeddings, 0, encoder_ms)
+        ms = prefill_ms(self.model.latency, self._prompt_tokens)
+        self.clock.record(self.model.name, KIND_PREFILL, self._prompt_tokens, 0, ms)
+        self.kv.append(self._prompt_tokens)
+
+    @property
+    def prompt_tokens(self) -> int:
+        return self._prompt_tokens
+
+    # -- divergence-state tracking ----------------------------------------------
+    def _context_key(self, prefix: Prefix) -> int:
+        """Hash of the recent context, folded into perturbed emissions."""
+        return stable_hash("ctx", prefix[-3:])
+
+    def perturb_state(self, prefix: Prefix) -> int:
+        """Remaining perturbation steps after decoding ``prefix``.
+
+        0 means the model is anchored (the prefix ends on this model's own
+        greedy path); k > 0 means the prefix diverged within the last
+        ``perturb_window`` tokens.
+        """
+        state = self._states.get(prefix)
+        if state is not None:
+            return state
+        # Walk forward from the longest cached ancestor.
+        depth = len(prefix) - 1
+        while depth >= 0 and prefix[:depth] not in self._states:
+            depth -= 1
+        state = self._states[prefix[:depth]] if depth >= 0 else 0
+        window = self.model.oracle_params.perturb_window
+        for pos in range(max(depth, 0), len(prefix)):
+            sub = prefix[:pos]
+            expected = self._oracle.step(
+                pos, state, self._context_key(sub) if state else 0
+            ).token
+            state = max(state - 1, 0) if prefix[pos] == expected else window
+            self._states[prefix[: pos + 1]] = state
+        return state
+
+    def _oracle_step(self, prefix: Prefix) -> OracleStep:
+        state = self.perturb_state(prefix)
+        context = self._context_key(prefix) if state else 0
+        return self._oracle.step(len(prefix), state, context)
+
+    # -- forward passes ------------------------------------------------------
+    def peek(self, prefix: Sequence[int]) -> StepResult:
+        """Next-token distribution without charging any latency."""
+        prefix = tuple(prefix)
+        step = self._oracle_step(prefix)
+        return StepResult(
+            token=step.token,
+            top_prob=step.top_prob,
+            topk=step.topk,
+            position=step.position,
+            perturb_level=self.perturb_state(prefix),
+        )
+
+    def step(self, prefix: Sequence[int], kind: str = KIND_DECODE) -> StepResult:
+        """One single-token forward pass."""
+        self._require_prefill()
+        prefix = tuple(prefix)
+        cached = self._prompt_tokens + len(prefix)
+        ms = forward_ms(self.model.latency, 1, cached)
+        self.clock.record(self.model.name, kind, 1, cached, ms)
+        self.kv.append(1)
+        return self.peek(prefix)
+
+    def step_frontier(
+        self, prefixes: Sequence[Sequence[int]], kind: str = KIND_DRAFT
+    ) -> list[StepResult]:
+        """One batched forward pass over several tree-frontier prefixes.
+
+        Models the masked token tree of the paper's recycling strategy: the
+        draft advances all branches in a single forward pass, so regenerating
+        a rejected segment hides inside the ongoing prediction.
+        """
+        self._require_prefill()
+        if not prefixes:
+            raise ValueError("step_frontier needs at least one prefix")
+        tuples = [tuple(p) for p in prefixes]
+        cached = self._prompt_tokens + max(len(p) for p in tuples)
+        ms = forward_ms(self.model.latency, len(tuples), cached)
+        self.clock.record(self.model.name, kind, len(tuples), cached, ms)
+        self.kv.append(len(tuples))
+        return [self.peek(p) for p in tuples]
+
+    def verify_eval(
+        self,
+        prefixes: Sequence[Sequence[int]],
+        billed_tokens: int | None = None,
+    ) -> list[StepResult]:
+        """One verification forward pass evaluating ``prefixes`` in parallel.
+
+        ``billed_tokens`` is the number of *input* tokens fed to the target
+        in this pass (tree nodes / draft tokens).  It defaults to
+        ``len(prefixes)``; tree verification passes the number of unique
+        nodes, which is what the 2-D attention mask actually evaluates.
+        """
+        self._require_prefill()
+        if not prefixes:
+            raise ValueError("verify_eval needs at least one prefix")
+        tuples = [tuple(p) for p in prefixes]
+        billed = billed_tokens if billed_tokens is not None else len(tuples)
+        if billed < 1:
+            raise ValueError(f"billed_tokens must be >= 1, got {billed}")
+        cached = self._prompt_tokens + min(len(p) for p in tuples)
+        ms = forward_ms(self.model.latency, billed, cached)
+        self.clock.record(self.model.name, KIND_VERIFY, billed, cached, ms)
+        self.kv.append(billed)
+        return [self.peek(p) for p in tuples]
+
+    def rollback(self, kept_prefix_len: int) -> None:
+        """Roll the KV cache back to ``prompt + kept_prefix_len`` positions."""
+        target = self._prompt_tokens + kept_prefix_len
+        if target <= self.kv.length:
+            self.kv.rollback_to(target)
+
+    # -- helpers ------------------------------------------------------------
+    def is_eos(self, token: int) -> bool:
+        return token == self.model.vocab.eos_id
+
+    def max_decode_positions(self) -> int:
+        """Hard cap on decode length (reference + margin), safety net."""
+        return self.utterance.num_tokens + 8
+
+    def _require_prefill(self) -> None:
+        if not self._prefilled:
+            raise RuntimeError("call prefill() before decoding")

@@ -1,0 +1,103 @@
+"""Levenshtein alignment between token sequences.
+
+Used for word-error-rate computation and for the draft-recycling analysis
+(aligning an unaccepted draft suffix against the target's verification
+sequence, Fig. 6b of the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Hashable, Sequence
+
+
+class AlignmentOp(Enum):
+    """One step of a minimal edit script."""
+
+    MATCH = "match"
+    SUBSTITUTE = "sub"
+    INSERT = "ins"  # token present in hypothesis but not in reference
+    DELETE = "del"  # token present in reference but not in hypothesis
+
+
+@dataclass(frozen=True)
+class AlignedPair:
+    """One aligned (reference, hypothesis) position."""
+
+    op: AlignmentOp
+    ref_index: int | None
+    hyp_index: int | None
+
+
+def edit_distance(ref: Sequence[Hashable], hyp: Sequence[Hashable]) -> int:
+    """Levenshtein distance between two sequences (unit costs)."""
+    n, m = len(ref), len(hyp)
+    if n == 0:
+        return m
+    if m == 0:
+        return n
+    prev = list(range(m + 1))
+    for i in range(1, n + 1):
+        cur = [i] + [0] * m
+        ref_tok = ref[i - 1]
+        for j in range(1, m + 1):
+            sub_cost = 0 if ref_tok == hyp[j - 1] else 1
+            cur[j] = min(prev[j] + 1, cur[j - 1] + 1, prev[j - 1] + sub_cost)
+        prev = cur
+    return prev[m]
+
+
+def align(ref: Sequence[Hashable], hyp: Sequence[Hashable]) -> list[AlignedPair]:
+    """Return a minimal edit script aligning ``hyp`` to ``ref``.
+
+    Ties are broken preferring match/substitute, then delete, then insert,
+    which keeps alignments monotone and stable across runs.
+    """
+    n, m = len(ref), len(hyp)
+    dist = [[0] * (m + 1) for _ in range(n + 1)]
+    for i in range(n + 1):
+        dist[i][0] = i
+    for j in range(m + 1):
+        dist[0][j] = j
+    for i in range(1, n + 1):
+        for j in range(1, m + 1):
+            sub_cost = 0 if ref[i - 1] == hyp[j - 1] else 1
+            dist[i][j] = min(
+                dist[i - 1][j - 1] + sub_cost,
+                dist[i - 1][j] + 1,
+                dist[i][j - 1] + 1,
+            )
+    pairs: list[AlignedPair] = []
+    i, j = n, m
+    while i > 0 or j > 0:
+        if i > 0 and j > 0:
+            sub_cost = 0 if ref[i - 1] == hyp[j - 1] else 1
+            if dist[i][j] == dist[i - 1][j - 1] + sub_cost:
+                op = AlignmentOp.MATCH if sub_cost == 0 else AlignmentOp.SUBSTITUTE
+                pairs.append(AlignedPair(op, i - 1, j - 1))
+                i, j = i - 1, j - 1
+                continue
+        if i > 0 and dist[i][j] == dist[i - 1][j] + 1:
+            pairs.append(AlignedPair(AlignmentOp.DELETE, i - 1, None))
+            i -= 1
+            continue
+        pairs.append(AlignedPair(AlignmentOp.INSERT, None, j - 1))
+        j -= 1
+    pairs.reverse()
+    return pairs
+
+
+def wer_counts(
+    ref: Sequence[Hashable], hyp: Sequence[Hashable]
+) -> tuple[int, int, int, int]:
+    """Return ``(substitutions, insertions, deletions, ref_len)``."""
+    subs = ins = dels = 0
+    for pair in align(ref, hyp):
+        if pair.op is AlignmentOp.SUBSTITUTE:
+            subs += 1
+        elif pair.op is AlignmentOp.INSERT:
+            ins += 1
+        elif pair.op is AlignmentOp.DELETE:
+            dels += 1
+    return subs, ins, dels, len(ref)

@@ -1,0 +1,52 @@
+"""Deterministic, platform-stable hashing used to seed the simulation.
+
+Python's builtin ``hash`` is salted per process, so every random decision in
+the simulated models flows through :func:`stable_hash` instead.  The whole
+reproduction must be a pure function of its configuration; this module is the
+root of that guarantee.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import Any
+
+_MASK_64 = (1 << 64) - 1
+
+
+def _encode(part: Any) -> bytes:
+    """Encode one hashable part into a canonical byte string."""
+    if isinstance(part, bytes):
+        return b"b" + part
+    if isinstance(part, bool):
+        # bool must be checked before int: True would otherwise encode as 1.
+        return b"o" + (b"1" if part else b"0")
+    if isinstance(part, int):
+        return b"i" + str(part).encode("ascii")
+    if isinstance(part, float):
+        return b"f" + struct.pack("<d", part)
+    if isinstance(part, str):
+        return b"s" + part.encode("utf-8")
+    if isinstance(part, (tuple, list)):
+        inner = b"".join(_encode(p) + b"," for p in part)
+        return b"t(" + inner + b")"
+    if part is None:
+        return b"n"
+    raise TypeError(f"stable_hash cannot encode {type(part).__name__}: {part!r}")
+
+
+def stable_hash(*parts: Any) -> int:
+    """Hash ``parts`` into a 64-bit integer, stable across processes.
+
+    Accepts ints, floats, strings, bytes, bools, ``None`` and (nested)
+    tuples/lists of those.
+    """
+    payload = b"|".join(_encode(p) for p in parts)
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little") & _MASK_64
+
+
+def stable_uniform(*parts: Any) -> float:
+    """Map ``parts`` to a deterministic float in ``[0, 1)``."""
+    return stable_hash(*parts) / float(1 << 64)

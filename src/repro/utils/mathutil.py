@@ -1,0 +1,54 @@
+"""Small numeric helpers shared across the simulation."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"clamp bounds inverted: low={low} > high={high}")
+    return max(low, min(high, value))
+
+
+def sigmoid(x: float) -> float:
+    """Numerically-stable logistic function."""
+    if x >= 0:
+        z = math.exp(-x)
+        return 1.0 / (1.0 + z)
+    z = math.exp(x)
+    return z / (1.0 + z)
+
+
+def softmax(scores: Sequence[float], temperature: float = 1.0) -> list[float]:
+    """Softmax over ``scores`` with the given temperature.
+
+    Returns a plain list of floats summing to 1.
+    """
+    if temperature <= 0:
+        raise ValueError(f"temperature must be positive, got {temperature}")
+    arr = np.asarray(scores, dtype=np.float64) / temperature
+    arr -= arr.max()
+    exp = np.exp(arr)
+    total = exp.sum()
+    return (exp / total).tolist()
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    seq = list(values)
+    if not seq:
+        return 0.0
+    return float(sum(seq)) / len(seq)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of ``values``; 0.0 if empty."""
+    seq = list(values)
+    if not seq:
+        return 0.0
+    return float(np.percentile(np.asarray(seq, dtype=np.float64), q))

@@ -1,0 +1,11 @@
+"""Version information for the SpecASR reproduction package."""
+
+__version__ = "1.0.0"
+
+#: Paper reproduced by this package.
+PAPER_TITLE = (
+    "SpecASR: Accelerating LLM-based Automatic Speech Recognition "
+    "via Speculative Decoding"
+)
+PAPER_VENUE = "DAC 2025"
+PAPER_ARXIV = "2507.18181"

@@ -1,0 +1,47 @@
+"""Shared fixtures: vocabulary, small corpora, model pairs.
+
+Session-scoped where construction is expensive; all deterministic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.librisim import LibriSimBuilder, LibriSimConfig
+from repro.models.registry import model_pair
+from repro.models.vocab import build_default_vocabulary
+
+
+@pytest.fixture(scope="session")
+def vocab():
+    return build_default_vocabulary()
+
+
+@pytest.fixture(scope="session")
+def small_config():
+    return LibriSimConfig(seed=7, utterances_per_split=6, min_words=8, max_words=24)
+
+
+@pytest.fixture(scope="session")
+def clean_dataset(vocab, small_config):
+    return LibriSimBuilder(vocab, small_config).build("test-clean")
+
+
+@pytest.fixture(scope="session")
+def other_dataset(vocab, small_config):
+    return LibriSimBuilder(vocab, small_config).build("test-other")
+
+
+@pytest.fixture(scope="session")
+def whisper_pair(vocab):
+    return model_pair("whisper", vocab)
+
+
+@pytest.fixture(scope="session")
+def vicuna_pair(vocab):
+    return model_pair("vicuna-13b", vocab)
+
+
+@pytest.fixture()
+def utterance(clean_dataset):
+    return clean_dataset[0]

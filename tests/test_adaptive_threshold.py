@@ -1,0 +1,100 @@
+"""Tests for the online threshold controller and its engine integration."""
+
+import pytest
+
+from repro.core.adaptive_threshold import (
+    ThresholdController,
+    ThresholdControllerConfig,
+)
+from repro.core.config import SpecASRConfig
+from repro.core.engine import SpecASREngine
+from repro.decoding.autoregressive import AutoregressiveDecoder
+
+
+class TestControllerConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdControllerConfig(initial=0.1, minimum=0.2, maximum=0.6)
+        with pytest.raises(ValueError):
+            ThresholdControllerConfig(step_up=-0.1)
+
+
+class TestController:
+    def test_starts_at_initial(self):
+        controller = ThresholdController()
+        assert controller.value == pytest.approx(0.4)
+
+    def test_tightens_after_wasteful_rejection(self):
+        controller = ThresholdController()
+        before = controller.value
+        controller.observe_round(truncated=False, submitted=20, accepted=5)
+        assert controller.value > before
+        assert controller.updates_up == 1
+
+    def test_loosens_after_overeager_truncation(self):
+        controller = ThresholdController()
+        before = controller.value
+        controller.observe_round(truncated=True, submitted=6, accepted=6)
+        assert controller.value < before
+        assert controller.updates_down == 1
+
+    def test_neutral_round_unchanged(self):
+        controller = ThresholdController()
+        before = controller.value
+        # rejection at the very last token: threshold did its job
+        controller.observe_round(truncated=True, submitted=10, accepted=9)
+        assert controller.value == pytest.approx(before)
+
+    def test_bounded(self):
+        config = ThresholdControllerConfig(
+            initial=0.4, minimum=0.3, maximum=0.5, step_up=0.2, step_down=0.2
+        )
+        controller = ThresholdController(config)
+        for _ in range(10):
+            controller.observe_round(truncated=False, submitted=20, accepted=0)
+        assert controller.value == pytest.approx(0.5)
+        for _ in range(10):
+            controller.observe_round(truncated=True, submitted=5, accepted=5)
+        assert controller.value == pytest.approx(0.3)
+
+    def test_inconsistent_round_rejected(self):
+        controller = ThresholdController()
+        with pytest.raises(ValueError):
+            controller.observe_round(truncated=False, submitted=3, accepted=5)
+
+
+class TestEngineIntegration:
+    def test_adaptive_engine_still_lossless(self, whisper_pair, clean_dataset):
+        draft, target = whisper_pair
+        ar = AutoregressiveDecoder(target)
+        engine = SpecASREngine(
+            draft, target, SpecASRConfig(adaptive_threshold=True)
+        )
+        for utterance in clean_dataset:
+            assert engine.decode(utterance).tokens == ar.decode(utterance).tokens
+
+    def test_adaptive_competitive_with_fixed(self, whisper_pair, clean_dataset):
+        """The controller should stay within a modest factor of the tuned
+        fixed threshold — it starts at the optimum and must not wander off."""
+        draft, target = whisper_pair
+        fixed = SpecASREngine(draft, target, SpecASRConfig())
+        adaptive = SpecASREngine(
+            draft, target, SpecASRConfig(adaptive_threshold=True)
+        )
+        fixed_ms = sum(fixed.decode(u).total_ms for u in clean_dataset)
+        adaptive_ms = sum(adaptive.decode(u).total_ms for u in clean_dataset)
+        assert adaptive_ms < fixed_ms * 1.15
+
+    def test_adaptive_helps_badly_tuned_start(self, whisper_pair, clean_dataset):
+        """Starting from a clearly-too-high threshold, adaptation should
+        recover part of the loss vs staying fixed at that bad value."""
+        draft, target = whisper_pair
+        bad_fixed = SpecASREngine(
+            draft, target, SpecASRConfig(threshold=0.65)
+        )
+        bad_adaptive = SpecASREngine(
+            draft, target, SpecASRConfig(threshold=0.65, adaptive_threshold=True)
+        )
+        fixed_ms = sum(bad_fixed.decode(u).total_ms for u in clean_dataset)
+        adaptive_ms = sum(bad_adaptive.decode(u).total_ms for u in clean_dataset)
+        assert adaptive_ms <= fixed_ms * 1.02

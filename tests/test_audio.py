@@ -1,0 +1,160 @@
+"""Tests for the audio substrate: synthesis, features, encoder, difficulty."""
+
+import numpy as np
+import pytest
+
+from repro.audio.difficulty import (
+    difficulty_from_snr,
+    measure_difficulty,
+    measure_token_snr,
+)
+from repro.audio.encoder import AudioEncoder, EncoderConfig, encoder_preset
+from repro.audio.features import (
+    LogMelConfig,
+    frame_signal,
+    hz_to_mel,
+    log_mel_spectrogram,
+    mel_filterbank,
+    mel_to_hz,
+)
+from repro.audio.signal import (
+    SynthesisConfig,
+    synthesize_utterance,
+    word_to_phonemes,
+)
+
+
+class TestSynthesis:
+    def test_phoneme_mapping_collapses_repeats(self):
+        assert word_to_phonemes("tree") == ["t", "r", "e"]
+        assert word_to_phonemes("") == ["a"]
+
+    def test_waveform_shape_and_spans(self, utterance):
+        audio = synthesize_utterance(utterance)
+        assert audio.waveform.ndim == 1
+        assert len(audio.token_spans) == utterance.num_tokens
+        # spans tile the waveform without gaps
+        cursor = 0
+        for start, end in audio.token_spans:
+            assert start == cursor
+            assert end > start
+            cursor = end
+        assert cursor == len(audio.waveform)
+
+    def test_waveform_bounded(self, utterance):
+        audio = synthesize_utterance(utterance)
+        assert np.max(np.abs(audio.waveform)) <= 1.0
+
+    def test_deterministic(self, utterance):
+        a = synthesize_utterance(utterance)
+        b = synthesize_utterance(utterance)
+        np.testing.assert_array_equal(a.waveform, b.waveform)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(sample_rate=4000)
+        with pytest.raises(ValueError):
+            SynthesisConfig(phoneme_duration_s=0.0)
+
+
+class TestFeatures:
+    def test_mel_scale_roundtrip(self):
+        freqs = np.array([100.0, 1000.0, 4000.0])
+        np.testing.assert_allclose(mel_to_hz(hz_to_mel(freqs)), freqs, rtol=1e-9)
+
+    def test_filterbank_shape(self):
+        config = LogMelConfig()
+        bank = mel_filterbank(config)
+        assert bank.shape == (config.n_mels, config.n_fft // 2 + 1)
+        assert np.all(bank >= 0.0)
+        assert bank.sum() > 0
+
+    def test_framing(self):
+        config = LogMelConfig(n_fft=400, hop_length=160)
+        frames = frame_signal(np.zeros(1600), config)
+        assert frames.shape[1] == 400
+        assert frames.shape[0] == 1 + (1600 - 400) // 160
+
+    def test_short_signal_padded(self):
+        config = LogMelConfig()
+        frames = frame_signal(np.zeros(10), config)
+        assert frames.shape[0] == 1
+
+    def test_spectrogram_shape(self, utterance):
+        audio = synthesize_utterance(utterance)
+        config = LogMelConfig()
+        features = log_mel_spectrogram(audio.waveform, config)
+        assert features.shape[1] == config.n_mels
+        assert features.shape[0] > 0
+        assert np.all(np.isfinite(features))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LogMelConfig(n_fft=0)
+        with pytest.raises(ValueError):
+            LogMelConfig(fmin=9000.0, fmax=100.0)
+
+
+class TestEncoder:
+    def test_output_shape(self, utterance):
+        audio = synthesize_utterance(utterance)
+        encoder = AudioEncoder()
+        features = log_mel_spectrogram(audio.waveform)
+        embeddings = encoder.encode(features)
+        assert embeddings.shape[1] == encoder.config.output_dim
+        assert embeddings.shape[0] >= 1
+
+    def test_downsampling(self, utterance):
+        audio = synthesize_utterance(utterance)
+        encoder = AudioEncoder()
+        features = log_mel_spectrogram(audio.waveform)
+        embeddings = encoder.encode(features)
+        assert embeddings.shape[0] < features.shape[0]
+
+    def test_param_count_positive_and_ordered(self):
+        tiny = AudioEncoder(encoder_preset("tiny")).param_count()
+        medium = AudioEncoder(encoder_preset("medium")).param_count()
+        assert 0 < tiny < medium
+
+    def test_rejects_wrong_feature_dim(self):
+        encoder = AudioEncoder()
+        with pytest.raises(ValueError):
+            encoder.encode(np.zeros((10, encoder.config.n_mels + 1)))
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            encoder_preset("giant")
+
+    def test_deterministic_weights(self, utterance):
+        audio = synthesize_utterance(utterance)
+        features = log_mel_spectrogram(audio.waveform)
+        a = AudioEncoder().encode(features)
+        b = AudioEncoder().encode(features)
+        np.testing.assert_array_equal(a, b)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(conv_channels=())
+
+
+class TestDifficulty:
+    def test_snr_inversion_anchors(self):
+        assert difficulty_from_snr(25.0) == pytest.approx(0.0)
+        assert difficulty_from_snr(-3.0) == pytest.approx(1.0)
+
+    def test_measured_difficulty_tracks_profile(self, clean_dataset):
+        """The audio loop closes: measured difficulty ≈ generating profile."""
+        utterance = clean_dataset[1]
+        audio = synthesize_utterance(utterance)
+        measured = measure_difficulty(audio)
+        assert len(measured) == utterance.num_tokens
+        errors = [
+            abs(m - d) for m, d in zip(measured, utterance.difficulty)
+        ]
+        assert sum(errors) / len(errors) < 0.12
+
+    def test_snr_per_token(self, utterance):
+        audio = synthesize_utterance(utterance)
+        snrs = measure_token_snr(audio)
+        assert len(snrs) == utterance.num_tokens
+        assert all(-15.0 < snr < 40.0 for snr in snrs)

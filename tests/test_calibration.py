@@ -1,0 +1,101 @@
+"""Calibration guards: the simulated substrate stays in the paper's regime.
+
+These tests pin the *statistical* properties that every experiment depends
+on.  If a refactor drifts the oracle or corpus statistics out of the
+paper-reported ranges, these fail before the benches produce nonsense.
+"""
+
+import pytest
+
+from repro.data.librisim import LibriSimBuilder, LibriSimConfig
+from repro.metrics.acceptance import accept_at_topk, rank_distribution_on_failure
+from repro.metrics.wer import model_wer
+from repro.models.registry import model_pair
+
+
+@pytest.fixture(scope="module")
+def corpora(vocab):
+    config = LibriSimConfig(seed=2025, utterances_per_split=24)
+    builder = LibriSimBuilder(vocab, config)
+    return {
+        "clean": builder.build("test-clean"),
+        "other": builder.build("test-other"),
+    }
+
+
+@pytest.fixture(scope="module")
+def whisper(vocab):
+    return model_pair("whisper", vocab)
+
+
+class TestWerRegime:
+    def test_draft_wer_band(self, whisper, corpora):
+        draft, _ = whisper
+        clean = model_wer(draft, corpora["clean"])
+        other = model_wer(draft, corpora["other"])
+        # Paper Fig. 5a: small models reach WER ~10 % or less on clean sets.
+        assert 0.04 < clean < 0.13
+        assert other > clean
+
+    def test_target_wer_band(self, whisper, corpora):
+        _, target = whisper
+        clean = model_wer(target, corpora["clean"])
+        assert 0.02 < clean < 0.10
+
+    def test_relative_reduction_band(self, whisper, corpora):
+        """Paper: larger models show a 20-33 % WER reduction vs smaller."""
+        draft, target = whisper
+        for split in ("clean", "other"):
+            draft_wer = model_wer(draft, corpora[split])
+            target_wer = model_wer(target, corpora[split])
+            reduction = 1.0 - target_wer / draft_wer
+            assert 0.08 < reduction < 0.50, f"{split}: {reduction:.2f}"
+
+
+class TestAcceptanceRegime:
+    def test_accept_at_1_bands(self, whisper, corpora):
+        draft, target = whisper
+        clean = accept_at_topk(draft, target, list(corpora["clean"])[:12], 1)[0]
+        other = accept_at_topk(draft, target, list(corpora["other"])[:12], 1)[0]
+        assert clean > 0.90  # high draft/target alignment (Observation 1)
+        assert other < clean  # noisy sets degrade acceptance
+        assert other > 0.70
+
+    def test_rank2_majority_on_failure(self, whisper, corpora):
+        """Paper Fig. 13b: the target token is the draft's second choice for
+        the (relative) majority of top-1 failures."""
+        draft, target = whisper
+        units = list(corpora["clean"]) + list(corpora["other"])
+        distribution = rank_distribution_on_failure(draft, target, units)
+        rank2 = distribution["2"]
+        assert rank2 > 0.4
+        assert rank2 == max(distribution.values())
+
+
+class TestConfidenceSignal:
+    def test_threshold_separates_failures(self, whisper, corpora, vocab):
+        """Positions the target will reject show low draft confidence far
+        more often than accepted positions — the signal behind ASP."""
+        from repro.models.latency import SimClock
+
+        draft, target = whisper
+        below_ok = below_bad = ok = bad = 0
+        for utt in corpora["clean"]:
+            d = draft.session(utt, SimClock())
+            t = target.session(utt, SimClock())
+            path: list[int] = []
+            while len(path) < t.max_decode_positions():
+                tok = t.peek(path).token
+                if tok == vocab.eos_id:
+                    break
+                step = d.peek(path)
+                if step.token == tok:
+                    ok += 1
+                    below_ok += step.top_prob < 0.4
+                else:
+                    bad += 1
+                    below_bad += step.top_prob < 0.4
+                path.append(tok)
+        assert ok > 0 and bad > 0
+        assert below_ok / ok < 0.08
+        assert below_bad / bad > 0.30

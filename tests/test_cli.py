@@ -1,0 +1,44 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig11" in out
+        assert "tab02" in out
+
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "whisper-tiny-sim" in out
+        assert "vicuna-13b-sim" in out
+        assert "pairings" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["run", "fig13b", "--utterances", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fig13b" in out
+        assert "paper" in out
+
+    def test_run_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            main(["run", "fig99"])
+
+    def test_decode(self, capsys):
+        assert main(["decode", "--pairing", "whisper", "--index", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "reference" in out
+        assert "specasr-tsp" in out
+        assert "autoregressive" in out
+
+    def test_decode_bad_index(self, capsys):
+        assert main(["decode", "--index", "9999"]) == 1
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,98 @@
+"""Tests for adaptive single-sequence prediction (ASP)."""
+
+import pytest
+
+from repro.core.adaptive import draft_adaptive
+from repro.core.config import SpecASRConfig
+from repro.models.latency import SimClock
+
+from tests.fakes import EOS, FakeUnit, ScriptedModel
+
+
+def session_for(stream, probs=None):
+    model = ScriptedModel(stream=stream, probs=probs or {}, name="draft")
+    session = model.session(FakeUnit(), SimClock())
+    session.prefill()
+    return session
+
+
+class TestDraftAdaptive:
+    def test_reaches_length_cap_when_confident(self):
+        session = session_for([5] * 40)
+        config = SpecASRConfig(max_draft_len=24, threshold=0.4)
+        draft = draft_adaptive(session, [], config, EOS)
+        assert len(draft.tokens) == 24
+        assert not draft.truncated
+        assert draft.draft_steps == 24
+
+    def test_stops_at_eos(self):
+        session = session_for([5, 6, EOS, 7])
+        config = SpecASRConfig()
+        draft = draft_adaptive(session, [], config, EOS)
+        assert draft.tokens == [5, 6, EOS]
+        assert draft.hit_eos
+
+    def test_truncates_after_uncertain_token(self):
+        # Position 2 has low confidence: drafting stops right after it.
+        session = session_for([5, 6, 7, 8, 9], probs={2: 0.2})
+        config = SpecASRConfig(threshold=0.4)
+        draft = draft_adaptive(session, [], config, EOS)
+        assert draft.tokens == [5, 6, 7]  # uncertain token still submitted
+        assert draft.truncated
+        assert len(draft.uncertain) == 1
+        assert draft.uncertain[0].offset == 2
+
+    def test_no_truncation_records_all_uncertain_points(self):
+        session = session_for([5, 6, 7, 8, 9, 10], probs={1: 0.3, 4: 0.1})
+        config = SpecASRConfig(threshold=0.4, max_draft_len=6)
+        draft = draft_adaptive(session, [], config, EOS, truncate=False)
+        assert len(draft.tokens) == 6
+        assert [p.offset for p in draft.uncertain] == [1, 4]
+        assert not draft.truncated
+
+    def test_uncertain_point_alternatives(self):
+        session = session_for([5, 6, 7], probs={0: 0.2})
+        config = SpecASRConfig(threshold=0.4)
+        draft = draft_adaptive(session, [], config, EOS)
+        point = draft.uncertain[0]
+        assert point.alternative_token(1) == 5
+        assert point.alternative_token(2) == 105  # scripted runner-up
+        assert point.alternative_token(99) is None
+
+    def test_threshold_zero_never_truncates(self):
+        session = session_for([5] * 30, probs={i: 0.05 for i in range(30)})
+        config = SpecASRConfig(threshold=0.0, max_draft_len=10)
+        draft = draft_adaptive(session, [], config, EOS)
+        assert len(draft.tokens) == 10
+        assert not draft.truncated
+
+    def test_prefix_offsets(self):
+        session = session_for([5, 6, 7, 8])
+        config = SpecASRConfig(max_draft_len=2)
+        draft = draft_adaptive(session, [5, 6], config, EOS)
+        assert draft.tokens == [7, 8]
+
+    def test_max_len_override(self):
+        session = session_for([5] * 30)
+        config = SpecASRConfig(max_draft_len=24)
+        draft = draft_adaptive(session, [], config, EOS, max_len=4)
+        assert len(draft.tokens) == 4
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            SpecASRConfig(max_draft_len=0)
+        with pytest.raises(ValueError):
+            SpecASRConfig(threshold=1.0)
+        with pytest.raises(ValueError):
+            SpecASRConfig(branch_top_k=1)
+        with pytest.raises(ValueError):
+            SpecASRConfig(branch_extension_cap=0)
+        with pytest.raises(ValueError):
+            SpecASRConfig(merge_verify_window=-1)
+
+    def test_mode_labels(self):
+        assert SpecASRConfig(recycling=False).mode == "specasr-asp"
+        assert SpecASRConfig(recycling=True).mode == "specasr-asp+recycle"
+        assert SpecASRConfig(sparse_tree=True).mode == "specasr-tsp"

@@ -1,0 +1,122 @@
+"""Tests for the SpecASR engine: all modes, losslessness, suffix lifecycle."""
+
+import pytest
+
+from repro.core.config import SpecASRConfig, asp_only, asp_with_recycling, full_specasr
+from repro.core.engine import SpecASREngine
+from repro.decoding.autoregressive import AutoregressiveDecoder
+
+from tests.fakes import EOS, FakeUnit, ScriptedModel
+
+MODES = [asp_only(), asp_with_recycling(), full_specasr()]
+
+
+class TestLosslessOnScriptedModels:
+    @pytest.mark.parametrize("config", MODES, ids=lambda c: c.mode)
+    def test_agreeing_models(self, config):
+        stream = [5, 6, 7, 8, 9, EOS]
+        draft = ScriptedModel(stream=list(stream), name="draft")
+        target = ScriptedModel(stream=list(stream), name="target")
+        result = SpecASREngine(draft, target, config).decode(FakeUnit())
+        assert result.tokens == [5, 6, 7, 8, 9]
+
+    @pytest.mark.parametrize("config", MODES, ids=lambda c: c.mode)
+    def test_disagreeing_models(self, config):
+        target_stream = [5, 6, 7, 8, 9, 10, EOS]
+        draft_stream = [5, 9, 7, 8, 11, 10, EOS]
+        draft = ScriptedModel(stream=draft_stream, name="draft")
+        target = ScriptedModel(stream=target_stream, name="target")
+        result = SpecASREngine(draft, target, config).decode(FakeUnit())
+        assert result.tokens == [5, 6, 7, 8, 9, 10]
+
+    @pytest.mark.parametrize("config", MODES, ids=lambda c: c.mode)
+    def test_hostile_draft(self, config):
+        """A draft that never agrees still converges to the target output."""
+        target_stream = [5, 6, 7, EOS]
+        draft = ScriptedModel(stream=[90, 91, 92, 93, 94], name="draft")
+        target = ScriptedModel(stream=target_stream, name="target")
+        result = SpecASREngine(draft, target, config).decode(FakeUnit())
+        assert result.tokens == [5, 6, 7]
+
+
+class TestSuffixLifecycle:
+    def test_recycling_records_reuse(self):
+        # Draft wrong at position 1 only; the retained suffix should merge.
+        target_stream = [5, 6, 7, 8, 9, 10, 11, 12, EOS]
+        draft_stream = [5, 99, 7, 8, 9, 10, 11, 12, EOS]
+        draft = ScriptedModel(stream=draft_stream, name="draft")
+        target = ScriptedModel(stream=target_stream, name="target")
+        result = SpecASREngine(draft, target, asp_with_recycling()).decode(FakeUnit())
+        assert result.tokens == target_stream[:-1]
+        assert result.trace.total_recycled > 0
+
+    def test_asp_only_never_recycles(self):
+        target_stream = [5, 6, 7, 8, 9, EOS]
+        draft_stream = [5, 99, 7, 8, 9, EOS]
+        draft = ScriptedModel(stream=draft_stream, name="draft")
+        target = ScriptedModel(stream=target_stream, name="target")
+        result = SpecASREngine(draft, target, asp_only()).decode(FakeUnit())
+        assert result.trace.total_recycled == 0
+
+    def test_recycling_reduces_draft_steps(self):
+        target_stream = [5, 99, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, EOS]
+        draft_stream = [5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, EOS]
+        draft = ScriptedModel(stream=draft_stream, name="draft")
+        target = ScriptedModel(stream=target_stream, name="target")
+        no_recycle = SpecASREngine(draft, target, asp_only()).decode(FakeUnit())
+        recycle = SpecASREngine(draft, target, asp_with_recycling()).decode(FakeUnit())
+        assert recycle.tokens == no_recycle.tokens
+        assert recycle.trace.total_draft_steps < no_recycle.trace.total_draft_steps
+
+
+class TestOnSimulatedModels:
+    @pytest.mark.parametrize("config", MODES, ids=lambda c: c.mode)
+    def test_lossless_against_ar(self, config, whisper_pair, clean_dataset):
+        draft, target = whisper_pair
+        ar = AutoregressiveDecoder(target)
+        engine = SpecASREngine(draft, target, config)
+        for utterance in clean_dataset:
+            assert engine.decode(utterance).tokens == ar.decode(utterance).tokens
+
+    def test_deterministic(self, whisper_pair, utterance):
+        draft, target = whisper_pair
+        engine = SpecASREngine(draft, target, full_specasr())
+        a = engine.decode(utterance)
+        b = engine.decode(utterance)
+        assert a.tokens == b.tokens
+        assert a.total_ms == pytest.approx(b.total_ms)
+        assert a.trace.num_rounds == b.trace.num_rounds
+
+    def test_faster_than_autoregressive(self, whisper_pair, clean_dataset):
+        draft, target = whisper_pair
+        ar = AutoregressiveDecoder(target)
+        engine = SpecASREngine(draft, target, asp_with_recycling())
+        ar_ms = sum(ar.decode(u).total_ms for u in clean_dataset)
+        engine_ms = sum(engine.decode(u).total_ms for u in clean_dataset)
+        assert engine_ms < ar_ms
+
+    def test_latency_totals_consistent(self, whisper_pair, utterance):
+        draft, target = whisper_pair
+        engine = SpecASREngine(draft, target, full_specasr())
+        result = engine.decode(utterance)
+        assert result.total_ms == pytest.approx(
+            sum(e.ms for e in result.clock.events)
+        )
+
+    def test_round_counters_consistent(self, whisper_pair, utterance):
+        draft, target = whisper_pair
+        engine = SpecASREngine(draft, target, asp_with_recycling())
+        result = engine.decode(utterance)
+        for stats in result.trace.rounds:
+            assert stats.accepted_tokens <= stats.submitted_tokens
+            assert stats.emitted_tokens == stats.accepted_tokens + 1
+            assert stats.tree_nodes >= stats.submitted_tokens
+
+    def test_ms_per_10s_normalisation(self, whisper_pair, utterance):
+        draft, target = whisper_pair
+        engine = SpecASREngine(draft, target, asp_only())
+        result = engine.decode(utterance)
+        expected = result.total_ms * 10.0 / utterance.duration_s
+        assert result.ms_per_10s(utterance.duration_s) == pytest.approx(expected)
+        with pytest.raises(ValueError):
+            result.ms_per_10s(0.0)

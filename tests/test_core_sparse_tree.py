@@ -1,0 +1,159 @@
+"""Tests for two-pass sparse-tree prediction (TSP)."""
+
+import pytest
+
+from repro.core.config import SpecASRConfig
+from repro.core.recycling import DraftedToken, RecycledSuffix
+from repro.core.sparse_tree import (
+    SparseBranch,
+    assemble_tree,
+    build_sparse_tree_round,
+)
+from repro.models.latency import SimClock
+
+from tests.fakes import EOS, FakeUnit, ScriptedModel
+
+
+def session_for(stream, probs=None, overrides=None):
+    model = ScriptedModel(
+        stream=stream, probs=probs or {}, overrides=overrides or {}, name="draft"
+    )
+    session = model.session(FakeUnit(), SimClock())
+    session.prefill()
+    return session
+
+
+class TestTrunkPass:
+    def test_confident_trunk_has_no_branches(self):
+        session = session_for([5, 6, 7, 8, EOS])
+        config = SpecASRConfig(sparse_tree=True)
+        drafted = build_sparse_tree_round(session, [], None, config, EOS)
+        assert [t.token for t in drafted.trunk] == [5, 6, 7, 8, EOS]
+        assert drafted.branches == []
+
+    def test_trunk_runs_through_uncertainty(self):
+        session = session_for([5, 6, 7, 8, 9, 10, EOS], probs={2: 0.1})
+        config = SpecASRConfig(sparse_tree=True, max_draft_len=6)
+        drafted = build_sparse_tree_round(session, [], None, config, EOS)
+        assert len(drafted.trunk) == 6  # not truncated at offset 2
+
+    def test_branches_placed_at_uncertain_points(self):
+        session = session_for([5, 6, 7, 8, 9, 10, 11, EOS], probs={2: 0.1})
+        config = SpecASRConfig(sparse_tree=True, max_draft_len=7)
+        drafted = build_sparse_tree_round(session, [], None, config, EOS)
+        assert len(drafted.branches) == 1
+        branch = drafted.branches[0]
+        assert branch.trunk_offset == 2
+        # branch root token: scripted runner-up of trunk token 7
+        assert branch.items[0].token == 107
+
+    def test_max_branches_respected(self):
+        probs = {1: 0.1, 3: 0.15, 5: 0.2}
+        session = session_for([5, 6, 7, 8, 9, 10, 11, 12, EOS], probs=probs)
+        config = SpecASRConfig(sparse_tree=True, max_draft_len=8, max_branches=2)
+        drafted = build_sparse_tree_round(session, [], None, config, EOS)
+        assert len(drafted.branches) == 2
+        # most uncertain points chosen first
+        offsets = {b.trunk_offset for b in drafted.branches}
+        assert offsets == {1, 3}
+
+
+class TestBranchMerging:
+    def test_branch_merges_back_to_trunk(self):
+        """The branch's continuation re-anchors to the trunk (position-based
+        stream), so the first extension token matches the trunk and the
+        branch is concatenated instead of extended."""
+        session = session_for([5, 6, 7, 8, 9, 10, 11, EOS], probs={2: 0.1})
+        config = SpecASRConfig(sparse_tree=True, max_draft_len=7)
+        drafted = build_sparse_tree_round(session, [], None, config, EOS)
+        branch = drafted.branches[0]
+        assert branch.merged
+        assert branch.merge_at is not None
+        assert branch.merged_suffix  # recycled trunk tokens appended
+        assert all(t.recycled for t in branch.merged_suffix)
+
+    def test_merge_window_caps_suffix(self):
+        session = session_for([5, 6, 7, 8, 9, 10, 11, 12, 13, 14, EOS], probs={1: 0.1})
+        config = SpecASRConfig(
+            sparse_tree=True, max_draft_len=10, merge_verify_window=3
+        )
+        drafted = build_sparse_tree_round(session, [], None, config, EOS)
+        branch = drafted.branches[0]
+        assert branch.merged
+        assert len(branch.merged_suffix) <= 3
+
+    def test_unmergeable_branch_stops_at_cap(self):
+        # Branch path diverges permanently: alternative 107 then scripted
+        # overrides keep emitting tokens far from the trunk.
+        stream = [5, 6, 7, 8, 9, 10, 11, EOS]
+        overrides = {}
+        # any prefix starting (5, 6, 107, ...) yields 99x tokens
+        overrides[(5, 6, 107)] = 990
+        overrides[(5, 6, 107, 990)] = 991
+        overrides[(5, 6, 107, 990, 991)] = 992
+        overrides[(5, 6, 107, 990, 991, 992)] = 993
+        session = session_for(stream, probs={2: 0.1}, overrides=overrides)
+        config = SpecASRConfig(
+            sparse_tree=True, max_draft_len=7, branch_extension_cap=2
+        )
+        drafted = build_sparse_tree_round(session, [], None, config, EOS)
+        branch = drafted.branches[0]
+        assert not branch.merged
+        assert len(branch.items) - 1 <= 2  # alt + capped extension
+
+
+class TestRecyclingIntegration:
+    def test_trunk_reuses_suffix(self):
+        stream = [5, 6, 7, 8, 9, 10, EOS]
+        session = session_for(stream)
+        suffix = RecycledSuffix(
+            items=[DraftedToken(6, 0.9), DraftedToken(7, 0.9), DraftedToken(8, 0.9)]
+        )
+        config = SpecASRConfig(sparse_tree=True, max_draft_len=5)
+        drafted = build_sparse_tree_round(session, [5], suffix, config, EOS)
+        assert drafted.recycled_tokens >= 2
+        trunk_tokens = [t.token for t in drafted.trunk]
+        assert trunk_tokens[:3] == [6, 7, 8]
+
+
+class TestAssembleTree:
+    def test_chain_only(self):
+        items = [DraftedToken(1, 0.9), DraftedToken(2, 0.8)]
+        tree, info = assemble_tree(items)
+        assert len(tree) == 2
+        assert [t.token for t in info] == [1, 2]
+        assert tree.path_tokens(1) == [1, 2]
+
+    def test_alt_branch_roots(self):
+        main = [DraftedToken(1, 0.9)]
+        alt = [DraftedToken(9, 0.5)]
+        tree, info = assemble_tree(main, alt)
+        assert len(tree.roots()) == 2
+
+    def test_branch_attachment(self):
+        trunk = [DraftedToken(1, 0.9), DraftedToken(2, 0.2), DraftedToken(3, 0.9)]
+        branch = SparseBranch(trunk_offset=1, items=[DraftedToken(8, 0.3)])
+        tree, info = assemble_tree(trunk, None, [branch])
+        # branch node hangs off trunk node 0
+        branch_node = len(trunk)
+        assert tree.nodes[branch_node].parent == 0
+        assert tree.path_tokens(branch_node) == [1, 8]
+
+    def test_branch_at_offset_zero_is_root(self):
+        trunk = [DraftedToken(1, 0.2)]
+        branch = SparseBranch(trunk_offset=0, items=[DraftedToken(8, 0.3)])
+        tree, _info = assemble_tree(trunk, None, [branch])
+        assert len(tree.roots()) == 2
+
+    def test_info_aligned_with_nodes(self):
+        trunk = [DraftedToken(1, 0.9), DraftedToken(2, 0.2)]
+        branch = SparseBranch(
+            trunk_offset=1,
+            items=[DraftedToken(8, 0.3)],
+            merged_suffix=[DraftedToken(3, 0.9, (), True)],
+        )
+        tree, info = assemble_tree(trunk, None, [branch])
+        assert len(info) == len(tree)
+        for node_index, node in enumerate(tree.nodes):
+            assert info[node_index].token == node.token
+            assert info[node_index].recycled == node.recycled

@@ -1,0 +1,123 @@
+"""Tests for repro.data.corpus and repro.data.librisim."""
+
+import pytest
+
+from repro.data.corpus import Dataset, Utterance, validate_datasets
+from repro.data.librisim import (
+    SPLIT_PROFILES,
+    SPLITS,
+    LibriSimBuilder,
+    LibriSimConfig,
+    build_split,
+)
+
+
+def make_utterance(**overrides):
+    base = dict(
+        utterance_id="test/spk00/0000",
+        speaker_id="spk00",
+        words=("the", "old", "house"),
+        tokens=(10, 11, 12),
+        duration_s=1.5,
+        difficulty=(0.1, 0.2, 0.3),
+        split="test-clean",
+    )
+    base.update(overrides)
+    return Utterance(**base)
+
+
+class TestUtterance:
+    def test_valid_construction(self):
+        utt = make_utterance()
+        assert utt.num_tokens == 3
+        assert utt.text == "the old house"
+
+    def test_seed_deterministic_and_id_bound(self):
+        assert make_utterance().seed == make_utterance().seed
+        other = make_utterance(utterance_id="test/spk00/0001")
+        assert other.seed != make_utterance().seed
+
+    def test_token_word_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_utterance(tokens=(1, 2))
+
+    def test_difficulty_length_mismatch(self):
+        with pytest.raises(ValueError):
+            make_utterance(difficulty=(0.1,))
+
+    def test_difficulty_range_checked(self):
+        with pytest.raises(ValueError):
+            make_utterance(difficulty=(0.1, 0.2, 1.5))
+
+    def test_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            make_utterance(duration_s=0.0)
+
+    def test_mean_difficulty(self):
+        assert make_utterance().mean_difficulty() == pytest.approx(0.2)
+
+
+class TestDataset:
+    def test_iteration_and_len(self):
+        ds = Dataset("x", [make_utterance()])
+        assert len(ds) == 1
+        assert list(ds)[0].utterance_id == "test/spk00/0000"
+
+    def test_totals(self):
+        ds = Dataset("x", [make_utterance()])
+        assert ds.total_tokens == 3
+        assert ds.total_duration_s == pytest.approx(1.5)
+
+    def test_subset(self):
+        utts = [make_utterance(utterance_id=f"t/s/{i}") for i in range(5)]
+        ds = Dataset("x", utts)
+        assert len(ds.subset(2)) == 2
+
+    def test_validate_datasets_catches_duplicates(self):
+        a = Dataset("a", [make_utterance()])
+        b = Dataset("b", [make_utterance()])
+        with pytest.raises(ValueError):
+            validate_datasets([a, b])
+
+
+class TestLibriSim:
+    def test_all_splits_build(self, vocab):
+        config = LibriSimConfig(seed=1, utterances_per_split=4)
+        datasets = LibriSimBuilder(vocab, config).build_all()
+        assert set(datasets) == set(SPLITS)
+        validate_datasets(list(datasets.values()))
+
+    def test_deterministic(self, vocab):
+        a = build_split("dev-clean", vocab, seed=5, utterances=4)
+        b = build_split("dev-clean", vocab, seed=5, utterances=4)
+        assert [u.tokens for u in a] == [u.tokens for u in b]
+        assert [u.difficulty for u in a] == [u.difficulty for u in b]
+
+    def test_seed_changes_content(self, vocab):
+        a = build_split("dev-clean", vocab, seed=5, utterances=4)
+        b = build_split("dev-clean", vocab, seed=6, utterances=4)
+        assert [u.tokens for u in a] != [u.tokens for u in b]
+
+    def test_other_split_harder_than_clean(self, vocab):
+        clean = build_split("test-clean", vocab, seed=3, utterances=12)
+        other = build_split("test-other", vocab, seed=3, utterances=12)
+        mean_clean = sum(u.mean_difficulty() for u in clean) / len(clean)
+        mean_other = sum(u.mean_difficulty() for u in other) / len(other)
+        assert mean_other > mean_clean + 0.05
+
+    def test_unknown_split_rejected(self, vocab):
+        with pytest.raises(KeyError):
+            build_split("test-unknown", vocab)
+
+    def test_durations_match_speaking_rate(self, vocab):
+        ds = build_split("dev-clean", vocab, seed=2, utterances=8)
+        for utt in ds:
+            rate = len(utt.words) / utt.duration_s
+            assert 1.5 < rate < 4.5  # plausible words-per-second band
+
+    def test_profiles_cover_all_splits(self):
+        assert set(SPLIT_PROFILES) == set(SPLITS)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            LibriSimConfig(utterances_per_split=0)

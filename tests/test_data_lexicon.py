@@ -1,0 +1,65 @@
+"""Tests for repro.data.lexicon."""
+
+from repro.data.lexicon import SentenceSampler, default_lexicon
+from repro.utils.rng import RngStream
+
+
+class TestLexicon:
+    def test_buckets_nonempty(self):
+        lex = default_lexicon()
+        for bucket in (
+            lex.determiners,
+            lex.pronouns,
+            lex.conjunctions,
+            lex.prepositions,
+            lex.adverbs,
+            lex.adjectives,
+            lex.nouns,
+            lex.verbs,
+            lex.interjections,
+        ):
+            assert len(bucket) > 0
+
+    def test_all_words_unique_and_sorted(self):
+        words = default_lexicon().all_words()
+        assert words == sorted(set(words))
+
+    def test_vocabulary_scale(self):
+        # The simulation's confusion pools need a reasonably large lexicon.
+        assert len(default_lexicon().all_words()) > 700
+
+    def test_zipf_weights_decreasing(self):
+        weights = default_lexicon().zipf_weights()
+        values = list(weights.values())
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+
+class TestSentenceSampler:
+    def test_deterministic(self):
+        sampler = SentenceSampler()
+        a = sampler.sentence(RngStream(3))
+        b = sampler.sentence(RngStream(3))
+        assert a == b
+
+    def test_length_bounds(self):
+        sampler = SentenceSampler()
+        for seed in range(20):
+            words = sampler.sentence(RngStream(seed), min_words=10, max_words=30)
+            assert 10 <= len(words) <= 30 + 8  # last clause may overshoot a bit
+
+    def test_words_come_from_lexicon(self):
+        sampler = SentenceSampler()
+        lexicon_words = set(default_lexicon().all_words())
+        words = sampler.sentence(RngStream(11), 12, 20)
+        assert set(words) <= lexicon_words
+
+    def test_invalid_bounds_raise(self):
+        sampler = SentenceSampler()
+        import pytest
+
+        with pytest.raises(ValueError):
+            sampler.sentence(RngStream(1), min_words=5, max_words=2)
+
+    def test_different_seeds_differ(self):
+        sampler = SentenceSampler()
+        assert sampler.sentence(RngStream(1)) != sampler.sentence(RngStream(2))

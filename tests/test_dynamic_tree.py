@@ -1,0 +1,83 @@
+"""Tests for the dynamic token-tree baseline."""
+
+import pytest
+
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.decoding.dynamic_tree import DynamicTreeConfig, DynamicTreeDecoder
+
+from tests.fakes import EOS, FakeUnit, ScriptedModel
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(node_budget=0)
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(expand_threshold=0.0)
+        with pytest.raises(ValueError):
+            DynamicTreeConfig(max_children=0)
+
+
+class TestScripted:
+    def test_lossless_agreeing(self):
+        stream = [5, 6, 7, 8, EOS]
+        draft = ScriptedModel(stream=list(stream), name="draft")
+        target = ScriptedModel(stream=list(stream), name="target")
+        result = DynamicTreeDecoder(draft, target).decode(FakeUnit())
+        assert result.tokens == [5, 6, 7, 8]
+
+    def test_lossless_disagreeing(self):
+        draft = ScriptedModel(stream=[5, 9, 7, 8, EOS], name="draft")
+        target = ScriptedModel(stream=[5, 6, 7, 8, EOS], name="target")
+        result = DynamicTreeDecoder(draft, target).decode(FakeUnit())
+        assert result.tokens == [5, 6, 7, 8]
+
+    def test_node_budget_respected(self):
+        stream = [5] * 30 + [EOS]
+        draft = ScriptedModel(stream=list(stream), name="draft")
+        target = ScriptedModel(stream=list(stream), name="target")
+        config = DynamicTreeConfig(node_budget=10)
+        result = DynamicTreeDecoder(draft, target, config).decode(FakeUnit())
+        assert all(r.tree_nodes <= 10 for r in result.trace.rounds)
+
+    def test_confident_draft_grows_deep_not_wide(self):
+        """With high-confidence scripted probs, the tree should be a chain
+        (path probability of alternatives falls below the threshold)."""
+        stream = [5, 6, 7, 8, 9, 10, EOS]
+        probs = {i: 0.95 for i in range(len(stream))}
+        draft = ScriptedModel(stream=list(stream), probs=probs, name="draft")
+        target = ScriptedModel(stream=list(stream), name="target")
+        config = DynamicTreeConfig(node_budget=12, max_depth=6)
+        result = DynamicTreeDecoder(draft, target, config).decode(FakeUnit())
+        first = result.trace.rounds[0]
+        assert first.submitted_tokens == first.tree_nodes  # pure chain
+
+    def test_uncertain_draft_grows_wide(self):
+        """Low-confidence positions admit the runner-up into the tree."""
+        stream = [5, 6, 7, EOS]
+        probs = {0: 0.55, 1: 0.55, 2: 0.55}
+        draft = ScriptedModel(stream=list(stream), probs=probs, name="draft")
+        target = ScriptedModel(stream=list(stream), name="target")
+        config = DynamicTreeConfig(node_budget=12, expand_threshold=0.2)
+        result = DynamicTreeDecoder(draft, target, config).decode(FakeUnit())
+        first = result.trace.rounds[0]
+        assert first.tree_nodes > first.submitted_tokens  # branched
+
+
+class TestSimulated:
+    def test_lossless_on_simulated_models(self, whisper_pair, clean_dataset):
+        draft, target = whisper_pair
+        ar = AutoregressiveDecoder(target)
+        decoder = DynamicTreeDecoder(draft, target)
+        for utterance in list(clean_dataset)[:3]:
+            assert decoder.decode(utterance).tokens == ar.decode(utterance).tokens
+
+    def test_faster_than_ar(self, vicuna_pair, clean_dataset):
+        draft, target = vicuna_pair
+        ar = AutoregressiveDecoder(target)
+        decoder = DynamicTreeDecoder(draft, target)
+        ar_ms = sum(ar.decode(u).total_ms for u in clean_dataset)
+        dyn_ms = sum(decoder.decode(u).total_ms for u in clean_dataset)
+        assert dyn_ms < ar_ms

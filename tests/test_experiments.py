@@ -1,0 +1,136 @@
+"""Every paper experiment runs end-to-end on a tiny corpus and reports
+sane values.  These are the integration tests for the bench harness."""
+
+import pytest
+
+from repro.harness.experiments import (
+    EXPERIMENTS,
+    list_experiments,
+    run_experiment,
+)
+from repro.harness.runner import ExperimentConfig
+
+TINY = ExperimentConfig(seed=11, utterances=6, min_words=10, max_words=26)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {exp_id: run_experiment(exp_id, TINY) for exp_id in list_experiments()}
+
+
+class TestRegistry:
+    def test_all_paper_experiments_present(self):
+        paper = {
+            "fig01", "fig05a", "fig05b", "fig06a", "fig06b", "fig07",
+            "fig11", "fig12", "fig13a", "fig13b", "tab01", "tab02",
+        }
+        assert paper <= set(EXPERIMENTS)
+        extensions = set(EXPERIMENTS) - paper
+        assert all(exp.startswith("ext") for exp in extensions)
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestReports:
+    def test_all_render(self, reports):
+        for exp_id, report in reports.items():
+            text = report.render()
+            assert exp_id in text
+            assert report.rows, f"{exp_id} produced no rows"
+
+    def test_fig01_decoder_dominates(self, reports):
+        for key, share in reports["fig01"].metrics.items():
+            if key.startswith("decoder_latency_share/"):
+                assert share > 0.8  # LLM decoder is the bottleneck
+
+    def test_fig05a_wer_improves_with_scale(self, reports):
+        metrics = reports["fig05a"].metrics
+        assert (
+            metrics["wer_clean/whisper-large-sim"]
+            < metrics["wer_clean/whisper-tiny-sim"]
+        )
+        # other split is harder than clean for every model
+        for name in ("whisper-tiny-sim", "whisper-medium-sim"):
+            assert metrics[f"wer_other/{name}"] > metrics[f"wer_clean/{name}"]
+
+    def test_fig05b_asr_beats_text(self, reports):
+        metrics = reports["fig05b"].metrics
+        for k in range(1, 6):
+            assert metrics[f"asr_accept@{k}"] >= metrics[f"text_accept@{k}"] - 0.02
+
+    def test_fig06a_histogram_rows_are_distributions(self, reports):
+        for row in reports["fig06a"].rows:
+            assert sum(row[1:]) == pytest.approx(100.0, abs=0.2)
+
+    def test_fig06b_alignment_high(self, reports):
+        # The recycling motivation: rejected suffixes still align strongly.
+        metrics = reports["fig06b"].metrics
+        assert metrics["alignment@offset2"] > 0.5
+
+    def test_fig07_draft_share_grows_with_gamma(self, reports):
+        metrics = reports["fig07"].metrics
+        for pairing in ("whisper", "llama-7b", "vicuna-13b"):
+            assert (
+                metrics[f"draft_share/{pairing}/gamma24"]
+                > metrics[f"draft_share/{pairing}/gamma4"]
+            )
+
+    def test_fig11_specasr_beats_ar_everywhere(self, reports):
+        metrics = reports["fig11"].metrics
+        for key, speedup in metrics.items():
+            if key.startswith("xar/"):
+                assert speedup > 1.3, key
+
+    def test_fig12_specasr_fewer_rounds(self, reports):
+        metrics = reports["fig12"].metrics
+        assert metrics["rounds/specasr-tsp"] < metrics["rounds/spec(8,1)"]
+        assert (
+            metrics["accepted_per_round/specasr-tsp"]
+            > metrics["accepted_per_round/spec(8,1)"]
+        )
+
+    def test_fig13a_threshold_tradeoff(self, reports):
+        rows = reports["fig13a"].rows
+        # draft steps decrease monotonically-ish from threshold 0 to 0.7
+        first_steps, last_steps = rows[0][1], rows[-1][1]
+        assert last_steps < first_steps
+        # and verification rounds increase
+        assert rows[-1][2] > rows[0][2]
+
+    def test_fig13b_rank2_majority(self, reports):
+        metrics = reports["fig13b"].metrics
+        shares = {k: v for k, v in metrics.items() if k.startswith("rank_share/")}
+        assert max(shares, key=shares.get) == "rank_share/2"
+
+    def test_tab01_all_families(self, reports):
+        families = [row[0] for row in reports["tab01"].rows]
+        assert "Ours (SpecASR)" in families
+        assert len(families) == 4
+
+    def test_tab02_ablation_improves_total(self, reports):
+        metrics = reports["tab02"].metrics
+        baseline = metrics["total_ms/baseline speculative"]
+        tsp = metrics["total_ms/+two-pass sparse-tree prediction"]
+        assert tsp < baseline
+
+    def test_ext01_adaptive_recovers_mistuned_start(self, reports):
+        metrics = reports["ext01-adaptive"].metrics
+        assert (
+            metrics["ms/adaptive from 0.65"]
+            <= metrics["ms/fixed 0.65 (mistuned)"] * 1.02
+        )
+
+    def test_ext01_sampling_accepts_substantially(self, reports):
+        # Sampling spreads both models over their top-k, so acceptance is
+        # naturally below the greedy case; it must still be well above the
+        # ~1/topk chance level for speculation to pay.
+        metrics = reports["ext01-sampling"].metrics
+        for pairing in ("whisper", "llama-7b", "vicuna-13b"):
+            assert metrics[f"acceptance/{pairing}"] > 0.25
+
+    def test_ext01_streaming_real_time(self, reports):
+        metrics = reports["ext01-streaming"].metrics
+        for pairing in ("whisper", "vicuna-13b"):
+            assert metrics[f"rtf/{pairing}"] < 1.0

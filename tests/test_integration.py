@@ -1,0 +1,89 @@
+"""End-to-end integration tests across subsystems."""
+
+import pytest
+
+from repro.audio.difficulty import measure_difficulty
+from repro.audio.encoder import AudioEncoder, encoder_preset
+from repro.audio.features import LogMelConfig, log_mel_spectrogram
+from repro.audio.signal import synthesize_utterance
+from repro.core.config import full_specasr
+from repro.core.engine import SpecASREngine
+from repro.data.corpus import Utterance
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.metrics.wer import wer
+from repro.models.registry import model_pair
+
+
+class TestAudioToDecodePipeline:
+    """The full substrate chain: text → waveform → features → encoder →
+    measured difficulty → simulated recognition → speculative decoding."""
+
+    def test_full_pipeline(self, vocab, clean_dataset):
+        source = clean_dataset[0]
+        # 1. synthesise audio for the utterance
+        audio = synthesize_utterance(source)
+        # 2. extract features and run the toy encoder
+        features = log_mel_spectrogram(audio.waveform, LogMelConfig())
+        embeddings = AudioEncoder(encoder_preset("tiny")).encode(features)
+        assert embeddings.shape[0] > 0
+        # 3. measure difficulty back from the waveform and rebuild the
+        #    utterance on the *measured* profile
+        measured = measure_difficulty(audio)
+        rebuilt = Utterance(
+            utterance_id=source.utterance_id + "/measured",
+            speaker_id=source.speaker_id,
+            words=source.words,
+            tokens=source.tokens,
+            duration_s=source.duration_s,
+            difficulty=tuple(measured),
+            split=source.split,
+        )
+        # 4. decode with SpecASR on the measured-difficulty utterance
+        draft, target = model_pair("whisper", vocab)
+        engine = SpecASREngine(draft, target, full_specasr())
+        ar = AutoregressiveDecoder(target)
+        assert engine.decode(rebuilt).tokens == ar.decode(rebuilt).tokens
+
+    def test_recognition_quality_tracks_audio_noise(self, vocab, clean_dataset):
+        """More waveform noise (higher difficulty profile) worsens WER."""
+        source = clean_dataset[1]
+        draft, _ = model_pair("whisper", vocab)
+
+        def wer_with_difficulty(level):
+            utt = Utterance(
+                utterance_id=f"{source.utterance_id}/d{level}",
+                speaker_id=source.speaker_id,
+                words=source.words,
+                tokens=source.tokens,
+                duration_s=source.duration_s,
+                difficulty=tuple([level] * source.num_tokens),
+                split=source.split,
+            )
+            return wer(list(utt.tokens), draft.greedy_transcript(utt))
+
+        assert wer_with_difficulty(0.9) > wer_with_difficulty(0.05)
+
+
+class TestCrossMethodConsistency:
+    def test_all_methods_identical_transcripts(self, whisper_pair, clean_dataset):
+        from repro.harness.methods import standard_methods
+
+        draft, target = whisper_pair
+        methods = standard_methods(draft, target)
+        for utterance in list(clean_dataset)[:2]:
+            outputs = {
+                name: decoder.decode(utterance).tokens
+                for name, decoder in methods.items()
+            }
+            reference = outputs["autoregressive"]
+            for name, tokens in outputs.items():
+                assert tokens == reference, name
+
+    def test_specasr_never_slower_than_ar(self, vicuna_pair, clean_dataset):
+        draft, target = vicuna_pair
+        engine = SpecASREngine(draft, target, full_specasr())
+        ar = AutoregressiveDecoder(target)
+        for utterance in list(clean_dataset)[:3]:
+            assert (
+                engine.decode(utterance).total_ms < ar.decode(utterance).total_ms
+            )

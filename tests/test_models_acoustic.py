@@ -1,0 +1,135 @@
+"""Tests for the emission oracle (repro.models.acoustic)."""
+
+import pytest
+
+from repro.models.acoustic import EmissionOracle, OracleParams
+
+
+def make_oracle(utterance, vocab, capacity=0.8, seed=1, params=None):
+    return EmissionOracle("m", seed, capacity, utterance, vocab, params)
+
+
+class TestOracleBasics:
+    def test_deterministic(self, utterance, vocab):
+        a = make_oracle(utterance, vocab).step(0)
+        b = make_oracle(utterance, vocab).step(0)
+        assert a == b
+
+    def test_different_models_can_differ(self, clean_dataset, vocab):
+        for utt in clean_dataset:
+            streams = [
+                make_oracle(utt, vocab, seed=s).greedy_stream() for s in (1, 2)
+            ]
+            if streams[0] != streams[1]:
+                return
+        pytest.skip("no model disagreement on tiny sample")
+
+    def test_topk_is_sorted_distribution(self, utterance, vocab):
+        step = make_oracle(utterance, vocab).step(0)
+        probs = [p for _, p in step.topk]
+        assert probs == sorted(probs, reverse=True)
+        assert 0.0 < step.top_prob <= 1.0
+        assert sum(probs) <= 1.0 + 1e-9
+
+    def test_topk_tokens_unique(self, utterance, vocab):
+        step = make_oracle(utterance, vocab).step(3)
+        tokens = [t for t, _ in step.topk]
+        assert len(tokens) == len(set(tokens))
+
+    def test_rank_of(self, utterance, vocab):
+        step = make_oracle(utterance, vocab).step(0)
+        assert step.rank_of(step.token) == 1
+        assert step.rank_of(-1) is None
+
+    def test_eos_at_end(self, utterance, vocab):
+        oracle = make_oracle(utterance, vocab)
+        stream = oracle.greedy_stream()
+        assert stream[-1] == vocab.eos_id
+        assert len(stream) == utterance.num_tokens + 1
+
+    def test_eos_region_confident(self, utterance, vocab):
+        oracle = make_oracle(utterance, vocab)
+        step = oracle.step(utterance.num_tokens)
+        assert step.token == vocab.eos_id
+        assert step.top_prob > 0.9
+
+    def test_negative_position_rejected(self, utterance, vocab):
+        with pytest.raises(ValueError):
+            make_oracle(utterance, vocab).step(-1)
+
+    def test_invalid_capacity_rejected(self, utterance, vocab):
+        with pytest.raises(ValueError):
+            make_oracle(utterance, vocab, capacity=0.0)
+        with pytest.raises(ValueError):
+            make_oracle(utterance, vocab, capacity=1.5)
+
+
+class TestCapacityEffect:
+    def test_higher_capacity_fewer_errors(self, clean_dataset, vocab):
+        """Across a corpus, a higher-capacity oracle matches the reference
+        more often — the WER-vs-scale law of Fig. 5a."""
+        errors = {0.70: 0, 0.95: 0}
+        total = 0
+        for utt in clean_dataset:
+            for capacity in errors:
+                oracle = make_oracle(utt, vocab, capacity=capacity, seed=9)
+                stream = oracle.greedy_stream()[:-1]
+                errors[capacity] += sum(
+                    1 for got, ref in zip(stream, utt.tokens) if got != ref
+                )
+            total += utt.num_tokens
+        assert errors[0.95] < errors[0.70]
+
+    def test_confidence_higher_on_easy_positions(self, clean_dataset, vocab):
+        easy_conf, hard_conf = [], []
+        for utt in clean_dataset:
+            oracle = make_oracle(utt, vocab)
+            for pos, difficulty in enumerate(utt.difficulty):
+                step = oracle.step(pos)
+                if difficulty < 0.2:
+                    easy_conf.append(step.top_prob)
+                elif difficulty > 0.5:
+                    hard_conf.append(step.top_prob)
+        if not hard_conf:
+            pytest.skip("no hard positions in tiny sample")
+        assert sum(easy_conf) / len(easy_conf) > sum(hard_conf) / len(hard_conf)
+
+
+class TestPerturbation:
+    def test_perturbed_step_can_differ(self, utterance, vocab):
+        oracle = make_oracle(utterance, vocab)
+        anchored = oracle.step(2, perturb_level=0)
+        perturbed = oracle.step(2, perturb_level=2, context_key=1234)
+        # Same position, same audio: token may flip, distribution must exist.
+        assert perturbed.topk
+        assert anchored.position == perturbed.position
+
+    def test_perturbation_ignores_context_at_level_zero(self, utterance, vocab):
+        oracle = make_oracle(utterance, vocab)
+        assert oracle.step(2, 0, 111) == oracle.step(2, 0, 222)
+
+    def test_perturbation_context_sensitive(self, clean_dataset, vocab):
+        for utt in clean_dataset:
+            oracle = make_oracle(utt, vocab)
+            for pos in range(utt.num_tokens):
+                a = oracle.step(pos, 2, 111)
+                b = oracle.step(pos, 2, 222)
+                if a != b:
+                    return
+        pytest.skip("perturbation draw never flipped on tiny sample")
+
+    def test_caching_consistency(self, utterance, vocab):
+        oracle = make_oracle(utterance, vocab)
+        first = oracle.step(1, 1, 42)
+        second = oracle.step(1, 1, 42)
+        assert first is second  # cached
+
+
+class TestOracleParams:
+    def test_model_noise_decreases_with_capacity(self):
+        params = OracleParams()
+        assert params.model_noise(0.95) < params.model_noise(0.70)
+
+    def test_noise_scale_increases_with_difficulty(self):
+        params = OracleParams()
+        assert params.noise_scale(0.8) > params.noise_scale(0.1)

@@ -1,0 +1,75 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.models.registry import (
+    PAIRINGS,
+    get_model,
+    get_spec,
+    list_models,
+    model_pair,
+    published_asr_configs,
+)
+
+
+class TestRegistry:
+    def test_all_models_instantiate(self, vocab):
+        for name in list_models():
+            model = get_model(name, vocab)
+            assert model.name == name
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_spec("gpt-5-sim")
+
+    def test_pairings_reference_known_models(self):
+        names = set(list_models())
+        for draft, target in PAIRINGS.values():
+            assert {draft, target} <= names
+
+    def test_pair_instantiation(self, vocab):
+        draft, target = model_pair("whisper", vocab)
+        assert draft.name == "whisper-tiny-sim"
+        assert target.name == "whisper-medium-sim"
+
+    def test_unknown_pairing_rejected(self, vocab):
+        with pytest.raises(KeyError):
+            model_pair("nonexistent", vocab)
+
+    def test_capacity_monotone_in_size_within_family(self):
+        whisper = [
+            get_spec(n)
+            for n in list_models()
+            if get_spec(n).family == "whisper"
+        ]
+        whisper.sort(key=lambda s: s.decoder_params_b)
+        capacities = [s.capacity for s in whisper]
+        assert capacities == sorted(capacities)
+
+    def test_latency_monotone_in_size_within_family(self):
+        whisper = [
+            get_spec(n)
+            for n in list_models()
+            if get_spec(n).family == "whisper"
+        ]
+        whisper.sort(key=lambda s: s.decoder_params_b)
+        bases = [s.latency.base_ms for s in whisper]
+        assert bases == sorted(bases)
+
+    def test_draft_cheaper_than_target_in_every_pairing(self):
+        for draft_name, target_name in PAIRINGS.values():
+            draft, target = get_spec(draft_name), get_spec(target_name)
+            assert draft.latency.base_ms < target.latency.base_ms
+            assert draft.capacity < target.capacity
+
+    def test_published_configs_match_paper_fig1(self):
+        configs = {c.name: c for c in published_asr_configs()}
+        assert configs["BESTOW"].decoder_params_b == pytest.approx(1.1)
+        assert configs["Speech-Llama"].decoder_params_b == pytest.approx(7.0)
+        assert configs["Seed-ASR"].decoder_params_b > 10.0
+        for config in configs.values():
+            assert config.encoder_params_b < 1.0  # "generally under 1B"
+
+    def test_encoder_attached_latency(self):
+        for name in list_models():
+            assert get_spec(name).encoder_latency_ms_per_10s > 0

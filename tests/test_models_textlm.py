@@ -1,0 +1,105 @@
+"""Tests for the text-LM comparator (repro.models.textlm)."""
+
+import pytest
+
+from repro.data.text_tasks import TextTaskConfig, build_text_corpus
+from repro.models.latency import LatencyProfile, SimClock
+from repro.models.textlm import SimulatedTextLM
+
+
+@pytest.fixture(scope="module")
+def prompts():
+    return build_text_corpus(TextTaskConfig(seed=3, num_prompts=4, max_new_tokens=20))
+
+
+@pytest.fixture(scope="module")
+def text_pair(vocab):
+    profile = LatencyProfile("t", 5.0, 0.2, 1.0, 0.05)
+    draft = SimulatedTextLM("text-draft", 0.80, profile, vocab, pair_seed=5)
+    target = SimulatedTextLM("text-target", 0.93, profile, vocab, pair_seed=5)
+    return draft, target
+
+
+class TestTextCorpus:
+    def test_deterministic(self):
+        a = build_text_corpus(TextTaskConfig(seed=3, num_prompts=4))
+        b = build_text_corpus(TextTaskConfig(seed=3, num_prompts=4))
+        assert [p.prompt_words for p in a] == [p.prompt_words for p in b]
+
+    def test_prompt_shapes(self, prompts):
+        for prompt in prompts:
+            assert len(prompt.prompt_words) == 12
+            assert prompt.max_new_tokens == 20
+
+
+class TestTextSession:
+    def test_deterministic_given_prefix(self, text_pair, prompts):
+        draft, _ = text_pair
+        a = draft.session(prompts[0], SimClock()).peek((7, 8))
+        b = draft.session(prompts[0], SimClock()).peek((7, 8))
+        assert a == b
+
+    def test_prefix_changes_distribution(self, text_pair, prompts, vocab):
+        """No audio anchor: a different prefix redraws the distribution.
+
+        This is the structural opposite of the ASR sessions and the reason
+        text speculative decoding shows lower acceptance (Fig. 5b).
+        """
+        draft, _ = text_pair
+        session = draft.session(prompts[0], SimClock())
+        regular = vocab.regular_ids()
+        flips = 0
+        for base in range(10):
+            a = session.peek((regular[base],))
+            b = session.peek((regular[base + 50],))
+            if a.token != b.token:
+                flips += 1
+        assert flips > 5
+
+    def test_eos_after_budget(self, text_pair, prompts, vocab):
+        draft, _ = text_pair
+        session = draft.session(prompts[0], SimClock())
+        prefix = tuple(vocab.regular_ids()[:20])  # length == max_new_tokens
+        assert session.peek(prefix).token == vocab.eos_id
+
+    def test_latency_accounted(self, text_pair, prompts):
+        draft, _ = text_pair
+        clock = SimClock()
+        session = draft.session(prompts[0], clock)
+        session.prefill()
+        session.step(())
+        assert clock.total_ms() > 0
+
+    def test_prefill_required(self, text_pair, prompts):
+        draft, _ = text_pair
+        session = draft.session(prompts[0], SimClock())
+        with pytest.raises(RuntimeError):
+            session.step(())
+
+    def test_pair_shares_candidates(self, text_pair, prompts):
+        """Draft and target with the same pair seed see the same candidate
+        sets, so their top-k lists overlap heavily."""
+        draft, target = text_pair
+        d = draft.session(prompts[0], SimClock()).peek(())
+        t = target.session(prompts[0], SimClock()).peek(())
+        d_tokens = {tok for tok, _ in d.topk}
+        t_tokens = {tok for tok, _ in t.topk}
+        assert len(d_tokens & t_tokens) >= 4
+
+    def test_capacity_validated(self, vocab, prompts):
+        profile = LatencyProfile("t", 5.0, 0.2, 1.0, 0.05)
+        with pytest.raises(ValueError):
+            SimulatedTextLM("bad", 0.0, profile, vocab)
+
+
+class TestSpeculativeOverText:
+    def test_decoders_run_and_are_lossless(self, text_pair, prompts, vocab):
+        """The generic decoders work unchanged over text sessions."""
+        from repro.decoding.autoregressive import AutoregressiveDecoder
+        from repro.decoding.speculative import SpeculativeConfig, SpeculativeDecoder
+
+        draft, target = text_pair
+        ar = AutoregressiveDecoder(target)
+        spec = SpeculativeDecoder(draft, target, SpeculativeConfig(8, 1))
+        for prompt in prompts:
+            assert spec.decode(prompt).tokens == ar.decode(prompt).tokens

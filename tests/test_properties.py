@@ -1,0 +1,110 @@
+"""Property-based tests of the core invariants (hypothesis).
+
+The central invariant of speculative decoding is losslessness: for ANY
+draft/target behaviour and ANY SpecASR configuration, the decoded transcript
+equals the target's greedy decode.  These tests drive scripted models with
+arbitrary streams and overrides, plus the statistical simulated models with
+random configurations.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import SpecASRConfig
+from repro.core.engine import SpecASREngine
+from repro.decoding.autoregressive import AutoregressiveDecoder
+from repro.decoding.speculative import SpeculativeConfig, SpeculativeDecoder
+from repro.decoding.tree_spec import FixedTreeConfig, FixedTreeDecoder
+
+from tests.fakes import EOS, FakeUnit, ScriptedModel
+
+# Token streams avoid the EOS id (2) internally; EOS is appended explicitly.
+token = st.integers(min_value=4, max_value=20)
+stream = st.lists(token, min_size=1, max_size=30).map(lambda s: s + [EOS])
+
+spec_config = st.builds(
+    SpeculativeConfig,
+    draft_len=st.integers(1, 16),
+    beams=st.sampled_from([1, 2]),
+)
+
+specasr_config = st.builds(
+    SpecASRConfig,
+    max_draft_len=st.integers(2, 24),
+    threshold=st.floats(0.0, 0.8),
+    recycling=st.booleans(),
+    sparse_tree=st.booleans(),
+    max_branches=st.integers(0, 3),
+    branch_extension_cap=st.integers(1, 4),
+    adjacent_merge=st.booleans(),
+    merge_verify_window=st.integers(0, 24),
+)
+
+probs = st.dictionaries(
+    st.integers(0, 29), st.floats(0.05, 0.99), max_size=8
+)
+
+
+def ar_reference(target_stream):
+    target = ScriptedModel(stream=list(target_stream), name="target")
+    return AutoregressiveDecoder(target).decode(FakeUnit()).tokens
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(target_stream=stream, draft_stream=stream, config=spec_config)
+def test_vanilla_speculative_lossless(target_stream, draft_stream, config):
+    draft = ScriptedModel(stream=list(draft_stream), name="draft")
+    target = ScriptedModel(stream=list(target_stream), name="target")
+    result = SpeculativeDecoder(draft, target, config).decode(FakeUnit())
+    assert result.tokens == ar_reference(target_stream)
+
+
+@settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    target_stream=stream,
+    draft_stream=stream,
+    config=specasr_config,
+    draft_probs=probs,
+)
+def test_specasr_lossless(target_stream, draft_stream, config, draft_probs):
+    draft = ScriptedModel(stream=list(draft_stream), probs=draft_probs, name="draft")
+    target = ScriptedModel(stream=list(target_stream), name="target")
+    result = SpecASREngine(draft, target, config).decode(FakeUnit())
+    assert result.tokens == ar_reference(target_stream)
+
+
+@settings(max_examples=30, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(
+    target_stream=stream,
+    draft_stream=stream,
+    branching=st.lists(st.integers(1, 3), min_size=1, max_size=6),
+)
+def test_fixed_tree_lossless(target_stream, draft_stream, branching):
+    draft = ScriptedModel(stream=list(draft_stream), name="draft")
+    target = ScriptedModel(stream=list(target_stream), name="target")
+    decoder = FixedTreeDecoder(draft, target, FixedTreeConfig(tuple(branching)))
+    assert decoder.decode(FakeUnit()).tokens == ar_reference(target_stream)
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(target_stream=stream, draft_stream=stream, config=specasr_config)
+def test_trace_counters_consistent(target_stream, draft_stream, config):
+    """Per-round counters respect their defining inequalities."""
+    draft = ScriptedModel(stream=list(draft_stream), name="draft")
+    target = ScriptedModel(stream=list(target_stream), name="target")
+    result = SpecASREngine(draft, target, config).decode(FakeUnit())
+    for stats in result.trace.rounds:
+        assert 0 <= stats.accepted_tokens <= stats.submitted_tokens
+        assert stats.submitted_tokens <= stats.tree_nodes
+        assert stats.emitted_tokens == stats.accepted_tokens + 1
+        assert 0.0 <= stats.acceptance_ratio <= 1.0
+    assert result.total_ms >= 0.0
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+@given(target_stream=stream, draft_stream=stream, config=specasr_config)
+def test_latency_totals_equal_event_sums(target_stream, draft_stream, config):
+    draft = ScriptedModel(stream=list(draft_stream), name="draft")
+    target = ScriptedModel(stream=list(target_stream), name="target")
+    result = SpecASREngine(draft, target, config).decode(FakeUnit())
+    assert abs(result.total_ms - sum(e.ms for e in result.clock.events)) < 1e-9

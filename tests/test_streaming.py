@@ -1,0 +1,67 @@
+"""Tests for streaming SpecASR."""
+
+import pytest
+
+from repro.core.config import SpecASRConfig
+from repro.core.engine import SpecASREngine
+from repro.core.streaming import StreamingConfig, StreamingSpecASR
+
+
+@pytest.fixture(scope="module")
+def streamer(whisper_pair):
+    draft, target = whisper_pair
+    return StreamingSpecASR(draft, target, StreamingConfig(chunk_s=1.0))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StreamingConfig(chunk_s=0.0)
+        with pytest.raises(ValueError):
+            StreamingConfig(lookahead_s=-1.0)
+
+
+class TestStreaming:
+    def test_transcript_matches_offline(self, streamer, whisper_pair, clean_dataset):
+        draft, target = whisper_pair
+        offline = SpecASREngine(draft, target, SpecASRConfig())
+        for utterance in list(clean_dataset)[:3]:
+            result = streamer.decode_stream(utterance)
+            assert result.tokens == offline.decode(utterance).tokens
+
+    def test_emission_times_monotone(self, streamer, utterance):
+        result = streamer.decode_stream(utterance)
+        times = result.emission_times_s
+        assert len(times) == len(result.tokens)
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+
+    def test_tokens_never_precede_their_audio(self, streamer, utterance):
+        """A token cannot finalize before any audio has arrived."""
+        result = streamer.decode_stream(utterance)
+        assert result.emission_times_s[0] >= streamer.config.chunk_s - 1e-9
+
+    def test_partials_grow_monotonically(self, streamer, utterance):
+        result = streamer.decode_stream(utterance)
+        counts = [count for _time, count in result.partials]
+        assert counts == sorted(counts)
+        assert counts[-1] == len(result.tokens)
+
+    def test_first_token_latency_small(self, streamer, utterance):
+        """Streaming should emit the first token long before end-of-audio."""
+        result = streamer.decode_stream(utterance)
+        assert result.first_token_latency_s < utterance.duration_s / 2
+
+    def test_final_latency_bounded(self, streamer, utterance):
+        result = streamer.decode_stream(utterance)
+        assert result.final_latency_s < 1.0  # well under a second of tail
+
+    def test_real_time_factor_below_one(self, streamer, clean_dataset):
+        for utterance in list(clean_dataset)[:3]:
+            result = streamer.decode_stream(utterance)
+            assert result.real_time_factor < 1.0
+
+    def test_chunk_count(self, streamer, utterance):
+        result = streamer.decode_stream(utterance)
+        import math
+
+        assert result.chunks == max(1, math.ceil(utterance.duration_s / 1.0))

@@ -1,0 +1,93 @@
+"""Tests for repro.utils.editdist (unit + hypothesis properties)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.editdist import AlignmentOp, align, edit_distance, wer_counts
+
+tokens = st.lists(st.integers(min_value=0, max_value=5), max_size=12)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance([1, 2, 3], [1, 2, 3]) == 0
+
+    def test_empty_cases(self):
+        assert edit_distance([], []) == 0
+        assert edit_distance([1, 2], []) == 2
+        assert edit_distance([], [1, 2]) == 2
+
+    def test_substitution(self):
+        assert edit_distance([1, 2, 3], [1, 9, 3]) == 1
+
+    def test_insertion_and_deletion(self):
+        assert edit_distance([1, 2, 3], [1, 2]) == 1
+        assert edit_distance([1, 2], [1, 2, 3]) == 1
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+    @given(tokens, tokens)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(tokens)
+    def test_identity(self, a):
+        assert edit_distance(a, a) == 0
+
+    @given(tokens, tokens, tokens)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+    @given(tokens, tokens)
+    def test_bounded_by_longer_sequence(self, a, b):
+        assert edit_distance(a, b) <= max(len(a), len(b))
+        assert edit_distance(a, b) >= abs(len(a) - len(b))
+
+
+class TestAlign:
+    def test_alignment_cost_matches_distance(self):
+        ref, hyp = [1, 2, 3, 4], [1, 9, 4]
+        ops = align(ref, hyp)
+        cost = sum(1 for p in ops if p.op is not AlignmentOp.MATCH)
+        assert cost == edit_distance(ref, hyp)
+
+    def test_alignment_covers_both_sequences(self):
+        ref, hyp = [1, 2, 3], [4, 5]
+        ops = align(ref, hyp)
+        ref_indices = [p.ref_index for p in ops if p.ref_index is not None]
+        hyp_indices = [p.hyp_index for p in ops if p.hyp_index is not None]
+        assert ref_indices == list(range(len(ref)))
+        assert hyp_indices == list(range(len(hyp)))
+
+    @given(tokens, tokens)
+    def test_alignment_cost_always_matches_distance(self, ref, hyp):
+        ops = align(ref, hyp)
+        cost = sum(1 for p in ops if p.op is not AlignmentOp.MATCH)
+        assert cost == edit_distance(ref, hyp)
+
+    @given(tokens, tokens)
+    def test_alignment_monotone(self, ref, hyp):
+        ops = align(ref, hyp)
+        last_ref = last_hyp = -1
+        for pair in ops:
+            if pair.ref_index is not None:
+                assert pair.ref_index > last_ref
+                last_ref = pair.ref_index
+            if pair.hyp_index is not None:
+                assert pair.hyp_index > last_hyp
+                last_hyp = pair.hyp_index
+
+
+class TestWerCounts:
+    def test_perfect(self):
+        assert wer_counts([1, 2], [1, 2]) == (0, 0, 0, 2)
+
+    def test_substitution_only(self):
+        subs, ins, dels, n = wer_counts([1, 2, 3], [1, 9, 3])
+        assert (subs, ins, dels, n) == (1, 0, 0, 3)
+
+    def test_mixed(self):
+        subs, ins, dels, n = wer_counts([1, 2, 3], [9, 2, 3, 4])
+        assert subs + ins + dels == edit_distance([1, 2, 3], [9, 2, 3, 4])
+        assert n == 3

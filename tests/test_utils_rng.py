@@ -1,0 +1,61 @@
+"""Tests for repro.utils.rng."""
+
+from repro.utils.rng import RngStream, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a") == derive_seed(1, "a")
+
+    def test_scope_sensitive(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+
+class TestRngStream:
+    def test_same_seed_same_draws(self):
+        a = RngStream(42)
+        b = RngStream(42)
+        assert [a.uniform() for _ in range(5)] == [b.uniform() for _ in range(5)]
+
+    def test_children_are_independent_of_draw_order(self):
+        parent = RngStream(42)
+        child_before = parent.child("x").uniform()
+        parent.uniform()  # consume from parent
+        child_after = RngStream(42).child("x").uniform()
+        assert child_before == child_after
+
+    def test_distinct_children_differ(self):
+        parent = RngStream(42)
+        assert parent.child("a").uniform() != parent.child("b").uniform()
+
+    def test_integers_within_bounds(self):
+        stream = RngStream(7)
+        values = [stream.integers(3, 9) for _ in range(100)]
+        assert all(3 <= v < 9 for v in values)
+
+    def test_choice_with_probabilities(self):
+        stream = RngStream(7)
+        picks = {stream.choice(["x", "y"], p=[1.0, 0.0]) for _ in range(10)}
+        assert picks == {"x"}
+
+    def test_choice_uniform(self):
+        stream = RngStream(7)
+        picks = {stream.choice(["x", "y", "z"]) for _ in range(60)}
+        assert picks == {"x", "y", "z"}
+
+    def test_shuffle_permutes_in_place(self):
+        stream = RngStream(3)
+        items = list(range(20))
+        shuffled = list(items)
+        stream.shuffle(shuffled)
+        assert sorted(shuffled) == items
+        assert shuffled != items  # overwhelmingly likely with 20 elements
+
+    def test_geometric_positive(self):
+        stream = RngStream(5)
+        assert all(stream.geometric(0.5) >= 1 for _ in range(50))
+
+    def test_numpy_generator_exposed(self):
+        stream = RngStream(9)
+        assert stream.numpy.standard_normal(4).shape == (4,)

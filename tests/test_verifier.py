@@ -1,0 +1,121 @@
+"""Tests for lossless sequence/tree verification."""
+
+import pytest
+
+from repro.decoding.token_tree import ROOT_PARENT, TokenTree
+from repro.decoding.verifier import verify_sequence, verify_tree
+from repro.models.latency import SimClock
+
+from tests.fakes import EOS, FakeUnit, ScriptedModel
+
+
+def target_session(stream):
+    model = ScriptedModel(stream=stream, name="target")
+    session = model.session(FakeUnit(), SimClock())
+    session.prefill()
+    return session
+
+
+class TestVerifySequence:
+    def test_full_acceptance_returns_bonus(self):
+        session = target_session([5, 6, 7, 8, EOS])
+        outcome = verify_sequence(session, [], [5, 6, 7])
+        assert outcome.accepted == 3
+        assert outcome.correction == 8  # bonus token after full accept
+
+    def test_rejection_at_first_mismatch(self):
+        session = target_session([5, 6, 7, 8, EOS])
+        outcome = verify_sequence(session, [], [5, 9, 7])
+        assert outcome.accepted == 1
+        assert outcome.correction == 6
+
+    def test_rejection_at_position_zero(self):
+        session = target_session([5, 6, EOS])
+        outcome = verify_sequence(session, [], [9])
+        assert outcome.accepted == 0
+        assert outcome.correction == 5
+
+    def test_prefix_offsets_respected(self):
+        session = target_session([5, 6, 7, 8, EOS])
+        outcome = verify_sequence(session, [5, 6], [7, 8])
+        assert outcome.accepted == 2
+        assert outcome.correction == EOS
+
+    def test_empty_draft_rejected(self):
+        session = target_session([5, EOS])
+        with pytest.raises(ValueError):
+            verify_sequence(session, [], [])
+
+    def test_billing_is_draft_length(self):
+        model = ScriptedModel(stream=[5, 6, 7, EOS], name="target")
+        clock = SimClock()
+        session = model.session(FakeUnit(), clock)
+        session.prefill()
+        verify_sequence(session, [], [5, 6, 7])
+        assert clock.tokens_for_kind("verify") == 3
+
+
+class TestVerifyTree:
+    def test_picks_deepest_accepted_branch(self):
+        session = target_session([5, 6, 7, EOS])
+        tree = TokenTree()
+        a = tree.add(5)
+        tree.add_chain([9], parent=a)  # wrong branch
+        good = tree.add_chain([6, 7], parent=a)  # right branch
+        outcome = verify_tree(session, [], tree)
+        assert outcome.accepted_tokens == [5, 6, 7]
+        assert outcome.correction == EOS
+        assert outcome.accepted_node == good[-1]
+
+    def test_rejects_all_roots(self):
+        session = target_session([5, EOS])
+        tree = TokenTree()
+        tree.add(8)
+        tree.add(9)
+        outcome = verify_tree(session, [], tree)
+        assert outcome.accepted_tokens == []
+        assert outcome.correction == 5
+        assert outcome.accepted_node == ROOT_PARENT
+
+    def test_child_of_rejected_parent_not_accepted(self):
+        """A node matching the target is still rejected if its parent was —
+        acceptance must follow root-to-leaf paths only."""
+        session = target_session([5, 6, EOS])
+        tree = TokenTree()
+        bad = tree.add(9)  # wrong root
+        tree.add(6, parent=bad)  # would match position 1, but unreachable
+        outcome = verify_tree(session, [], tree)
+        assert outcome.accepted_tokens == []
+        assert outcome.correction == 5
+
+    def test_equivalent_to_sequence_verification_for_chain(self):
+        stream = [5, 6, 7, 8, EOS]
+        chain = [5, 6, 9]
+        seq_outcome = verify_sequence(target_session(stream), [], chain)
+        tree = TokenTree()
+        tree.add_chain(chain)
+        tree_outcome = verify_tree(target_session(stream), [], tree)
+        assert tree_outcome.accepted_tokens == chain[: seq_outcome.accepted]
+        assert tree_outcome.correction == seq_outcome.correction
+
+    def test_billing_defaults_to_node_count(self):
+        model = ScriptedModel(stream=[5, 6, EOS], name="target")
+        clock = SimClock()
+        session = model.session(FakeUnit(), clock)
+        session.prefill()
+        tree = TokenTree.from_sequences([[5, 6], [5, 9]])
+        verify_tree(session, [], tree)
+        assert clock.tokens_for_kind("verify") == len(tree)
+
+    def test_empty_tree_rejected(self):
+        session = target_session([5, EOS])
+        with pytest.raises(ValueError):
+            verify_tree(session, [], TokenTree())
+
+    def test_accepted_set_consistent(self):
+        session = target_session([5, 6, 7, EOS])
+        tree = TokenTree.from_sequences([[5, 6, 7], [5, 9]])
+        outcome = verify_tree(session, [], tree)
+        for node in outcome.accepted_set:
+            path = tree.path_tokens(node)
+            assert path == [5, 6, 7][: len(path)]
