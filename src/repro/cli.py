@@ -34,6 +34,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--utterances", type=int, default=32)
     run_parser.add_argument("--seed", type=int, default=2025)
     run_parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="decode corpora with N parallel workers (results are identical "
+        "to the serial runner; see repro.harness.executor)",
+    )
+    run_parser.add_argument(
         "--json-dir",
         default=None,
         help="also save each report as JSON under this directory",
@@ -55,7 +62,9 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    config = ExperimentConfig(seed=args.seed, utterances=args.utterances)
+    config = ExperimentConfig(
+        seed=args.seed, utterances=args.utterances, workers=args.workers
+    )
     targets = list_experiments() if args.experiment == "all" else [args.experiment]
     for exp_id in targets:
         report = run_experiment(exp_id, config)

@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.config import SpecASRConfig
-from repro.decoding.base import SessionLike
+from repro.decoding.base import SessionLike, as_cursor
 from repro.models.latency import KIND_DRAFT
 
 
@@ -53,7 +53,7 @@ class DraftSequence:
 
 def draft_adaptive(
     session: SessionLike,
-    prefix: list[int],
+    prefix,
     config: SpecASRConfig,
     eos_id: int,
     truncate: bool = True,
@@ -61,7 +61,8 @@ def draft_adaptive(
 ) -> DraftSequence:
     """Draft a single sequence after ``prefix`` with adaptive truncation.
 
-    With ``truncate=True`` (ASP) generation stops right after the first
+    ``prefix`` may be a token list or a session cursor.  With
+    ``truncate=True`` (ASP) generation stops right after the first
     token whose top probability is below ``config.threshold`` — the token
     itself is still submitted, it just is not extended.  With
     ``truncate=False`` (TSP trunk pass) generation continues to the length
@@ -69,8 +70,10 @@ def draft_adaptive(
     """
     limit = max_len if max_len is not None else config.max_draft_len
     draft = DraftSequence()
+    cursor = as_cursor(session, prefix)
     while len(draft.tokens) < limit:
-        result = session.step(prefix + draft.tokens, kind=KIND_DRAFT)
+        result = session.step(cursor, kind=KIND_DRAFT)
+        cursor = cursor.advance(result.token)
         draft.draft_steps += 1
         draft.tokens.append(result.token)
         draft.probs.append(result.top_prob)

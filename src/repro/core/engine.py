@@ -34,6 +34,7 @@ from repro.decoding.base import (
     DecodeTrace,
     ModelLike,
     RoundStats,
+    as_cursor,
     strip_eos,
 )
 from repro.decoding.speculative import commit
@@ -56,9 +57,6 @@ class SpecASREngine:
         self.target = target
         self.config = config
         self.name = name or config.mode
-        # Per-round view of the config; differs from `config` only when the
-        # adaptive threshold controller is active.
-        self._round_config = config
 
     # -- public API ----------------------------------------------------------
     def decode(self, unit) -> DecodeResult:
@@ -70,6 +68,10 @@ class SpecASREngine:
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
         prefix: list[int] = []
+        # One cursor per session at the committed prefix; both advance in
+        # O(1) per committed token instead of re-hashing the whole prefix.
+        draft_cursor = as_cursor(draft_session)
+        target_cursor = as_cursor(target_session)
         suffix: RecycledSuffix | None = None
         limit = target_session.max_decode_positions()
         controller = (
@@ -81,16 +83,20 @@ class SpecASREngine:
         )
         done = False
         while not done and len(prefix) < limit:
-            if controller is not None:
-                self._round_config = replace(
-                    self.config, threshold=controller.value
-                )
+            # Per-round view of the config; differs from `config` only when
+            # the adaptive threshold controller is active.  Kept local so
+            # concurrent decode() calls on one engine never share state.
+            round_config = (
+                replace(self.config, threshold=controller.value)
+                if controller is not None
+                else self.config
+            )
             tree, info, stats = self._draft_round(
-                draft_session, prefix, suffix, eos_id
+                draft_session, draft_cursor, suffix, eos_id, round_config
             )
             if len(tree) == 0:
                 break  # defensive: nothing draftable
-            outcome = verify_tree(target_session, prefix, tree)
+            outcome = verify_tree(target_session, target_cursor, tree)
             stats.accepted_tokens = len(outcome.accepted_tokens)
             emitted = outcome.accepted_tokens + [outcome.correction]
             stats.emitted_tokens = len(emitted)
@@ -103,9 +109,13 @@ class SpecASREngine:
                     accepted=stats.accepted_tokens,
                 )
             suffix = self._extract_suffix(tree, info, outcome, eos_id)
+            committed_before = len(prefix)
             prefix, done = commit(prefix, emitted, eos_id)
-            draft_session.rollback(len(prefix))
-            target_session.rollback(len(prefix))
+            newly_committed = prefix[committed_before:]
+            draft_cursor = draft_cursor.extend(newly_committed)
+            target_cursor = target_cursor.extend(newly_committed)
+            draft_cursor.rollback()
+            target_cursor.rollback()
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,
@@ -117,12 +127,14 @@ class SpecASREngine:
     def _draft_round(
         self,
         draft_session,
-        prefix: list[int],
+        prefix,
         suffix: RecycledSuffix | None,
         eos_id: int,
+        config: SpecASRConfig | None = None,
     ) -> tuple[TokenTree, list[DraftedToken], RoundStats]:
         stats = RoundStats()
-        config = self._round_config
+        if config is None:
+            config = self.config
         use_suffix = suffix if (config.recycling and suffix) else None
 
         if config.sparse_tree:

@@ -27,7 +27,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.core.adaptive import UncertainPoint
 from repro.core.config import SpecASRConfig
-from repro.decoding.base import SessionLike
+from repro.decoding.base import SessionLike, as_cursor
 from repro.models.latency import KIND_DRAFT
 
 
@@ -115,7 +115,7 @@ def _match_offset(
 
 def draft_with_recycling(
     session: SessionLike,
-    prefix: list[int],
+    prefix,
     suffix: RecycledSuffix,
     config: SpecASRConfig,
     eos_id: int,
@@ -123,9 +123,10 @@ def draft_with_recycling(
 ) -> RecyclingDraft:
     """Run one recycling drafting phase after ``prefix``.
 
-    ``truncate=True`` applies the ASP threshold to both frontiers;
-    ``truncate=False`` (TSP trunk pass) lets generation run through
-    uncertain positions, which are only recorded.
+    ``prefix`` may be a token list or a session cursor.  ``truncate=True``
+    applies the ASP threshold to both frontiers; ``truncate=False`` (TSP
+    trunk pass) lets generation run through uncertain positions, which are
+    only recorded.
     """
     if not suffix:
         raise ValueError("draft_with_recycling requires a non-empty suffix")
@@ -138,6 +139,12 @@ def draft_with_recycling(
     steps = 0
     fresh = 0
 
+    base = as_cursor(session, prefix)
+    # Both frontiers advance one token per batched pass; cursors make each
+    # advance O(1) instead of rebuilding the full prefix list.
+    ext_cursor = base.extend([t.token for t in retained])
+    regen_cursor = base
+
     def ext_room() -> bool:
         return len(retained) + len(extension) < max_len
 
@@ -148,22 +155,20 @@ def draft_with_recycling(
     regen_alive = True
 
     while ext_alive or (regen_alive and merge_index is None):
-        frontier: list[tuple[str, list[int]]] = []
+        frontier: list[tuple[str, object]] = []
         if ext_alive:
-            ext_prefix = (
-                prefix + [t.token for t in retained] + [t.token for t in extension]
-            )
-            frontier.append(("ext", ext_prefix))
+            frontier.append(("ext", ext_cursor))
         if regen_alive and merge_index is None:
-            frontier.append(("regen", prefix + [t.token for t in regen]))
+            frontier.append(("regen", regen_cursor))
         results = session.step_frontier(
-            [p for _, p in frontier], kind=KIND_DRAFT
+            [c for _, c in frontier], kind=KIND_DRAFT
         )
         steps += 1
         for (kind, _), result in zip(frontier, results):
             drafted = DraftedToken(result.token, result.top_prob, result.topk)
             if kind == "ext":
                 extension.append(drafted)
+                ext_cursor = ext_cursor.advance(result.token)
                 fresh += 1
                 if result.token == eos_id or not ext_room():
                     ext_alive = False
@@ -171,6 +176,7 @@ def draft_with_recycling(
                     ext_alive = False
             else:
                 regen.append(drafted)
+                regen_cursor = regen_cursor.advance(result.token)
                 fresh += 1
                 j = len(regen) - 1
                 matched = _match_offset(

@@ -24,7 +24,7 @@ from repro.core.recycling import (
     RecycledSuffix,
     draft_with_recycling,
 )
-from repro.decoding.base import SessionLike
+from repro.decoding.base import SessionLike, as_cursor
 from repro.decoding.token_tree import ROOT_PARENT, TokenTree
 from repro.models.latency import KIND_DRAFT
 
@@ -64,17 +64,21 @@ def _absolute_tokens(
 
 def build_sparse_tree_round(
     session: SessionLike,
-    prefix: list[int],
+    prefix,
     suffix: RecycledSuffix | None,
     config: SpecASRConfig,
     eos_id: int,
 ) -> SparseTreeDraft:
-    """Run both TSP passes and return the drafted sparse tree."""
+    """Run both TSP passes and return the drafted sparse tree.
+
+    ``prefix`` may be a token list or a session cursor.
+    """
+    base = as_cursor(session, prefix)
     # ---- pass 1: main trunk (recycled when a suffix is available) -----------
     alt_branch: list[DraftedToken] | None = None
     if suffix:
         recycled = draft_with_recycling(
-            session, prefix, suffix, config, eos_id, truncate=False
+            session, base, suffix, config, eos_id, truncate=False
         )
         trunk = recycled.main
         alt_branch = recycled.alt
@@ -82,7 +86,7 @@ def build_sparse_tree_round(
         fresh = recycled.fresh_tokens
         recycled_count = recycled.recycled_tokens
     else:
-        plain = draft_adaptive(session, prefix, config, eos_id, truncate=False)
+        plain = draft_adaptive(session, base, config, eos_id, truncate=False)
         trunk = [
             DraftedToken(token, prob, ())
             for token, prob in zip(plain.tokens, plain.probs)
@@ -131,15 +135,27 @@ def build_sparse_tree_round(
         still_live.append(branch)
     live = still_live
 
+    # One cursor per trunk position (trunk_cursors[i] = after trunk[:i]),
+    # built once; each live branch then advances its own cursor per step.
+    if live:
+        trunk_cursors = [base]
+        max_offset = max(b.trunk_offset for b in live)
+        for item in trunk[:max_offset]:
+            trunk_cursors.append(trunk_cursors[-1].advance(item.token))
+        branch_cursors = {
+            id(b): trunk_cursors[b.trunk_offset].advance(b.items[0].token)
+            for b in live
+        }
+
     while live:
-        prefixes = [
-            prefix + [t.token for t in _absolute_tokens(trunk, b)] for b in live
-        ]
-        results = session.step_frontier(prefixes, kind=KIND_DRAFT)
+        results = session.step_frontier(
+            [branch_cursors[id(b)] for b in live], kind=KIND_DRAFT
+        )
         steps += 1
         next_live: list[SparseBranch] = []
         for branch, result in zip(live, results):
             branch.items.append(DraftedToken(result.token, result.top_prob, result.topk))
+            branch_cursors[id(branch)] = branch_cursors[id(branch)].advance(result.token)
             fresh += 1
             if _try_merge(branch, trunk, branches, config):
                 recycled_count += len(branch.merged_suffix)

@@ -12,6 +12,7 @@ statistics, or measured from synthetic waveforms via
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterator, Sequence
 
 from repro.utils.hashing import stable_hash
@@ -60,12 +61,12 @@ class Utterance:
                     f"{self.utterance_id}: difficulty {value} outside [0, 1]"
                 )
 
-    @property
+    @cached_property
     def seed(self) -> int:
         """Deterministic per-utterance seed derived from its identifier."""
         return stable_hash("utterance", self.utterance_id)
 
-    @property
+    @cached_property
     def content_key(self) -> int:
         """Hash of id *and* content; distinguishes same-id utterances from
         differently-configured corpora (cache keys must use this)."""

@@ -1,7 +1,15 @@
 """Decoding algorithms: autoregressive and speculative baselines, token trees."""
 
 from repro.decoding.autoregressive import AutoregressiveDecoder
-from repro.decoding.base import DecodeResult, DecodeTrace, Decoder, RoundStats
+from repro.decoding.base import (
+    DecodeResult,
+    DecodeTrace,
+    Decoder,
+    PrefixCursor,
+    RoundStats,
+    as_cursor,
+    is_cursor,
+)
 from repro.decoding.dynamic_tree import DynamicTreeConfig, DynamicTreeDecoder
 from repro.decoding.sampling import (
     SamplingConfig,
@@ -27,7 +35,10 @@ __all__ = [
     "DynamicTreeDecoder",
     "FixedTreeConfig",
     "FixedTreeDecoder",
+    "PrefixCursor",
     "RoundStats",
+    "as_cursor",
+    "is_cursor",
     "SamplingConfig",
     "SamplingDecoder",
     "SequenceVerifyOutcome",

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.decoding.base import DecodeResult, DecodeTrace, ModelLike, strip_eos
+from repro.decoding.base import DecodeResult, DecodeTrace, ModelLike, as_cursor, strip_eos
 from repro.models.latency import KIND_DECODE, SimClock
 
 
@@ -18,12 +18,14 @@ class AutoregressiveDecoder:
         session = self.target.session(unit, clock)
         session.prefill()
         tokens: list[int] = []
+        cursor = as_cursor(session)
         limit = session.max_decode_positions()
         while len(tokens) < limit:
-            result = session.step(tokens, kind=KIND_DECODE)
+            result = session.step(cursor, kind=KIND_DECODE)
             tokens.append(result.token)
             if session.is_eos(result.token):
                 break
+            cursor = cursor.advance(result.token)
         eos_id = self.target.vocab.eos_id if hasattr(self.target, "vocab") else None
         final = strip_eos(tokens, eos_id) if eos_id is not None else tokens
         return DecodeResult(

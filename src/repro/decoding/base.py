@@ -103,6 +103,65 @@ class DecodeResult:
         return self.total_ms * 10.0 / duration_s
 
 
+class PrefixCursor:
+    """Tuple-backed cursor for sessions without a native prefix trie.
+
+    Mirrors :class:`repro.models.simulated.SessionCursor` (``advance`` /
+    ``extend`` / ``rollback`` / ``len`` / iteration) on top of a plain token
+    tuple, so decoders written against cursors run unchanged on scripted
+    fakes and text sessions.  Iterating yields the prefix tokens, which is
+    what such sessions expect as a prefix argument.
+    """
+
+    __slots__ = ("session", "_prefix")
+
+    def __init__(self, session, prefix: Sequence[int] = ()) -> None:
+        self.session = session
+        self._prefix = tuple(prefix)
+
+    def advance(self, token: int) -> "PrefixCursor":
+        return PrefixCursor(self.session, self._prefix + (token,))
+
+    def extend(self, tokens: Sequence[int]) -> "PrefixCursor":
+        return PrefixCursor(self.session, self._prefix + tuple(tokens))
+
+    def rollback(self) -> None:
+        self.session.rollback(len(self._prefix))
+
+    @property
+    def tokens(self) -> tuple[int, ...]:
+        return self._prefix
+
+    def __len__(self) -> int:
+        return len(self._prefix)
+
+    def __iter__(self):
+        return iter(self._prefix)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PrefixCursor(len={len(self._prefix)})"
+
+
+def is_cursor(obj) -> bool:
+    """True for any session cursor (native trie cursor or tuple fallback)."""
+    return hasattr(obj, "advance") and hasattr(obj, "session")
+
+
+def as_cursor(session, prefix=()):
+    """A cursor on ``session`` at ``prefix``.
+
+    Passing an existing cursor returns it unchanged; sessions exposing a
+    native ``cursor()`` factory (the trie-backed ASR sessions) get an O(1)
+    handle, everything else gets a :class:`PrefixCursor` shim.
+    """
+    if is_cursor(prefix):
+        return prefix
+    make = getattr(session, "cursor", None)
+    if make is not None:
+        return make(prefix)
+    return PrefixCursor(session, prefix)
+
+
 class SessionLike(Protocol):
     """Structural interface decoders require from a model session."""
 

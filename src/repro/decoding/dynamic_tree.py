@@ -22,6 +22,7 @@ from repro.decoding.base import (
     DecodeTrace,
     ModelLike,
     RoundStats,
+    as_cursor,
     strip_eos,
 )
 from repro.decoding.speculative import commit
@@ -82,10 +83,22 @@ class DynamicTreeDecoder:
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
         prefix: list[int] = []
+        draft_cursor = as_cursor(draft_session)
+        target_cursor = as_cursor(target_session)
         limit = target_session.max_decode_positions()
         done = False
         while not done and len(prefix) < limit:
-            done = self._round(prefix, draft_session, target_session, trace, eos_id)
+            emitted = self._round(
+                draft_cursor, target_cursor, draft_session, target_session,
+                trace, eos_id,
+            )
+            committed_before = len(prefix)
+            prefix, done = commit(prefix, emitted, eos_id)
+            newly_committed = prefix[committed_before:]
+            draft_cursor = draft_cursor.extend(newly_committed)
+            target_cursor = target_cursor.extend(newly_committed)
+            draft_cursor.rollback()
+            target_cursor.rollback()
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,
@@ -93,21 +106,23 @@ class DynamicTreeDecoder:
             method=self.name,
         )
 
-    def _round(self, prefix, draft_session, target_session, trace, eos_id) -> bool:
+    def _round(
+        self, draft_cursor, target_cursor, draft_session, target_session,
+        trace, eos_id,
+    ) -> list[int]:
         stats = RoundStats()
         tree = TokenTree()
         config = self.config
         # Path probability per node; ROOT_PARENT's is 1.
         path_prob: dict[int, float] = {ROOT_PARENT: 1.0}
+        node_cursors = {ROOT_PARENT: draft_cursor}
         # Frontier of nodes whose children have not been generated yet.
         frontier: list[int] = [ROOT_PARENT]
         depth = 0
         while frontier and len(tree) < config.node_budget and depth < config.max_depth:
-            prefixes = [
-                prefix + (tree.path_tokens(node) if node != ROOT_PARENT else [])
-                for node in frontier
-            ]
-            results = draft_session.step_frontier(prefixes, kind=KIND_DRAFT)
+            results = draft_session.step_frontier(
+                [node_cursors[node] for node in frontier], kind=KIND_DRAFT
+            )
             stats.draft_steps += 1
             # Collect candidate children across the whole frontier, then
             # admit the highest-path-probability ones within the budget.
@@ -129,6 +144,7 @@ class DynamicTreeDecoder:
                 neg_p, _order, node, token, prob = heapq.heappop(candidates)
                 child = tree.add(token, node, prob)
                 path_prob[child] = -neg_p
+                node_cursors[child] = node_cursors[node].advance(token)
                 if token != eos_id:
                     next_frontier.append(child)
             frontier = next_frontier
@@ -136,7 +152,7 @@ class DynamicTreeDecoder:
 
         if len(tree) == 0:
             # Degenerate round (nothing above threshold): draft one token.
-            result = draft_session.step(prefix, kind=KIND_DRAFT)
+            result = draft_session.step(draft_cursor, kind=KIND_DRAFT)
             stats.draft_steps += 1
             node = tree.add(result.token, ROOT_PARENT, result.top_prob)
             path_prob[node] = result.top_prob
@@ -144,12 +160,9 @@ class DynamicTreeDecoder:
         stats.drafted_tokens = len(tree)
         stats.submitted_tokens = tree.max_depth()
         stats.tree_nodes = len(tree)
-        outcome = verify_tree(target_session, prefix, tree)
+        outcome = verify_tree(target_session, target_cursor, tree)
         stats.accepted_tokens = len(outcome.accepted_tokens)
         emitted = outcome.accepted_tokens + [outcome.correction]
         stats.emitted_tokens = len(emitted)
         trace.rounds.append(stats)
-        prefix, done = commit(prefix, emitted, eos_id)
-        draft_session.rollback(len(prefix))
-        target_session.rollback(len(prefix))
-        return done
+        return emitted

@@ -22,6 +22,7 @@ from repro.decoding.base import (
     DecodeTrace,
     ModelLike,
     RoundStats,
+    as_cursor,
     strip_eos,
 )
 from repro.models.latency import KIND_DECODE, KIND_DRAFT, SimClock
@@ -78,13 +79,15 @@ class SamplingDecoder:
         rng = RngStream(self.config.seed, "sampling", unit.seed)
         eos_id = self.target.vocab.eos_id
         tokens: list[int] = []
+        cursor = as_cursor(session)
         limit = session.max_decode_positions()
         while len(tokens) < limit:
-            step = session.step(tokens, kind=KIND_DECODE)
+            step = session.step(cursor, kind=KIND_DECODE)
             token = _sample(_distribution(step), rng.child("tok", len(tokens)))
             tokens.append(token)
             if token == eos_id:
                 break
+            cursor = cursor.advance(token)
         return DecodeResult(
             tokens=strip_eos(tokens, eos_id),
             clock=clock,
@@ -122,6 +125,8 @@ class SpeculativeSamplingDecoder:
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
         prefix: list[int] = []
+        draft_cursor = as_cursor(draft_session)
+        target_cursor = as_cursor(target_session)
         limit = target_session.max_decode_positions()
         step_index = 0
         done = False
@@ -130,8 +135,9 @@ class SpeculativeSamplingDecoder:
             # --- draft phase: sample gamma tokens from the draft -----------------
             drafts: list[int] = []
             draft_dists: list[dict[int, float]] = []
+            cursor = draft_cursor
             for _ in range(self.config.draft_len):
-                step = draft_session.step(prefix + drafts, kind=KIND_DRAFT)
+                step = draft_session.step(cursor, kind=KIND_DRAFT)
                 stats.draft_steps += 1
                 dist = _distribution(step)
                 token = _sample(dist, rng.child("draft", step_index, len(drafts)))
@@ -139,14 +145,17 @@ class SpeculativeSamplingDecoder:
                 draft_dists.append(dist)
                 if token == eos_id:
                     break
+                cursor = cursor.advance(token)
             stats.drafted_tokens = len(drafts)
             stats.submitted_tokens = len(drafts)
             stats.tree_nodes = len(drafts)
             # --- verification: one batched target pass --------------------------
-            prefixes = [
-                tuple(prefix) + tuple(drafts[:i]) for i in range(len(drafts) + 1)
-            ]
-            results = target_session.verify_eval(prefixes, billed_tokens=len(drafts))
+            verify_cursors = [target_cursor]
+            for token in drafts:
+                verify_cursors.append(verify_cursors[-1].advance(token))
+            results = target_session.verify_eval(
+                verify_cursors, billed_tokens=len(drafts)
+            )
             emitted: list[int] = []
             accepted = 0
             for index, token in enumerate(drafts):
@@ -181,13 +190,17 @@ class SpeculativeSamplingDecoder:
             stats.accepted_tokens = accepted
             stats.emitted_tokens = len(emitted)
             trace.rounds.append(stats)
+            committed_before = len(prefix)
             for token in emitted:
                 prefix.append(token)
                 if token == eos_id:
                     done = True
                     break
-            draft_session.rollback(len(prefix))
-            target_session.rollback(len(prefix))
+            newly_committed = prefix[committed_before:]
+            draft_cursor = draft_cursor.extend(newly_committed)
+            target_cursor = target_cursor.extend(newly_committed)
+            draft_cursor.rollback()
+            target_cursor.rollback()
             step_index += 1
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),

@@ -16,6 +16,7 @@ from repro.decoding.base import (
     DecodeTrace,
     ModelLike,
     RoundStats,
+    as_cursor,
     strip_eos,
 )
 from repro.decoding.token_tree import ROOT_PARENT, TokenTree
@@ -79,17 +80,25 @@ class SpeculativeDecoder:
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
         prefix: list[int] = []
+        draft_cursor = as_cursor(draft_session)
+        target_cursor = as_cursor(target_session)
         limit = target_session.max_decode_positions()
         done = False
         while not done and len(prefix) < limit:
-            if self.config.beams == 1:
-                done = self._round_single(
-                    prefix, draft_session, target_session, trace, eos_id
-                )
-            else:
-                done = self._round_beams(
-                    prefix, draft_session, target_session, trace, eos_id
-                )
+            round_fn = (
+                self._round_single if self.config.beams == 1 else self._round_beams
+            )
+            emitted = round_fn(
+                draft_cursor, target_cursor, draft_session, target_session,
+                trace, eos_id,
+            )
+            committed_before = len(prefix)
+            prefix, done = commit(prefix, emitted, eos_id)
+            newly_committed = prefix[committed_before:]
+            draft_cursor = draft_cursor.extend(newly_committed)
+            target_cursor = target_cursor.extend(newly_committed)
+            draft_cursor.rollback()
+            target_cursor.rollback()
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,
@@ -99,42 +108,45 @@ class SpeculativeDecoder:
 
     # -- single-beam round ------------------------------------------------------
     def _round_single(
-        self, prefix, draft_session, target_session, trace, eos_id
-    ) -> bool:
+        self, draft_cursor, target_cursor, draft_session, target_session,
+        trace, eos_id,
+    ) -> list[int]:
         stats = RoundStats()
         drafts: list[int] = []
+        cursor = draft_cursor
         for _ in range(self.config.draft_len):
-            result = draft_session.step(prefix + drafts, kind=KIND_DRAFT)
+            result = draft_session.step(cursor, kind=KIND_DRAFT)
             stats.draft_steps += 1
             drafts.append(result.token)
             if result.token == eos_id:
                 break
+            cursor = cursor.advance(result.token)
         stats.drafted_tokens = len(drafts)
         stats.submitted_tokens = len(drafts)
         stats.tree_nodes = len(drafts)
-        outcome = verify_sequence(target_session, prefix, drafts)
+        outcome = verify_sequence(target_session, target_cursor, drafts)
         stats.accepted_tokens = outcome.accepted
         emitted = drafts[: outcome.accepted] + [outcome.correction]
         stats.emitted_tokens = len(emitted)
         trace.rounds.append(stats)
-        prefix, done = commit(prefix, emitted, eos_id)
-        draft_session.rollback(len(prefix))
-        target_session.rollback(len(prefix))
-        return done
+        return emitted
 
     # -- two-beam round ------------------------------------------------------
     def _round_beams(
-        self, prefix, draft_session, target_session, trace, eos_id
-    ) -> bool:
+        self, draft_cursor, target_cursor, draft_session, target_session,
+        trace, eos_id,
+    ) -> list[int]:
         stats = RoundStats()
         tree = TokenTree()
-        first = draft_session.step(prefix, kind=KIND_DRAFT)
+        first = draft_session.step(draft_cursor, kind=KIND_DRAFT)
         stats.draft_steps += 1
         primary = tree.add(first.token, ROOT_PARENT, first.top_prob)
+        node_cursors = {primary: draft_cursor.advance(first.token)}
         frontier = [primary]
         if len(first.topk) > 1 and first.topk[1][0] != first.token:
             secondary_token, secondary_prob = first.topk[1]
             secondary = tree.add(secondary_token, ROOT_PARENT, secondary_prob)
+            node_cursors[secondary] = draft_cursor.advance(secondary_token)
             frontier.append(secondary)
         # Extend every live branch one token per batched draft pass.
         for _ in range(self.config.draft_len - 1):
@@ -145,22 +157,21 @@ class SpeculativeDecoder:
             ]
             if not live:
                 break
-            prefixes = [prefix + tree.path_tokens(node) for node in live]
-            results = draft_session.step_frontier(prefixes, kind=KIND_DRAFT)
+            results = draft_session.step_frontier(
+                [node_cursors[node] for node in live], kind=KIND_DRAFT
+            )
             stats.draft_steps += 1
-            frontier = [
-                tree.add(result.token, node, result.top_prob)
-                for node, result in zip(live, results)
-            ]
+            frontier = []
+            for node, result in zip(live, results):
+                child = tree.add(result.token, node, result.top_prob)
+                node_cursors[child] = node_cursors[node].advance(result.token)
+                frontier.append(child)
         stats.drafted_tokens = len(tree)
         stats.submitted_tokens = tree.max_depth()
         stats.tree_nodes = len(tree)
-        outcome = verify_tree(target_session, prefix, tree)
+        outcome = verify_tree(target_session, target_cursor, tree)
         stats.accepted_tokens = len(outcome.accepted_tokens)
         emitted = outcome.accepted_tokens + [outcome.correction]
         stats.emitted_tokens = len(emitted)
         trace.rounds.append(stats)
-        prefix, done = commit(prefix, emitted, eos_id)
-        draft_session.rollback(len(prefix))
-        target_session.rollback(len(prefix))
-        return done
+        return emitted

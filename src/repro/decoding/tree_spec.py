@@ -16,6 +16,7 @@ from repro.decoding.base import (
     DecodeTrace,
     ModelLike,
     RoundStats,
+    as_cursor,
     strip_eos,
 )
 from repro.decoding.speculative import commit
@@ -65,10 +66,22 @@ class FixedTreeDecoder:
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
         prefix: list[int] = []
+        draft_cursor = as_cursor(draft_session)
+        target_cursor = as_cursor(target_session)
         limit = target_session.max_decode_positions()
         done = False
         while not done and len(prefix) < limit:
-            done = self._round(prefix, draft_session, target_session, trace, eos_id)
+            emitted = self._round(
+                draft_cursor, target_cursor, draft_session, target_session,
+                trace, eos_id,
+            )
+            committed_before = len(prefix)
+            prefix, done = commit(prefix, emitted, eos_id)
+            newly_committed = prefix[committed_before:]
+            draft_cursor = draft_cursor.extend(newly_committed)
+            target_cursor = target_cursor.extend(newly_committed)
+            draft_cursor.rollback()
+            target_cursor.rollback()
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,
@@ -76,9 +89,13 @@ class FixedTreeDecoder:
             method=self.name,
         )
 
-    def _round(self, prefix, draft_session, target_session, trace, eos_id) -> bool:
+    def _round(
+        self, draft_cursor, target_cursor, draft_session, target_session,
+        trace, eos_id,
+    ) -> list[int]:
         stats = RoundStats()
         tree = TokenTree()
+        node_cursors = {ROOT_PARENT: draft_cursor}
         frontier: list[int] = [ROOT_PARENT]
         for depth, branch_factor in enumerate(self.config.branching):
             live = [
@@ -88,11 +105,9 @@ class FixedTreeDecoder:
             ]
             if not live:
                 break
-            prefixes = [
-                prefix + (tree.path_tokens(node) if node != ROOT_PARENT else [])
-                for node in live
-            ]
-            results = draft_session.step_frontier(prefixes, kind=KIND_DRAFT)
+            results = draft_session.step_frontier(
+                [node_cursors[node] for node in live], kind=KIND_DRAFT
+            )
             stats.draft_steps += 1
             next_frontier: list[int] = []
             for node, result in zip(live, results):
@@ -101,17 +116,16 @@ class FixedTreeDecoder:
                     if token in taken:
                         continue
                     taken.add(token)
-                    next_frontier.append(tree.add(token, node, prob))
+                    child = tree.add(token, node, prob)
+                    node_cursors[child] = node_cursors[node].advance(token)
+                    next_frontier.append(child)
             frontier = next_frontier
         stats.drafted_tokens = len(tree)
         stats.submitted_tokens = tree.max_depth()
         stats.tree_nodes = len(tree)
-        outcome = verify_tree(target_session, prefix, tree)
+        outcome = verify_tree(target_session, target_cursor, tree)
         stats.accepted_tokens = len(outcome.accepted_tokens)
         emitted = outcome.accepted_tokens + [outcome.correction]
         stats.emitted_tokens = len(emitted)
         trace.rounds.append(stats)
-        prefix, done = commit(prefix, emitted, eos_id)
-        draft_session.rollback(len(prefix))
-        target_session.rollback(len(prefix))
-        return done
+        return emitted

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.decoding.base import SessionLike
+from repro.decoding.base import SessionLike, as_cursor
 from repro.decoding.token_tree import ROOT_PARENT, TokenTree
 from repro.models.simulated import StepResult
 
@@ -36,13 +36,19 @@ def verify_sequence(
     The target evaluates the next-token distribution after every draft
     prefix (one batched forward of ``len(draft_tokens)`` input tokens; the
     distribution after the full prefix is cached from the previous round).
+
+    ``prefix`` may be a token sequence or a session cursor; cursors keep the
+    per-position cost O(1) instead of re-hashing the full prefix.
     """
-    prefix = tuple(prefix)
     drafts = list(draft_tokens)
     if not drafts:
         raise ValueError("verify_sequence needs at least one draft token")
-    prefixes = [prefix + tuple(drafts[:i]) for i in range(len(drafts) + 1)]
-    results = target.verify_eval(prefixes, billed_tokens=len(drafts))
+    cursor = as_cursor(target, prefix)
+    cursors = [cursor]
+    for token in drafts:
+        cursor = cursor.advance(token)
+        cursors.append(cursor)
+    results = target.verify_eval(cursors, billed_tokens=len(drafts))
     accepted = 0
     for draft_token, result in zip(drafts, results):
         if result.token != draft_token:
@@ -78,18 +84,23 @@ def verify_tree(
     """Verify every branch of ``tree`` in one masked target pass.
 
     ``billed_tokens`` defaults to the number of tree nodes — the inputs the
-    2-D attention mask evaluates in parallel.
+    2-D attention mask evaluates in parallel.  ``prefix`` may be a token
+    sequence or a session cursor; each node's evaluation point is reached by
+    advancing its parent's cursor one token, so the whole tree costs
+    O(nodes) rather than O(nodes × prefix length).
     """
     if len(tree) == 0:
         raise ValueError("cannot verify an empty token tree")
-    prefix = tuple(prefix)
+    root_cursor = as_cursor(target, prefix)
     # Evaluate the target at the bare prefix (root-level distribution, cached
-    # from the previous round) and after each node's path.
-    prefixes = [prefix] + [
-        prefix + tuple(tree.path_tokens(i)) for i in range(len(tree))
-    ]
+    # from the previous round) and after each node's path.  Nodes are in
+    # topological order, so every parent cursor exists before its children.
+    node_cursors: list = []
+    for node in tree.nodes:
+        parent = root_cursor if node.parent == ROOT_PARENT else node_cursors[node.parent]
+        node_cursors.append(parent.advance(node.token))
     billed = billed_tokens if billed_tokens is not None else len(tree)
-    results = target.verify_eval(prefixes, billed_tokens=billed)
+    results = target.verify_eval([root_cursor, *node_cursors], billed_tokens=billed)
     root_result = results[0]
     node_results = results[1:]
 

@@ -1,0 +1,160 @@
+"""Parallel corpus execution: fan decode work out across workers.
+
+A corpus run is embarrassingly parallel — every (method, utterance) decode
+is independent, deterministic, and carries its own :class:`SimClock` — so
+the only requirements on a parallel runner are **deterministic result
+ordering** (results must come back keyed by (method, utterance index), not
+by completion order) and **per-worker model state** (each process builds its
+own decoders once and keeps its oracle caches warm across tasks).
+
+Backends:
+
+* ``serial``  — plain in-process loop (the reference behaviour);
+* ``thread``  — a thread pool sharing the caller's decoder objects.  Decoders
+  are reentrant (all decode state is per-call), so this is safe, but the
+  simulation is pure Python and the GIL limits real speedup;
+* ``process`` — a process pool.  The methods (or a zero-argument factory
+  building them) and the dataset are shipped once per worker via the pool
+  initializer; tasks then reference them by name, so each worker's oracle
+  caches persist across its tasks;
+* ``auto``    — ``process`` when the work can be pickled, else ``thread``.
+
+Transcripts, traces and SimClock totals are bit-identical to the serial
+runner for every backend: decodes don't interact, and aggregation happens
+in the parent in corpus order.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from repro.data.corpus import Dataset
+from repro.decoding.base import DecodeResult
+
+BACKENDS = ("serial", "thread", "process", "auto")
+
+#: Worker-process globals installed by :func:`_init_worker`.
+_WORKER_METHODS: dict[str, object] | None = None
+_WORKER_DATASET: Dataset | None = None
+
+
+def default_worker_count() -> int:
+    """A sensible worker count for this machine (bounded small)."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+def _init_worker(methods_or_factory, dataset: Dataset) -> None:
+    """Build this worker's decoders once; tasks reference them by name."""
+    global _WORKER_METHODS, _WORKER_DATASET
+    if callable(methods_or_factory):
+        _WORKER_METHODS = methods_or_factory()
+    else:
+        _WORKER_METHODS = methods_or_factory
+    _WORKER_DATASET = dataset
+
+
+def _decode_task(method: str, index: int) -> DecodeResult:
+    assert _WORKER_METHODS is not None and _WORKER_DATASET is not None
+    return _WORKER_METHODS[method].decode(_WORKER_DATASET[index])
+
+
+@dataclass(frozen=True)
+class ExecutorStats:
+    """How the last run was executed (for benches and reports)."""
+
+    backend: str
+    workers: int
+    tasks: int
+
+
+class CorpusExecutor:
+    """Runs (method × utterance) decode grids with deterministic ordering.
+
+    ``methods`` may be a mapping of live decoders or a zero-argument factory
+    returning one.  A factory is preferred for the process backend: it is
+    cheap to pickle and each worker builds fresh models, so nothing shared
+    needs to cross process boundaries.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "auto") -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown backend {backend!r}; choose from {BACKENDS}")
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.backend = backend
+        self.last_stats: ExecutorStats | None = None
+
+    # -- public API ----------------------------------------------------------
+    def map_decode(
+        self,
+        methods: Mapping[str, object] | Callable[[], Mapping[str, object]],
+        dataset: Dataset,
+        method_order: Sequence[str] | None = None,
+    ) -> dict[str, list[DecodeResult]]:
+        """Decode every utterance with every method.
+
+        Returns ``{method: [result per utterance, in corpus order]}`` with
+        the same content regardless of backend or worker count.
+        """
+        live = methods() if callable(methods) else methods
+        names = list(method_order) if method_order is not None else list(live)
+        tasks = [(name, index) for name in names for index in range(len(dataset))]
+        backend = self._effective_backend(methods, live, dataset)
+        self.last_stats = ExecutorStats(backend, self.workers, len(tasks))
+
+        grid: dict[str, list[DecodeResult | None]] = {
+            name: [None] * len(dataset) for name in names
+        }
+        if backend == "serial":
+            for name, index in tasks:
+                grid[name][index] = live[name].decode(dataset[index])
+        elif backend == "thread":
+            with ThreadPoolExecutor(max_workers=self.workers) as pool:
+                futures = {
+                    pool.submit(live[name].decode, dataset[index]): (name, index)
+                    for name, index in tasks
+                }
+                for future, (name, index) in futures.items():
+                    grid[name][index] = future.result()
+        else:  # process
+            payload = methods if callable(methods) else live
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(payload, dataset),
+            ) as pool:
+                futures = {
+                    pool.submit(_decode_task, name, index): (name, index)
+                    for name, index in tasks
+                }
+                for future, (name, index) in futures.items():
+                    grid[name][index] = future.result()
+        return {name: list(results) for name, results in grid.items()}  # type: ignore[arg-type]
+
+    # -- helpers -------------------------------------------------------------
+    def _effective_backend(self, methods, live, dataset) -> str:
+        if self.workers <= 1:
+            return "serial"
+        if self.backend != "auto":
+            return self.backend
+        if (os.cpu_count() or 1) <= 1:
+            # Pools are pure overhead on a single core; the fastest plan for
+            # this hardware is the serial loop (results are identical).
+            return "serial"
+        if callable(methods):
+            return "process"
+        try:
+            # Probe with one decoder and one utterance — representative of
+            # the full payload without serializing the whole corpus twice.
+            probe = next(iter(live.values()), None)
+            pickle.dumps(probe)
+            if len(dataset):
+                pickle.dumps(dataset[0])
+        except Exception:
+            return "thread"
+        return "process"

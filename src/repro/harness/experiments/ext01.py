@@ -18,6 +18,7 @@ from repro.harness.runner import (
     ExperimentConfig,
     load_split,
     run_method,
+    run_methods,
     shared_vocabulary,
 )
 from repro.models.registry import model_pair
@@ -39,8 +40,15 @@ def run_adaptive(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRep
         "fixed 0.65 (mistuned)": SpecASRConfig(threshold=0.65),
         "adaptive from 0.65": SpecASRConfig(threshold=0.65, adaptive_threshold=True),
     }
-    for label, cfg in variants.items():
-        run = run_method(SpecASREngine(draft, target, cfg, name=label), dataset)
+    engines = {
+        label: SpecASREngine(draft, target, cfg, name=label)
+        for label, cfg in variants.items()
+    }
+    # One batched corpus run (one worker pool) instead of one per variant.
+    runs = run_methods(
+        engines, dataset, check_lossless=False, workers=config.workers
+    )
+    for label, run in runs.items():
         report.rows.append(
             [label, run.breakdown.ms_per_10s, run.mean_draft_steps, run.mean_rounds]
         )
@@ -62,7 +70,7 @@ def run_sampling(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRep
         decoder = SpeculativeSamplingDecoder(
             draft, target, SamplingConfig(seed=config.seed, draft_len=8)
         )
-        run = run_method(decoder, dataset)
+        run = run_method(decoder, dataset, workers=config.workers)
         report.rows.append(
             [
                 pairing,

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from repro.decoding.speculative import SpeculativeConfig, SpeculativeDecoder
 from repro.harness.experiments.base import ExperimentReport
-from repro.harness.runner import ExperimentConfig, load_split, run_method, shared_vocabulary
+from repro.harness.runner import (
+    ExperimentConfig,
+    load_split,
+    run_methods,
+    shared_vocabulary,
+)
 from repro.models.registry import PAIRINGS, model_pair
 
 
@@ -16,14 +21,21 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
     )
     vocab = shared_vocabulary()
     dataset = load_split("test-clean", config)
+    gammas = (4, 8, 16, 24)
     for pairing in PAIRINGS:
         draft, target = model_pair(pairing, vocab)
-        for gamma in (4, 8, 16, 24):
-            decoder = SpeculativeDecoder(
+        # One batched corpus run (one worker pool) across the gamma sweep.
+        decoders = {
+            f"gamma{gamma}": SpeculativeDecoder(
                 draft, target, SpeculativeConfig(draft_len=gamma)
             )
-            run_result = run_method(decoder, dataset)
-            breakdown = run_result.breakdown
+            for gamma in gammas
+        }
+        runs = run_methods(
+            decoders, dataset, check_lossless=False, workers=config.workers
+        )
+        for gamma in gammas:
+            breakdown = runs[f"gamma{gamma}"].breakdown
             draft_share = 100.0 * breakdown.model_share(draft.name)
             target_share = 100.0 * breakdown.model_share(target.name)
             report.rows.append([pairing, gamma, draft_share, target_share])

@@ -10,7 +10,7 @@ from repro.harness.experiments.base import ExperimentReport
 from repro.harness.runner import (
     ExperimentConfig,
     load_split,
-    run_method,
+    run_methods,
     shared_vocabulary,
 )
 from repro.metrics.acceptance import rank_distribution_on_failure
@@ -33,11 +33,18 @@ def run_threshold(
     draft, target = model_pair("whisper", vocab)
     base = SpecASRConfig(recycling=False)
     best_threshold, best_ms = None, float("inf")
-    for threshold in THRESHOLDS:
-        engine = SpecASREngine(
+    # One batched corpus run (one worker pool) across all thresholds.
+    engines = {
+        f"asp@{threshold}": SpecASREngine(
             draft, target, replace(base, threshold=threshold), name="asp"
         )
-        run_result = run_method(engine, dataset)
+        for threshold in THRESHOLDS
+    }
+    runs = run_methods(
+        engines, dataset, check_lossless=False, workers=config.workers
+    )
+    for threshold in THRESHOLDS:
+        run_result = runs[f"asp@{threshold}"]
         ms = run_result.breakdown.ms_per_10s
         report.rows.append(
             [threshold, run_result.mean_draft_steps, run_result.mean_rounds, ms]

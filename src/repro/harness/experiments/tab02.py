@@ -65,7 +65,12 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
     vocab = shared_vocabulary()
     dataset = load_split("test-clean", config)
     draft, target = model_pair("whisper", vocab)
-    runs = run_methods(ablation_ladder(draft, target), dataset, check_lossless=True)
+    runs = run_methods(
+        ablation_ladder(draft, target),
+        dataset,
+        check_lossless=True,
+        workers=config.workers,
+    )
     duration = dataset.total_duration_s
     for name, run_result in runs.items():
         draft_ms = target_ms = 0.0

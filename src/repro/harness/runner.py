@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from repro.data.corpus import Dataset
 from repro.data.librisim import LibriSimBuilder, LibriSimConfig
 from repro.decoding.base import DecodeResult
+from repro.harness.executor import CorpusExecutor
 from repro.metrics.latency_report import LatencyBreakdown, aggregate_latency
 from repro.models.vocab import Vocabulary, build_default_vocabulary
 
@@ -17,13 +18,16 @@ class ExperimentConfig:
 
     Defaults are sized so every bench finishes in seconds while utterance
     lengths span the LibriSpeech range (short queries to long read
-    sentences).
+    sentences).  ``workers > 1`` fans corpus decoding out across a worker
+    pool (see :mod:`repro.harness.executor`); results are bit-identical to
+    the serial runner.
     """
 
     seed: int = 2025
     utterances: int = 32
     min_words: int = 12
     max_words: int = 56
+    workers: int = 1
 
     def librisim(self) -> LibriSimConfig:
         return LibriSimConfig(
@@ -101,11 +105,27 @@ class MethodRun:
         return sum(r.trace.total_recycled for r in self.results) / len(self.results)
 
 
-def run_method(decoder, dataset: Dataset) -> MethodRun:
-    """Decode every utterance of ``dataset`` with ``decoder``."""
+def run_method(
+    decoder,
+    dataset: Dataset,
+    workers: int = 1,
+    executor: "CorpusExecutor | None" = None,
+) -> MethodRun:
+    """Decode every utterance of ``dataset`` with ``decoder``.
+
+    ``workers > 1`` (or an explicit ``executor``) decodes utterances in
+    parallel; results stay in corpus order and are bit-identical to the
+    serial path.
+    """
     run = MethodRun(method=decoder.name)
-    for utterance in dataset:
-        run.results.append(decoder.decode(utterance))
+    if executor is None and workers > 1:
+        executor = CorpusExecutor(workers=workers)
+    if executor is not None:
+        grid = executor.map_decode({decoder.name: decoder}, dataset)
+        run.results = grid[decoder.name]
+    else:
+        for utterance in dataset:
+            run.results.append(decoder.decode(utterance))
     run.breakdown = aggregate_latency(
         decoder.name, run.results, list(dataset)
     )
@@ -116,19 +136,34 @@ def run_methods(
     methods: dict[str, object],
     dataset: Dataset,
     check_lossless: bool = True,
+    workers: int = 1,
+    executor: "CorpusExecutor | None" = None,
 ) -> dict[str, MethodRun]:
     """Run several methods over one corpus.
 
     With ``check_lossless`` every method's transcripts are asserted equal to
     the first method's (conventionally autoregressive target decoding) —
-    the paper's iso-accuracy guarantee.
+    the paper's iso-accuracy guarantee.  ``workers > 1`` (or an explicit
+    ``executor``) fans the (method × utterance) grid out across a worker
+    pool with deterministic ordering.
     """
+    if executor is None and workers > 1:
+        executor = CorpusExecutor(workers=workers)
+    if executor is not None:
+        grids = executor.map_decode(methods, dataset)
+    else:
+        grids = {
+            name: [decoder.decode(utterance) for utterance in dataset]
+            for name, decoder in methods.items()
+        }
     runs: dict[str, MethodRun] = {}
     reference_tokens: list[list[int]] | None = None
     for name, decoder in methods.items():
-        run = run_method(decoder, dataset)
+        results = grids[name]
+        run = MethodRun(method=decoder.name, results=results)
+        run.breakdown = aggregate_latency(decoder.name, results, list(dataset))
         if check_lossless:
-            tokens = [r.tokens for r in run.results]
+            tokens = [r.tokens for r in results]
             if reference_tokens is None:
                 reference_tokens = tokens
             elif tokens != reference_tokens:

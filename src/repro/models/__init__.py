@@ -10,7 +10,12 @@ from repro.models.registry import (
     model_pair,
     published_asr_configs,
 )
-from repro.models.simulated import DecodeSession, SimulatedASRModel, StepResult
+from repro.models.simulated import (
+    DecodeSession,
+    SessionCursor,
+    SimulatedASRModel,
+    StepResult,
+)
 from repro.models.textlm import SimulatedTextLM, TextSession
 from repro.models.vocab import Vocabulary, build_default_vocabulary
 
@@ -23,6 +28,7 @@ __all__ = [
     "ModelSpec",
     "OracleParams",
     "OracleStep",
+    "SessionCursor",
     "SimClock",
     "SimulatedASRModel",
     "SimulatedTextLM",

@@ -32,14 +32,18 @@ staying a deterministic pure function of seeds:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.data.corpus import Utterance
 from repro.models.vocab import Vocabulary
-from repro.utils.hashing import stable_hash
-from repro.utils.mathutil import softmax
+from repro.utils.cache import LRUCache
+from repro.utils.hashing import hash_prefix, stable_hash, stable_hash_with
+from repro.utils.mathutil import softmax_array
+from repro.utils.rng import fast_generator as _fast_rng
 
 
 @dataclass(frozen=True)
@@ -88,9 +92,12 @@ class OracleParams:
         return self.noise_floor + self.noise_slope * difficulty
 
 
-@dataclass(frozen=True)
-class OracleStep:
-    """Next-token distribution at one decode position."""
+class OracleStep(NamedTuple):
+    """Next-token distribution at one decode position.
+
+    A NamedTuple rather than a dataclass: tens of thousands are built per
+    corpus decode and tuple construction is measurably cheaper.
+    """
 
     position: int
     token: int
@@ -105,9 +112,46 @@ class OracleStep:
         return None
 
 
+#: Memo for deterministic normal draws.  Seeds are content-derived, so the
+#: same draw recurs across models (shared acoustic noise) and decode rounds;
+#: entries are tiny (~a dozen floats).
+_NORMALS_CACHE: LRUCache = LRUCache(maxsize=65536)
+
+
 def _normals(seed: int, count: int) -> np.ndarray:
     """``count`` deterministic standard-normal draws from ``seed``."""
-    return np.random.default_rng(seed).standard_normal(count)
+    key = (seed, count)
+    draws = _NORMALS_CACHE.get(key)
+    if draws is None:
+        draws = _fast_rng(seed).standard_normal(count)
+        draws.setflags(write=False)
+        _NORMALS_CACHE.put(key, draws)
+    return draws
+
+
+#: Candidate token sets are a pure function of (vocabulary, utterance
+#: content, position, candidate-count params) — *not* of the model — so the
+#: draft and target of a pairing share one cache per vocabulary.  Keyed by
+#: vocabulary identity (Vocabulary is an eq-dataclass, hence unhashable);
+#: a finalizer drops the cache when its vocabulary is collected.
+_CANDIDATE_CACHES: dict[int, LRUCache] = {}
+
+
+def _candidate_cache(vocab: Vocabulary) -> LRUCache:
+    key = id(vocab)
+    cache = _CANDIDATE_CACHES.get(key)
+    if cache is None:
+        cache = LRUCache(maxsize=65536)
+        _CANDIDATE_CACHES[key] = cache
+        weakref.finalize(vocab, _CANDIDATE_CACHES.pop, key, None)
+    return cache
+
+
+def clear_acoustic_caches() -> None:
+    """Drop the module-level memo caches (for cold-cache benchmarking)."""
+    _NORMALS_CACHE.clear()
+    for cache in _CANDIDATE_CACHES.values():
+        cache.clear()
 
 
 class EmissionOracle:
@@ -138,7 +182,21 @@ class EmissionOracle:
         self.vocab = vocab
         self.params = params or OracleParams()
         self._cache: dict[tuple[int, int, int], OracleStep] = {}
+        # Per-position pre-perturbation state: (candidates, candidate array,
+        # base scores).  Perturbed variants of a position share it, so
+        # re-anchoring after a correction costs one noise draw + softmax,
+        # not a full rebuild.
+        self._base: dict[int, tuple[list[int], np.ndarray, np.ndarray]] = {}
         self._greedy: list[int] | None = None
+        # Precomputed stable_hash payload prefixes for the per-position
+        # seeds (bit-identical to hashing the full argument lists).
+        useed = self.utterance.seed
+        self._h_shared = hash_prefix(useed, "shared-noise")
+        self._h_own = hash_prefix(self.model_seed, useed, "model-noise")
+        self._h_drop = hash_prefix(self.model_seed, useed, "rank-drop")
+        self._h_perturb = hash_prefix(self.model_seed, useed, "perturb")
+        self._h_confusions = hash_prefix(useed, "confusions")
+        self._h_distractors = hash_prefix(useed, "distractors")
 
     # -- public API ----------------------------------------------------------
     @property
@@ -176,6 +234,21 @@ class EmissionOracle:
     def _candidate_tokens(self, position: int) -> list[int]:
         """Candidate token ids at ``position`` (shared across models)."""
         p = self.params
+        cache = _candidate_cache(self.vocab)
+        key = (
+            self.utterance.content_key,
+            position,
+            len(p.confusion_gains),
+            p.distractor_count,
+        )
+        cached = cache.get(key)
+        if cached is None:
+            cached = self._build_candidates(position)
+            cache.put(key, cached)
+        return cached
+
+    def _build_candidates(self, position: int) -> list[int]:
+        p = self.params
         utt_seed = self.utterance.seed
         if position >= self.utterance.num_tokens:
             # EOS region: EOS plus a couple of distractors.
@@ -185,7 +258,7 @@ class EmissionOracle:
         pool = self.vocab.confusion_pool(ref)
         confusions: list[int] = []
         if pool:
-            rng = np.random.default_rng(stable_hash(utt_seed, "confusions", position))
+            rng = _fast_rng(stable_hash_with(self._h_confusions, position))
             order = rng.permutation(len(pool))
             for idx in order:
                 candidate = pool[int(idx)]
@@ -201,21 +274,64 @@ class EmissionOracle:
         self, position: int, count: int, exclude: tuple[int, ...]
     ) -> list[int]:
         regular = self.vocab.regular_ids()
-        rng = np.random.default_rng(
-            stable_hash(self.utterance.seed, "distractors", position)
-        )
+        rng = _fast_rng(stable_hash_with(self._h_distractors, position))
         picked: list[int] = []
         excluded = set(exclude)
+        pool_size = len(regular)
+        # Batched draws are stream-identical to repeated scalar draws from
+        # the same generator, so over-drawing a block and consuming it in
+        # order picks exactly the tokens the one-at-a-time loop would.
         while len(picked) < count:
-            candidate = regular[int(rng.integers(0, len(regular)))]
-            if candidate not in excluded:
-                picked.append(candidate)
-                excluded.add(candidate)
+            for index in rng.integers(0, pool_size, size=count + 4):
+                candidate = regular[int(index)]
+                if candidate not in excluded:
+                    picked.append(candidate)
+                    excluded.add(candidate)
+                    if len(picked) == count:
+                        break
         return picked
 
     def _compute_step(
         self, position: int, perturb_level: int, context_key: int
     ) -> OracleStep:
+        p = self.params
+        base = self._base.get(position)
+        if base is None:
+            base = self._compute_base(position)
+            self._base[position] = base
+        candidates, cand_arr, scores = base
+        n = len(candidates)
+
+        if perturb_level > 0:
+            level_frac = perturb_level / max(p.perturb_window, 1)
+            perturb = p.perturb_noise * level_frac * _normals(
+                stable_hash_with(
+                    self._h_perturb, position, perturb_level, context_key
+                ),
+                n,
+            )
+            scores = scores + perturb
+
+        # Passing the array through is bit-identical to scores.tolist():
+        # tolist() round-trips the exact same float64 values.
+        prob_arr = softmax_array(scores, temperature=p.temperature)
+        probs = prob_arr.tolist()
+        # lexsort (last key primary): descending prob, candidate id as the
+        # tie-break — the same total order as sorting (-prob, candidate).
+        order = np.lexsort((cand_arr, -prob_arr))
+        top = order[: p.topk]
+        topk = tuple((candidates[i], probs[i]) for i in top)
+        return OracleStep(
+            position=position,
+            token=topk[0][0],
+            top_prob=topk[0][1],
+            topk=topk,
+        )
+
+    def _compute_base(
+        self, position: int
+    ) -> tuple[list[int], np.ndarray, np.ndarray]:
+        """Candidates (list + array) and pre-perturbation scores."""
         p = self.params
         utt = self.utterance
         candidates = self._candidate_tokens(position)
@@ -243,15 +359,14 @@ class EmissionOracle:
                 p.distractor_score + p.distractor_slope * difficulty,
                 p.distractor_cap,
             )
-            for idx in range(1 + n_conf, n):
-                gains[idx] = distractor_gain
+            gains[1 + n_conf:] = distractor_gain
 
         scale = p.noise_scale(difficulty)
         shared = p.shared_noise * scale * _normals(
-            stable_hash(utt.seed, "shared-noise", position), n
+            stable_hash_with(self._h_shared, position), n
         )
         own = p.model_noise(self.capacity) * scale * _normals(
-            stable_hash(self.model_seed, utt.seed, "model-noise", position), n
+            stable_hash_with(self._h_own, position), n
         )
         noise = shared + own
         if position < utt.num_tokens:
@@ -263,8 +378,9 @@ class EmissionOracle:
             # preserving the failure-rank structure of Fig. 13b.
             n_conf = min(len(p.confusion_gains), n - 1 - p.distractor_count)
             first_distractor = 1 + max(n_conf, 0)
+            # noise[fd:] holds exactly shared[fd:] + own[fd:] at this point.
             crowd_level = p.distractor_noise_factor * (
-                shared[first_distractor:] + own[first_distractor:]
+                noise[first_distractor:]
             ).mean() if first_distractor < n else 0.0
             noise[first_distractor:] = crowd_level
         scores = gains + noise
@@ -272,53 +388,41 @@ class EmissionOracle:
         # Occasional "attention drop" on the reference evidence: when the
         # model errs, the reference sometimes falls below rank 2 (Fig. 13b's
         # rank >= 3 tail).  Larger models are less prone to it.
-        drop_draw = np.random.default_rng(
-            stable_hash(self.model_seed, utt.seed, "rank-drop", position)
+        drop_draw = _fast_rng(
+            stable_hash_with(self._h_drop, position)
         ).uniform()
         drop_prob = p.rank_drop_prob * difficulty * max(1.1 - self.capacity, 0.0)
         if position < utt.num_tokens and drop_draw < drop_prob:
             scores[0] -= p.rank_drop_penalty
 
-        if perturb_level > 0:
-            level_frac = perturb_level / max(p.perturb_window, 1)
-            perturb = p.perturb_noise * level_frac * _normals(
-                stable_hash(
-                    self.model_seed,
-                    utt.seed,
-                    "perturb",
-                    position,
-                    perturb_level,
-                    context_key,
-                ),
-                n,
-            )
-            scores = scores + perturb
-
-        probs = softmax(scores.tolist(), temperature=p.temperature)
-        order = sorted(range(n), key=lambda i: (-probs[i], candidates[i]))
-        top = order[: p.topk]
-        topk = tuple((candidates[i], probs[i]) for i in top)
-        return OracleStep(
-            position=position,
-            token=topk[0][0],
-            top_prob=topk[0][1],
-            topk=topk,
-        )
+        return candidates, np.asarray(candidates), scores
 
 
 @dataclass
 class OracleFactory:
-    """Builds per-utterance oracles for a model, caching by utterance id."""
+    """Builds per-utterance oracles for a model, with a bounded LRU cache.
+
+    The cache key is :attr:`Utterance.content_key` — the same key the model
+    layer uses — so an oracle is never double-built for the same audio by
+    two caching layers, and same-id utterances from differently-configured
+    corpora don't collide.  ``cache_size <= 0`` disables the bound.
+    """
 
     model_name: str
     model_seed: int
     capacity: float
     vocab: Vocabulary
     params: OracleParams = field(default_factory=OracleParams)
-    _cache: dict[str, EmissionOracle] = field(default_factory=dict, repr=False)
+    cache_size: int = 64
+    _cache: LRUCache = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._cache is None:
+            self._cache = LRUCache(self.cache_size)
 
     def for_utterance(self, utterance: Utterance) -> EmissionOracle:
-        oracle = self._cache.get(utterance.utterance_id)
+        key = utterance.content_key
+        oracle = self._cache.get(key)
         if oracle is None:
             oracle = EmissionOracle(
                 self.model_name,
@@ -328,5 +432,8 @@ class OracleFactory:
                 self.vocab,
                 self.params,
             )
-            self._cache[utterance.utterance_id] = oracle
+            self._cache.put(key, oracle)
         return oracle
+
+    def cached_count(self) -> int:
+        return len(self._cache)

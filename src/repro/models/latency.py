@@ -25,7 +25,7 @@ twice.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 
 @dataclass(frozen=True)
@@ -73,9 +73,12 @@ KIND_VERIFY = "verify"  # target model verification pass
 KIND_ENCODE = "encode"  # audio encoder pass
 
 
-@dataclass(frozen=True)
-class LatencyEvent:
-    """One recorded forward pass."""
+class LatencyEvent(NamedTuple):
+    """One recorded forward pass.
+
+    A NamedTuple: one event is appended per simulated forward pass, which
+    makes construction cost part of the decode hot path.
+    """
 
     model: str
     kind: str

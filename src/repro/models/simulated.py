@@ -12,15 +12,25 @@ steps remain since the prefix last departed from this model's own greedy
 path.  That state is what makes the simulation audio-conditioned — the model
 re-anchors a couple of tokens after any injected correction (see
 ``acoustic.py`` for the rationale).
+
+Divergence states live in a per-session **prefix trie**: one node per
+explored prefix, each holding the state after that prefix, the (cached)
+context key of its last three tokens, and the (cached) oracle distribution
+for the next position.  A :class:`SessionCursor` is a handle onto a trie
+node; advancing a cursor by one token is an O(1) dictionary hop, so decoders
+that keep cursors pay O(L) per utterance instead of the O(L²) cost of
+re-hashing full prefix tuples on every forward pass.  Plain token sequences
+are still accepted everywhere (they walk the trie from the root), so legacy
+callers and test fakes keep working unchanged.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+import weakref
+from typing import Iterator, NamedTuple, Sequence
 
 from repro.data.corpus import Utterance
-from repro.models.acoustic import EmissionOracle, OracleParams, OracleStep
+from repro.models.acoustic import EmissionOracle, OracleFactory, OracleParams, OracleStep
 from repro.models.kv_cache import KVCacheTracker
 from repro.models.latency import (
     KIND_DECODE,
@@ -42,12 +52,52 @@ EMBEDDINGS_PER_SECOND = 5.0
 #: Fixed text-prompt length prepended during prefill ("transcribe:" etc.).
 TEXT_PROMPT_TOKENS = 8
 
+#: Default bound on the per-model oracle cache (distinct utterances held).
+DEFAULT_ORACLE_CACHE = 64
+
 Prefix = tuple[int, ...]
 
+#: Memo of context keys by trailing-3-token window.  The key is a pure
+#: function of the window (model-independent), and decode sessions revisit
+#: the same windows constantly, so a dict hit replaces a blake2b hash.
+_CTX_CACHE: dict[Prefix, int] = {}
+_CTX_CACHE_MAX = 1 << 16
 
-@dataclass(frozen=True)
-class StepResult:
-    """Next-token output of one simulated forward position."""
+#: Per-oracle memo of finished StepResults keyed by (position, state, ctx).
+#: All sessions over the same (model, utterance) share it, so re-decoding an
+#: utterance with another method rebuilds its trie from dict lookups instead
+#: of re-deriving distributions.  Dies with the oracle (which the model
+#: bounds with an LRU).
+_RESULT_CACHES: "weakref.WeakKeyDictionary[EmissionOracle, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
+#: Per-oracle shared trie root.  Divergence states and distributions are
+#: pure functions of (model, utterance, prefix), so every session over the
+#: same oracle can walk one trie: decoding an utterance with a second
+#: method reuses the committed-path nodes the first method left behind.
+#: Rollback pruning keeps the shared trie from growing without bound.
+_TRIE_CACHES: "weakref.WeakKeyDictionary[EmissionOracle, _TrieNode]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _context_key(last3: Prefix) -> int:
+    ctx = _CTX_CACHE.get(last3)
+    if ctx is None:
+        if len(_CTX_CACHE) >= _CTX_CACHE_MAX:
+            _CTX_CACHE.clear()
+        ctx = stable_hash("ctx", last3)
+        _CTX_CACHE[last3] = ctx
+    return ctx
+
+
+class StepResult(NamedTuple):
+    """Next-token output of one simulated forward position.
+
+    A NamedTuple rather than a dataclass: construction sits on the decode
+    hot path (one per evaluated tree node / draft position).
+    """
 
     token: int
     top_prob: float
@@ -74,6 +124,7 @@ class SimulatedASRModel:
         oracle_params: OracleParams | None = None,
         encoder_latency_ms_per_10s: float = 0.0,
         seed: int = 0,
+        oracle_cache_size: int = DEFAULT_ORACLE_CACHE,
     ) -> None:
         self.name = name
         self.capacity = capacity
@@ -82,22 +133,17 @@ class SimulatedASRModel:
         self.oracle_params = oracle_params or OracleParams()
         self.encoder_latency_ms_per_10s = encoder_latency_ms_per_10s
         self.seed = stable_hash("model", name, seed)
-        self._oracles: dict[int, EmissionOracle] = {}
+        self._oracles = OracleFactory(
+            model_name=self.name,
+            model_seed=self.seed,
+            capacity=self.capacity,
+            vocab=self.vocab,
+            params=self.oracle_params,
+            cache_size=oracle_cache_size,
+        )
 
     def oracle(self, utterance: Utterance) -> EmissionOracle:
-        key = utterance.content_key
-        oracle = self._oracles.get(key)
-        if oracle is None:
-            oracle = EmissionOracle(
-                self.name,
-                self.seed,
-                self.capacity,
-                utterance,
-                self.vocab,
-                self.oracle_params,
-            )
-            self._oracles[key] = oracle
-        return oracle
+        return self._oracles.for_utterance(utterance)
 
     def session(self, utterance: Utterance, clock: SimClock) -> "DecodeSession":
         """Open a decode session for ``utterance`` billing to ``clock``."""
@@ -113,6 +159,88 @@ class SimulatedASRModel:
         return f"SimulatedASRModel({self.name!r}, capacity={self.capacity})"
 
 
+class _TrieNode:
+    """One explored prefix: divergence state plus cached oracle output."""
+
+    __slots__ = (
+        "token", "parent", "depth", "state", "last3", "children", "step"
+    )
+
+    def __init__(
+        self,
+        token: int | None,
+        parent: "_TrieNode | None",
+        depth: int,
+        state: int,
+        last3: Prefix,
+    ) -> None:
+        self.token = token
+        self.parent = parent
+        self.depth = depth
+        self.state = state
+        self.last3 = last3  # up to three trailing tokens (context key input)
+        self.children: dict[int, _TrieNode] = {}
+        self.step: StepResult | None = None  # lazily computed distribution
+
+    def prefix(self) -> Prefix:
+        tokens: list[int] = []
+        node: _TrieNode | None = self
+        while node is not None and node.token is not None:
+            tokens.append(node.token)
+            node = node.parent
+        tokens.reverse()
+        return tuple(tokens)
+
+
+class SessionCursor:
+    """O(1) handle onto one prefix of a :class:`DecodeSession` trie.
+
+    Cursors are immutable: :meth:`advance` and :meth:`extend` return new
+    cursors, so a decoder can keep cursors for several branches of a token
+    tree at once.  Iterating a cursor yields its prefix tokens (an O(depth)
+    walk), which keeps cursors usable anywhere a token sequence is expected.
+    """
+
+    __slots__ = ("session", "node")
+
+    def __init__(self, session: "DecodeSession", node: _TrieNode) -> None:
+        self.session = session
+        self.node = node
+
+    def advance(self, token: int) -> "SessionCursor":
+        """Cursor for this prefix extended by one token (O(1))."""
+        return SessionCursor(self.session, self.session._child(self.node, token))
+
+    def extend(self, tokens: Sequence[int]) -> "SessionCursor":
+        node = self.node
+        child = self.session._child
+        for token in tokens:
+            node = child(node, token)
+        return SessionCursor(self.session, node)
+
+    def rollback(self) -> None:
+        """Roll the session's KV cache back to this prefix and prune dead
+        divergence branches (everything off the committed path)."""
+        self.session.rollback(self.node.depth, keep=self)
+
+    @property
+    def tokens(self) -> Prefix:
+        return self.node.prefix()
+
+    @property
+    def perturb_level(self) -> int:
+        return self.node.state
+
+    def __len__(self) -> int:
+        return self.node.depth
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SessionCursor(depth={self.node.depth})"
+
+
 class DecodeSession:
     """Per-utterance decoding interface with latency and KV accounting."""
 
@@ -124,7 +252,18 @@ class DecodeSession:
         self.clock = clock
         self.kv = KVCacheTracker()
         self._oracle = model.oracle(utterance)
-        self._states: dict[Prefix, int] = {(): 0}
+        results = _RESULT_CACHES.get(self._oracle)
+        if results is None:
+            results = {}
+            _RESULT_CACHES[self._oracle] = results
+        self._results: dict[tuple[int, int, int], StepResult] = results
+        self._window = model.oracle_params.perturb_window
+        root = _TRIE_CACHES.get(self._oracle)
+        if root is None:
+            root = _TrieNode(None, None, 0, 0, ())
+            _TRIE_CACHES[self._oracle] = root
+        self._root = root
+        self._committed = root  # deepest node on this session's committed path
         self._prompt_tokens = 0
         self._prefilled = False
 
@@ -148,67 +287,96 @@ class DecodeSession:
     def prompt_tokens(self) -> int:
         return self._prompt_tokens
 
-    # -- divergence-state tracking ----------------------------------------------
-    def _context_key(self, prefix: Prefix) -> int:
-        """Hash of the recent context, folded into perturbed emissions."""
-        return stable_hash("ctx", prefix[-3:])
+    # -- prefix trie -----------------------------------------------------------
+    def cursor(self, prefix: Sequence[int] = ()) -> SessionCursor:
+        """A cursor at ``prefix`` (walks the trie once; root is free)."""
+        return SessionCursor(self, self._resolve(prefix))
 
-    def perturb_state(self, prefix: Prefix) -> int:
+    def _node_step(self, node: _TrieNode) -> StepResult:
+        """The next-token distribution for the position *after* ``node``."""
+        step = node.step
+        if step is None:
+            context = _context_key(node.last3) if node.state else 0
+            key = (node.depth, node.state, context)
+            step = self._results.get(key)
+            if step is None:
+                oracle_step = self._oracle.step(node.depth, node.state, context)
+                step = StepResult(
+                    token=oracle_step.token,
+                    top_prob=oracle_step.top_prob,
+                    topk=oracle_step.topk,
+                    position=oracle_step.position,
+                    perturb_level=node.state,
+                )
+                self._results[key] = step
+            node.step = step
+        return step
+
+    def _child(self, node: _TrieNode, token: int) -> _TrieNode:
+        child = node.children.get(token)
+        if child is None:
+            if token == self._node_step(node).token:
+                state = node.state - 1
+                if state < 0:
+                    state = 0
+            else:
+                state = self._window
+            child = _TrieNode(
+                token, node, node.depth + 1, state, (node.last3 + (token,))[-3:]
+            )
+            node.children[token] = child
+        return child
+
+    def _resolve(self, prefix) -> _TrieNode:
+        if isinstance(prefix, SessionCursor):
+            if prefix.session is self:
+                return prefix.node
+            prefix = prefix.tokens  # foreign cursor: fall back to its tokens
+        node = self._root
+        child = self._child
+        for token in prefix:
+            node = child(node, token)
+        return node
+
+    def perturb_state(self, prefix: Sequence[int]) -> int:
         """Remaining perturbation steps after decoding ``prefix``.
 
         0 means the model is anchored (the prefix ends on this model's own
         greedy path); k > 0 means the prefix diverged within the last
         ``perturb_window`` tokens.
         """
-        state = self._states.get(prefix)
-        if state is not None:
-            return state
-        # Walk forward from the longest cached ancestor.
-        depth = len(prefix) - 1
-        while depth >= 0 and prefix[:depth] not in self._states:
-            depth -= 1
-        state = self._states[prefix[:depth]] if depth >= 0 else 0
-        window = self.model.oracle_params.perturb_window
-        for pos in range(max(depth, 0), len(prefix)):
-            sub = prefix[:pos]
-            expected = self._oracle.step(
-                pos, state, self._context_key(sub) if state else 0
-            ).token
-            state = max(state - 1, 0) if prefix[pos] == expected else window
-            self._states[prefix[: pos + 1]] = state
-        return state
+        return self._resolve(prefix).state
 
-    def _oracle_step(self, prefix: Prefix) -> OracleStep:
-        state = self.perturb_state(prefix)
-        context = self._context_key(prefix) if state else 0
-        return self._oracle.step(len(prefix), state, context)
+    def trie_size(self) -> int:
+        """Number of live trie nodes (excluding the root) — memory metric."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            children = node.children.values()
+            count += len(children)
+            stack.extend(children)
+        return count
 
     # -- forward passes ------------------------------------------------------
-    def peek(self, prefix: Sequence[int]) -> StepResult:
-        """Next-token distribution without charging any latency."""
-        prefix = tuple(prefix)
-        step = self._oracle_step(prefix)
-        return StepResult(
-            token=step.token,
-            top_prob=step.top_prob,
-            topk=step.topk,
-            position=step.position,
-            perturb_level=self.perturb_state(prefix),
-        )
+    def _peek_node(self, node: _TrieNode) -> StepResult:
+        return self._node_step(node)
 
-    def step(self, prefix: Sequence[int], kind: str = KIND_DECODE) -> StepResult:
+    def peek(self, prefix) -> StepResult:
+        """Next-token distribution without charging any latency."""
+        return self._node_step(self._resolve(prefix))
+
+    def step(self, prefix, kind: str = KIND_DECODE) -> StepResult:
         """One single-token forward pass."""
         self._require_prefill()
-        prefix = tuple(prefix)
-        cached = self._prompt_tokens + len(prefix)
+        node = self._resolve(prefix)
+        cached = self._prompt_tokens + node.depth
         ms = forward_ms(self.model.latency, 1, cached)
         self.clock.record(self.model.name, kind, 1, cached, ms)
         self.kv.append(1)
-        return self.peek(prefix)
+        return self._peek_node(node)
 
-    def step_frontier(
-        self, prefixes: Sequence[Sequence[int]], kind: str = KIND_DRAFT
-    ) -> list[StepResult]:
+    def step_frontier(self, prefixes, kind: str = KIND_DRAFT) -> list[StepResult]:
         """One batched forward pass over several tree-frontier prefixes.
 
         Models the masked token tree of the paper's recycling strategy: the
@@ -218,18 +386,14 @@ class DecodeSession:
         self._require_prefill()
         if not prefixes:
             raise ValueError("step_frontier needs at least one prefix")
-        tuples = [tuple(p) for p in prefixes]
-        cached = self._prompt_tokens + max(len(p) for p in tuples)
-        ms = forward_ms(self.model.latency, len(tuples), cached)
-        self.clock.record(self.model.name, kind, len(tuples), cached, ms)
-        self.kv.append(len(tuples))
-        return [self.peek(p) for p in tuples]
+        nodes = [self._resolve(p) for p in prefixes]
+        cached = self._prompt_tokens + max(node.depth for node in nodes)
+        ms = forward_ms(self.model.latency, len(nodes), cached)
+        self.clock.record(self.model.name, kind, len(nodes), cached, ms)
+        self.kv.append(len(nodes))
+        return [self._peek_node(node) for node in nodes]
 
-    def verify_eval(
-        self,
-        prefixes: Sequence[Sequence[int]],
-        billed_tokens: int | None = None,
-    ) -> list[StepResult]:
+    def verify_eval(self, prefixes, billed_tokens: int | None = None) -> list[StepResult]:
         """One verification forward pass evaluating ``prefixes`` in parallel.
 
         ``billed_tokens`` is the number of *input* tokens fed to the target
@@ -240,21 +404,47 @@ class DecodeSession:
         self._require_prefill()
         if not prefixes:
             raise ValueError("verify_eval needs at least one prefix")
-        tuples = [tuple(p) for p in prefixes]
-        billed = billed_tokens if billed_tokens is not None else len(tuples)
+        nodes = [self._resolve(p) for p in prefixes]
+        billed = billed_tokens if billed_tokens is not None else len(nodes)
         if billed < 1:
             raise ValueError(f"billed_tokens must be >= 1, got {billed}")
-        cached = self._prompt_tokens + min(len(p) for p in tuples)
+        cached = self._prompt_tokens + min(node.depth for node in nodes)
         ms = forward_ms(self.model.latency, billed, cached)
         self.clock.record(self.model.name, KIND_VERIFY, billed, cached, ms)
         self.kv.append(billed)
-        return [self.peek(p) for p in tuples]
+        return [self._peek_node(node) for node in nodes]
 
-    def rollback(self, kept_prefix_len: int) -> None:
-        """Roll the KV cache back to ``prompt + kept_prefix_len`` positions."""
+    def rollback(self, kept_prefix_len: int, keep: SessionCursor | None = None) -> None:
+        """Roll the KV cache back to ``prompt + kept_prefix_len`` positions.
+
+        When ``keep`` (a cursor at the committed prefix) is given, divergence
+        branches off the committed path are pruned from the trie, so long
+        utterances with many speculation rounds don't accumulate dead
+        divergence-state entries.  The subtree *below* the committed node is
+        retained — it is the live speculation cache for the next round.
+        """
         target = self._prompt_tokens + kept_prefix_len
         if target <= self.kv.length:
             self.kv.rollback_to(target)
+        if keep is not None and keep.session is self:
+            self._prune_to(keep.node)
+
+    def _prune_to(self, node: _TrieNode) -> None:
+        # Collect the chain from the previously committed node down to the
+        # newly committed one, then drop every off-chain sibling subtree.
+        chain: list[_TrieNode] = []
+        walk: _TrieNode | None = node
+        while walk is not None and walk is not self._committed:
+            chain.append(walk)
+            walk = walk.parent
+        if walk is None:
+            return  # not a descendant of the committed path; nothing to prune
+        for child in reversed(chain):
+            parent = child.parent
+            assert parent is not None
+            if len(parent.children) > 1:
+                parent.children = {child.token: child}
+        self._committed = node
 
     # -- helpers ------------------------------------------------------------
     def is_eos(self, token: int) -> bool:

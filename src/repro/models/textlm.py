@@ -30,6 +30,7 @@ from repro.models.simulated import StepResult
 from repro.models.vocab import Vocabulary
 from repro.utils.hashing import stable_hash
 from repro.utils.mathutil import softmax
+from repro.utils.rng import fast_generator as _fast_rng
 
 Prefix = tuple[int, ...]
 
@@ -149,13 +150,13 @@ class TextSession:
             )
 
         regular = vocab.regular_ids()
-        pick = np.random.default_rng(stable_hash(pair, "text-ref", ctx))
+        pick = _fast_rng(stable_hash(pair, "text-ref", ctx))
         ref = regular[int(pick.integers(0, len(regular)))]
         pool = vocab.confusion_pool(ref)
         confusions = [tok for tok in pool[: len(p.confusion_gains)] if tok != ref]
         excluded = {ref, *confusions}
         distractors: list[int] = []
-        draw = np.random.default_rng(stable_hash(pair, "text-distract", ctx))
+        draw = _fast_rng(stable_hash(pair, "text-distract", ctx))
         while len(distractors) < p.distractor_count:
             cand = regular[int(draw.integers(0, len(regular)))]
             if cand not in excluded:
@@ -171,10 +172,10 @@ class TextSession:
         for idx in range(1 + len(confusions), n):
             gains[idx] = p.distractor_score
 
-        shared = p.shared_noise * np.random.default_rng(
+        shared = p.shared_noise * _fast_rng(
             stable_hash(pair, "text-shared", ctx)
         ).standard_normal(n)
-        own = p.model_noise(self.model.capacity) * np.random.default_rng(
+        own = p.model_noise(self.model.capacity) * _fast_rng(
             stable_hash(self.model.model_seed, "text-own", ctx)
         ).standard_normal(n)
         scores = gains + shared + own

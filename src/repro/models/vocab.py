@@ -62,6 +62,7 @@ class Vocabulary:
     words: tuple[str, ...]
     _word_to_id: dict[str, int] = field(init=False, repr=False)
     _confusion_pools: dict[int, tuple[int, ...]] = field(init=False, repr=False)
+    _regular_ids: list[int] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         if len(set(self.words)) != len(self.words):
@@ -72,6 +73,7 @@ class Vocabulary:
         all_tokens = list(_SPECIALS) + list(self.words)
         self._word_to_id = {tok: idx for idx, tok in enumerate(all_tokens)}
         self._confusion_pools = self._build_confusion_pools()
+        self._regular_ids = [self._word_to_id[w] for w in self.words]
 
     # -- basic mapping ------------------------------------------------------
     @property
@@ -155,8 +157,8 @@ class Vocabulary:
         return self._confusion_pools.get(token_id, ())
 
     def regular_ids(self) -> list[int]:
-        """All non-special token ids."""
-        return [self._word_to_id[w] for w in self.words]
+        """All non-special token ids (shared list — do not mutate)."""
+        return self._regular_ids
 
 
 def build_default_vocabulary() -> Vocabulary:

@@ -1,0 +1,75 @@
+"""Small bounded caches shared by the simulation layers.
+
+The emission oracles are expensive to build (per-position numpy draws) but
+cheap to keep, so model-level caches want LRU semantics: hold the working
+set of a corpus run, evict the oldest entries once a long-lived model has
+seen many distinct utterances.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Generic, Hashable, TypeVar
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+
+class LRUCache(Generic[K, V]):
+    """A bounded mapping evicting the least-recently-used entry.
+
+    ``maxsize <= 0`` disables the bound (unbounded cache).  Reads and
+    writes are guarded by a lock: model- and module-level caches are shared
+    across the corpus executor's thread backend, where an unguarded
+    get/move_to_end pair could race a concurrent eviction.
+    """
+
+    def __init__(self, maxsize: int = 64) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: K) -> V | None:
+        with self._lock:
+            value = self._data.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._data.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def put(self, key: K, value: V) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            if self.maxsize > 0:
+                while len(self._data) > self.maxsize:
+                    self._data.popitem(last=False)
+                    self.evictions += 1
+
+    def __getstate__(self) -> dict:
+        # Locks don't pickle; process-pool workers get their own.
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._data
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def keys(self):
+        return self._data.keys()

@@ -16,7 +16,21 @@ _MASK_64 = (1 << 64) - 1
 
 
 def _encode(part: Any) -> bytes:
-    """Encode one hashable part into a canonical byte string."""
+    """Encode one hashable part into a canonical byte string.
+
+    The byte layout is frozen: every simulated decision in the repo derives
+    from these hashes, so changing the encoding changes every output.  The
+    exact-type checks up front are hot-path shortcuts only — they produce
+    the same bytes as the ``isinstance`` chain below (``type(True) is int``
+    is False, so bools never take the int fast path).
+    """
+    kind = type(part)
+    if kind is int:
+        return b"i%d" % part
+    if kind is str:
+        return b"s" + part.encode("utf-8")
+    if kind is tuple or kind is list:
+        return b"t(" + b"".join([_encode(p) + b"," for p in part]) + b")"
     if isinstance(part, bytes):
         return b"b" + part
     if isinstance(part, bool):
@@ -42,7 +56,31 @@ def stable_hash(*parts: Any) -> int:
     Accepts ints, floats, strings, bytes, bools, ``None`` and (nested)
     tuples/lists of those.
     """
-    payload = b"|".join(_encode(p) for p in parts)
+    payload = b"|".join([_encode(p) for p in parts])
+    digest = hashlib.blake2b(payload, digest_size=8).digest()
+    return int.from_bytes(digest, "little") & _MASK_64
+
+
+def hash_prefix(*parts: Any) -> bytes:
+    """Precompute the payload prefix of ``stable_hash(*parts, ...)``.
+
+    Hot loops that hash a fixed scope plus a varying tail (e.g. a seed, a
+    tag string, then a position) can encode the fixed scope once and finish
+    each hash with :func:`stable_hash_with`.
+    """
+    return b"|".join([_encode(p) for p in parts])
+
+
+def stable_hash_with(prefix: bytes, *parts: Any) -> int:
+    """``stable_hash(*prefix_parts, *parts)`` given an encoded prefix.
+
+    Bit-identical to calling :func:`stable_hash` with the full argument
+    list: the payload bytes are assembled identically.
+    """
+    if parts:
+        payload = prefix + b"|" + b"|".join([_encode(p) for p in parts])
+    else:
+        payload = prefix
     digest = hashlib.blake2b(payload, digest_size=8).digest()
     return int.from_bytes(digest, "little") & _MASK_64
 

@@ -24,18 +24,23 @@ def sigmoid(x: float) -> float:
     return z / (1.0 + z)
 
 
-def softmax(scores: Sequence[float], temperature: float = 1.0) -> list[float]:
-    """Softmax over ``scores`` with the given temperature.
-
-    Returns a plain list of floats summing to 1.
-    """
+def softmax_array(scores: Sequence[float], temperature: float = 1.0) -> np.ndarray:
+    """Softmax over ``scores`` as a float64 array summing to 1."""
     if temperature <= 0:
         raise ValueError(f"temperature must be positive, got {temperature}")
     arr = np.asarray(scores, dtype=np.float64) / temperature
     arr -= arr.max()
     exp = np.exp(arr)
     total = exp.sum()
-    return (exp / total).tolist()
+    return exp / total
+
+
+def softmax(scores: Sequence[float], temperature: float = 1.0) -> list[float]:
+    """Softmax over ``scores`` with the given temperature.
+
+    Returns a plain list of floats summing to 1.
+    """
+    return softmax_array(scores, temperature).tolist()
 
 
 def mean(values: Sequence[float]) -> float:

@@ -19,6 +19,16 @@ def derive_seed(base_seed: int, *scope: Any) -> int:
     return stable_hash(base_seed, *scope)
 
 
+def fast_generator(seed: int) -> np.random.Generator:
+    """A generator bit-identical to ``np.random.default_rng(seed)``.
+
+    ``Generator(PCG64(seed))`` is what ``default_rng`` builds internally but
+    skips its argument dispatch, which matters in the emission hot path
+    (thousands of single-use generators per corpus decode).
+    """
+    return np.random.Generator(np.random.PCG64(seed))
+
+
 class RngStream:
     """A named, independently-seeded random stream.
 
@@ -28,7 +38,7 @@ class RngStream:
 
     def __init__(self, seed: int, *scope: Any) -> None:
         self.seed = derive_seed(seed, *scope) if scope else seed
-        self._rng = np.random.default_rng(self.seed)
+        self._rng = fast_generator(self.seed)
 
     def child(self, *scope: Any) -> "RngStream":
         """Spawn an independent child stream for ``scope``."""

@@ -1,0 +1,158 @@
+"""Property tests: trie-cursor sessions match the legacy tuple-prefix path.
+
+The reference implementation below is a line-for-line port of the seed's
+tuple-keyed divergence-state algorithm (``_states`` dict, forward walk from
+the longest cached ancestor).  Cursor-based sessions must agree with it on
+perturbation state and on every next-token distribution, over random token
+trees that mix on-greedy and off-greedy branches.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.models.latency import SimClock
+from repro.utils.hashing import stable_hash
+
+
+class LegacyStateTracker:
+    """The seed's tuple-keyed perturbation-state algorithm."""
+
+    def __init__(self, oracle, window: int) -> None:
+        self._oracle = oracle
+        self._window = window
+        self._states: dict[tuple, int] = {(): 0}
+
+    def _context_key(self, prefix: tuple) -> int:
+        return stable_hash("ctx", prefix[-3:])
+
+    def perturb_state(self, prefix: tuple) -> int:
+        state = self._states.get(prefix)
+        if state is not None:
+            return state
+        depth = len(prefix) - 1
+        while depth >= 0 and prefix[:depth] not in self._states:
+            depth -= 1
+        state = self._states[prefix[:depth]] if depth >= 0 else 0
+        for pos in range(max(depth, 0), len(prefix)):
+            sub = prefix[:pos]
+            expected = self._oracle.step(
+                pos, state, self._context_key(sub) if state else 0
+            ).token
+            state = max(state - 1, 0) if prefix[pos] == expected else self._window
+            self._states[prefix[: pos + 1]] = state
+        return state
+
+    def step(self, prefix: tuple):
+        state = self.perturb_state(prefix)
+        context = self._context_key(prefix) if state else 0
+        return self._oracle.step(len(prefix), state, context)
+
+
+def _random_prefixes(session, rng, count=120, max_len=18):
+    """Random prefixes biased towards the model's own greedy continuations."""
+    prefixes = [()]
+    for _ in range(count):
+        prefix = ()
+        for _ in range(rng.randrange(max_len)):
+            greedy = session.peek(prefix).token
+            if rng.random() < 0.7:
+                token = greedy
+            else:
+                topk = session.peek(prefix).topk
+                token = rng.choice([tok for tok, _ in topk])
+            prefix = prefix + (token,)
+            prefixes.append(prefix)
+    return prefixes
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_cursor_states_match_legacy_walk(whisper_pair, clean_dataset, seed):
+    _, target = whisper_pair
+    utterance = clean_dataset[seed % len(clean_dataset)]
+    session = target.session(utterance, SimClock())
+    legacy = LegacyStateTracker(
+        target.oracle(utterance), target.oracle_params.perturb_window
+    )
+    rng = random.Random(seed)
+    for prefix in _random_prefixes(session, rng):
+        assert session.perturb_state(prefix) == legacy.perturb_state(prefix), prefix
+        got = session.peek(prefix)
+        want = legacy.step(prefix)
+        assert (got.token, got.top_prob, got.topk) == (
+            want.token,
+            want.top_prob,
+            want.topk,
+        ), prefix
+
+
+def test_cursor_advance_matches_tuple_calls(whisper_pair, clean_dataset):
+    """Advancing cursors token-by-token equals passing full tuples."""
+    draft, _ = whisper_pair
+    utterance = clean_dataset[0]
+    tuple_session = draft.session(utterance, SimClock())
+    cursor_session = draft.session(utterance, SimClock())
+    rng = random.Random(7)
+    for _ in range(40):
+        cursor = cursor_session.cursor()
+        prefix = ()
+        for _ in range(rng.randrange(14)):
+            token = rng.choice(
+                [tok for tok, _ in tuple_session.peek(prefix).topk[:3]]
+            )
+            cursor = cursor.advance(token)
+            prefix = prefix + (token,)
+            assert len(cursor) == len(prefix)
+            assert cursor.tokens == prefix
+            got = cursor_session.peek(cursor)
+            want = tuple_session.peek(prefix)
+            assert got == want
+
+
+def test_rollback_prunes_dead_branches(vocab, clean_dataset):
+    # A fresh model: the trie is shared per (model, utterance), so reusing
+    # the session-scoped fixture would start from other tests' branches.
+    from repro.models.registry import model_pair
+
+    _, target = model_pair("whisper", vocab)
+    utterance = clean_dataset[1]
+    clock = SimClock()
+    session = target.session(utterance, clock)
+    session.prefill()
+    cursor = session.cursor()
+    # Explore several wrong branches at each committed position, then commit
+    # the greedy token and roll back with pruning.
+    for _ in range(8):
+        step = session.peek(cursor)
+        for wrong, _prob in step.topk[1:4]:
+            probe = cursor.advance(wrong)
+            session.peek(probe)  # materialise a dead branch
+        cursor = cursor.advance(step.token)
+        cursor.rollback()
+    # After pruning, the trie holds the committed chain (plus at most the
+    # live frontier below it), not the ~3 dead probes per position.
+    assert session.trie_size() <= 2 * len(cursor) + 4
+
+
+def test_rollback_without_cursor_keeps_legacy_behavior(whisper_pair, clean_dataset):
+    _, target = whisper_pair
+    utterance = clean_dataset[2]
+    session = target.session(utterance, SimClock())
+    session.prefill()
+    result = session.step(())
+    session.step((result.token,))
+    kv_before = session.kv.length
+    session.rollback(1)  # plain length-based rollback still works
+    assert session.kv.length == kv_before - 1
+
+
+def test_foreign_cursor_falls_back_to_tokens(whisper_pair, clean_dataset):
+    draft, target = whisper_pair
+    utterance = clean_dataset[0]
+    draft_session = draft.session(utterance, SimClock())
+    target_session = target.session(utterance, SimClock())
+    prefix = tuple(target.greedy_transcript(utterance)[:5])
+    foreign = draft_session.cursor(prefix)
+    assert target_session.peek(foreign) == target_session.peek(prefix)

@@ -1,0 +1,118 @@
+"""Parity suite for the parallel corpus executor.
+
+The contract: for every backend and worker count, transcripts, traces and
+SimClock totals are byte-identical to the serial runner — parallelism may
+only change wall-clock time, never results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.executor import CorpusExecutor, default_worker_count
+from repro.harness.methods import standard_methods
+from repro.harness.runner import run_method, run_methods
+from repro.models.registry import model_pair
+
+
+@pytest.fixture(scope="module")
+def serial_runs(vocab, clean_dataset):
+    draft, target = model_pair("whisper", vocab)
+    return run_methods(standard_methods(draft, target), clean_dataset)
+
+
+def _assert_identical(runs, reference):
+    assert set(runs) == set(reference)
+    for name in reference:
+        got, want = runs[name].results, reference[name].results
+        assert [r.tokens for r in got] == [r.tokens for r in want]
+        assert [r.total_ms for r in got] == [r.total_ms for r in want]
+        assert [r.trace.rounds for r in got] == [r.trace.rounds for r in want]
+        assert [r.clock.events for r in got] == [r.clock.events for r in want]
+        assert runs[name].breakdown.total_ms == reference[name].breakdown.total_ms
+
+
+class TestBackendParity:
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_pool_matches_serial(
+        self, vocab, clean_dataset, serial_runs, backend, workers
+    ):
+        draft, target = model_pair("whisper", vocab)
+        executor = CorpusExecutor(workers=workers, backend=backend)
+        runs = run_methods(
+            standard_methods(draft, target), clean_dataset, executor=executor
+        )
+        assert executor.last_stats.backend == backend
+        _assert_identical(runs, serial_runs)
+
+    def test_auto_backend_matches_serial(self, vocab, clean_dataset, serial_runs):
+        draft, target = model_pair("whisper", vocab)
+        runs = run_methods(
+            standard_methods(draft, target), clean_dataset, workers=4
+        )
+        _assert_identical(runs, serial_runs)
+
+    def test_factory_process_pool(self, vocab, clean_dataset, serial_runs):
+        def factory():
+            draft, target = model_pair("whisper")
+            return standard_methods(draft, target)
+
+        executor = CorpusExecutor(workers=2, backend="process")
+        grids = executor.map_decode(factory, clean_dataset)
+        for name, reference in serial_runs.items():
+            assert [r.tokens for r in grids[name]] == [
+                r.tokens for r in reference.results
+            ]
+            assert [r.total_ms for r in grids[name]] == [
+                r.total_ms for r in reference.results
+            ]
+
+
+class TestRunnerIntegration:
+    def test_run_method_workers(self, whisper_pair, clean_dataset):
+        _, target = whisper_pair
+        from repro.decoding.autoregressive import AutoregressiveDecoder
+
+        serial = run_method(AutoregressiveDecoder(target), clean_dataset)
+        parallel = run_method(
+            AutoregressiveDecoder(target), clean_dataset, workers=2
+        )
+        assert [r.tokens for r in parallel.results] == [
+            r.tokens for r in serial.results
+        ]
+        assert [r.total_ms for r in parallel.results] == [
+            r.total_ms for r in serial.results
+        ]
+
+    def test_lossless_check_still_applies(self, vocab, clean_dataset):
+        draft, target = model_pair("whisper", vocab)
+        executor = CorpusExecutor(workers=2, backend="thread")
+        runs = run_methods(
+            standard_methods(draft, target), clean_dataset, executor=executor
+        )
+        reference = [r.tokens for r in runs["autoregressive"].results]
+        for run in runs.values():
+            assert [r.tokens for r in run.results] == reference
+
+
+class TestExecutorValidation:
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            CorpusExecutor(backend="gpu")
+
+    def test_rejects_nonpositive_workers(self):
+        with pytest.raises(ValueError):
+            CorpusExecutor(workers=0)
+
+    def test_single_worker_is_serial(self, vocab, clean_dataset):
+        draft, target = model_pair("whisper", vocab)
+        executor = CorpusExecutor(workers=1, backend="process")
+        executor.map_decode(
+            {"autoregressive": standard_methods(draft, target)["autoregressive"]},
+            clean_dataset,
+        )
+        assert executor.last_stats.backend == "serial"
+
+    def test_default_worker_count_positive(self):
+        assert default_worker_count() >= 1

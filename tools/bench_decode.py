@@ -1,0 +1,327 @@
+#!/usr/bin/env python
+"""Wall-clock decode benchmark: serial vs. parallel vs. pre/post-trie.
+
+Times the standard method suite over a LibriSim split in three modes:
+
+* ``serial_tuple``   — decoders talk to sessions through the legacy tuple
+  interface (every call passes a full token-sequence prefix, forcing a
+  per-call prefix walk — the pre-trie session cost model);
+* ``serial_cursor``  — the trie-cursor fast path, serial corpus loop;
+* ``parallel_cursor`` — the trie-cursor fast path through
+  :class:`repro.harness.executor.CorpusExecutor` with ``--workers`` workers
+  (the ``auto`` backend picks the fastest plan for the hardware: process
+  pool on multi-core machines, plain serial on single-core boxes where
+  pools are pure overhead).
+
+Each mode runs ``--reps`` times with fresh models and cleared module-level
+caches (cold oracle state, like a fresh serving process); the best wall
+time is kept.  Transcripts and SimClock totals are asserted identical
+across modes before anything is written.
+
+The ``seed_reference`` block records the wall time of the original
+pre-refactor serial runner, measured at the seed commit on the same
+machine/config; regeneration carries it forward from the existing JSON
+(or accepts ``--seed-baseline-s``).
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_decode.py                 # full bench
+    PYTHONPATH=src python tools/bench_decode.py --smoke         # CI guard
+
+``--smoke`` runs a reduced corpus and exits non-zero if utterances/sec
+regressed more than ``--tolerance`` (default 20%) against the checked-in
+``BENCH_decode.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.harness.executor import CorpusExecutor  # noqa: E402
+from repro.harness.methods import STANDARD_METHODS, standard_methods  # noqa: E402
+from repro.harness.runner import (  # noqa: E402
+    ExperimentConfig,
+    load_split,
+    run_methods,
+    shared_vocabulary,
+)
+from repro.models.acoustic import clear_acoustic_caches  # noqa: E402
+from repro.models.registry import model_pair  # noqa: E402
+
+
+class TupleShimSession:
+    """Forwards session calls with plain tuple prefixes (legacy interface).
+
+    Hiding the native ``cursor()`` factory makes every decoder fall back to
+    tuple-backed cursors, so each forward pass re-presents its full prefix —
+    the per-call cost shape of the pre-trie ``DecodeSession``.
+    """
+
+    def __init__(self, inner) -> None:
+        self._inner = inner
+
+    def prefill(self) -> None:
+        self._inner.prefill()
+
+    def peek(self, prefix):
+        return self._inner.peek(tuple(prefix))
+
+    def step(self, prefix, kind="decode"):
+        return self._inner.step(tuple(prefix), kind=kind)
+
+    def step_frontier(self, prefixes, kind="draft"):
+        return self._inner.step_frontier([tuple(p) for p in prefixes], kind=kind)
+
+    def verify_eval(self, prefixes, billed_tokens=None):
+        return self._inner.verify_eval(
+            [tuple(p) for p in prefixes], billed_tokens=billed_tokens
+        )
+
+    def rollback(self, kept_prefix_len: int) -> None:
+        self._inner.rollback(kept_prefix_len)  # no pruning, like the seed
+
+    def is_eos(self, token: int) -> bool:
+        return self._inner.is_eos(token)
+
+    def max_decode_positions(self) -> int:
+        return self._inner.max_decode_positions()
+
+
+class TupleShimModel:
+    """Model wrapper whose sessions only speak the tuple interface."""
+
+    def __init__(self, model) -> None:
+        self._model = model
+        self.name = model.name
+        self.vocab = model.vocab
+
+    def session(self, unit, clock) -> TupleShimSession:
+        return TupleShimSession(self._model.session(unit, clock))
+
+
+def _fresh_methods(pairing: str, shim: bool):
+    draft, target = model_pair(pairing, shared_vocabulary())
+    if shim:
+        draft, target = TupleShimModel(draft), TupleShimModel(target)
+    return standard_methods(draft, target)
+
+
+def _measure(pairing, dataset, reps, shim=False, executor=None):
+    """Best wall time over ``reps`` cold runs; returns (wall_s, runs)."""
+    best = float("inf")
+    runs = None
+    for _ in range(reps):
+        clear_acoustic_caches()
+        methods = _fresh_methods(pairing, shim)
+        start = time.perf_counter()
+        result = run_methods(methods, dataset, executor=executor)
+        wall = time.perf_counter() - start
+        if wall < best:
+            best = wall
+        runs = result
+    return best, runs
+
+
+def _mode_stats(wall_s, dataset, runs):
+    decodes = len(dataset) * len(runs)
+    emitted = sum(len(r.tokens) for run in runs.values() for r in run.results)
+    return {
+        "wall_s": round(wall_s, 4),
+        "utterances_per_s": round(len(dataset) / wall_s, 2),
+        "decodes_per_s": round(decodes / wall_s, 2),
+        "ms_per_emitted_token": round(wall_s * 1000.0 / emitted, 4),
+        "emitted_tokens": emitted,
+    }
+
+
+def _transcripts(runs):
+    return {name: [r.tokens for r in run.results] for name, run in runs.items()}
+
+
+def _clock_totals(runs):
+    return {
+        name: [round(r.total_ms, 6) for r in run.results]
+        for name, run in runs.items()
+    }
+
+
+def run_bench(args) -> dict:
+    config = ExperimentConfig(seed=args.seed, utterances=args.utterances)
+    dataset = load_split(args.split, config)
+
+    wall_tuple, runs_tuple = _measure(args.pairing, dataset, args.reps, shim=True)
+    wall_cursor, runs_cursor = _measure(args.pairing, dataset, args.reps)
+    executor = CorpusExecutor(workers=args.workers, backend=args.backend)
+    wall_parallel, runs_parallel = _measure(
+        args.pairing, dataset, args.reps, executor=executor
+    )
+
+    identical_transcripts = (
+        _transcripts(runs_tuple)
+        == _transcripts(runs_cursor)
+        == _transcripts(runs_parallel)
+    )
+    identical_clocks = (
+        _clock_totals(runs_tuple)
+        == _clock_totals(runs_cursor)
+        == _clock_totals(runs_parallel)
+    )
+    if not identical_transcripts or not identical_clocks:
+        raise AssertionError(
+            "bench modes diverged: transcripts identical="
+            f"{identical_transcripts}, simclock identical={identical_clocks}"
+        )
+
+    ar_ms = sum(r.total_ms for r in runs_cursor["autoregressive"].results)
+    sim_speedups = {
+        name: round(ar_ms / sum(r.total_ms for r in run.results), 3)
+        for name, run in runs_cursor.items()
+    }
+
+    report = {
+        "config": {
+            "split": args.split,
+            "utterances": args.utterances,
+            "seed": args.seed,
+            "pairing": args.pairing,
+            "methods": list(STANDARD_METHODS),
+            "workers": args.workers,
+            "backend": args.backend,
+            "reps": args.reps,
+        },
+        "modes": {
+            "serial_tuple": _mode_stats(wall_tuple, dataset, runs_tuple),
+            "serial_cursor": _mode_stats(wall_cursor, dataset, runs_cursor),
+            "parallel_cursor": {
+                **_mode_stats(wall_parallel, dataset, runs_parallel),
+                "effective_backend": (
+                    executor.last_stats.backend if executor.last_stats else "?"
+                ),
+            },
+        },
+        "speedups": {
+            "cursor_vs_tuple_serial": round(wall_tuple / wall_cursor, 3),
+            "parallel_vs_tuple_serial": round(wall_tuple / wall_parallel, 3),
+        },
+        "sim_speedup_vs_autoregressive": sim_speedups,
+        "identical_transcripts": identical_transcripts,
+        "identical_simclock_totals": identical_clocks,
+    }
+
+    seed_wall = args.seed_baseline_s
+    if seed_wall is None and args.output.exists():
+        try:
+            prior = json.loads(args.output.read_text())
+            prior_config = prior.get("config", {})
+            # Only carry the baseline forward onto the same corpus; a wall
+            # time measured on a different split/size is not comparable.
+            comparable = all(
+                prior_config.get(key) == report["config"][key]
+                for key in ("split", "utterances", "seed", "pairing")
+            )
+            if comparable:
+                seed_wall = prior.get("seed_reference", {}).get("wall_s")
+        except (json.JSONDecodeError, OSError):
+            seed_wall = None
+    if seed_wall is not None:
+        report["seed_reference"] = {
+            "wall_s": seed_wall,
+            "note": (
+                "wall time of the pre-refactor serial runner (tuple-keyed "
+                "DecodeSession, commit c93222d) over the same corpus/config, "
+                "measured on the machine that generated this file; carried "
+                "forward on regeneration, or overridden with "
+                "--seed-baseline-s"
+            ),
+        }
+        report["speedups"]["parallel_vs_seed_serial"] = round(
+            seed_wall / wall_parallel, 3
+        )
+        report["speedups"]["cursor_vs_seed_serial"] = round(
+            seed_wall / wall_cursor, 3
+        )
+    return report
+
+
+def run_smoke(args) -> int:
+    """Quick regression guard against the checked-in baseline."""
+    config = ExperimentConfig(seed=args.seed, utterances=args.smoke_utterances)
+    dataset = load_split(args.split, config)
+    wall, runs = _measure(args.pairing, dataset, max(args.reps, 2))
+    stats = _mode_stats(wall, dataset, runs)
+    print(f"smoke: {stats['utterances_per_s']} utterances/s "
+          f"({args.smoke_utterances} utterances, best of {max(args.reps, 2)})")
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to compare", file=sys.stderr)
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    reference = baseline.get("smoke", {}).get("utterances_per_s")
+    if not reference:
+        print("baseline JSON has no smoke reference; skipping check")
+        return 0
+    floor = reference * (1.0 - args.tolerance)
+    print(f"baseline {reference} utterances/s -> floor {floor:.2f} "
+          f"(tolerance {args.tolerance:.0%})")
+    if stats["utterances_per_s"] < floor:
+        print(
+            f"FAIL: throughput regressed more than {args.tolerance:.0%} "
+            f"({stats['utterances_per_s']} < {floor:.2f})",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--split", default="test-clean")
+    parser.add_argument("--utterances", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--pairing", default="whisper")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "serial", "thread", "process"))
+    parser.add_argument("--reps", type=int, default=3,
+                        help="cold repetitions per mode; best wall time kept")
+    parser.add_argument("--output", type=Path,
+                        default=REPO_ROOT / "BENCH_decode.json")
+    parser.add_argument("--seed-baseline-s", type=float, default=None,
+                        help="measured wall time of the seed serial runner")
+    parser.add_argument("--smoke", action="store_true",
+                        help="reduced run; fail on >tolerance regression")
+    parser.add_argument("--smoke-utterances", type=int, default=8)
+    parser.add_argument("--baseline", type=Path,
+                        default=REPO_ROOT / "BENCH_decode.json")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args)
+
+    report = run_bench(args)
+
+    # Record the smoke reference alongside, so --smoke has a baseline.
+    smoke_config = ExperimentConfig(seed=args.seed, utterances=args.smoke_utterances)
+    smoke_dataset = load_split(args.split, smoke_config)
+    smoke_wall, smoke_runs = _measure(args.pairing, smoke_dataset, max(args.reps, 2))
+    report["smoke"] = {
+        "utterances": args.smoke_utterances,
+        **_mode_stats(smoke_wall, smoke_dataset, smoke_runs),
+    }
+
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
