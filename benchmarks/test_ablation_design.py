@@ -159,6 +159,4 @@ def test_ablate_adaptive_threshold(benchmark, capsys):
     # Adaptation from the tuned value must not hurt materially...
     assert rows["adaptive from 0.4"]["ms"] <= rows["fixed 0.4"]["ms"] * 1.10
     # ...and from a mistuned start it must recover toward the optimum.
-    assert (
-        rows["adaptive from 0.65"]["ms"] <= rows["fixed 0.65 (mistuned)"]["ms"]
-    )
+    assert (rows["adaptive from 0.65"]["ms"] <= rows["fixed 0.65 (mistuned)"]["ms"])

@@ -18,9 +18,7 @@ def test_fig11_speedup(benchmark, bench_config, show):
 
     # --- Vicuna-13B band: paper reports 3.04-3.79x over AR --------------------
     vicuna_best = max(
-        value
-        for key, value in metrics.items()
-        if key.startswith("xar/vicuna-13b/")
+        value for key, value in metrics.items() if key.startswith("xar/vicuna-13b/")
     )
     assert 2.5 < vicuna_best < 5.0
 

@@ -13,9 +13,21 @@ TSP = "+two-pass sparse-tree prediction"
 def test_tab02_ablation(benchmark, bench_config, show):
     report = run_once(benchmark, run_experiment, "tab02", bench_config)
     show(report)
-    draft = {k.split("/", 1)[1]: v for k, v in report.metrics.items() if k.startswith("draft_ms/")}
-    target = {k.split("/", 1)[1]: v for k, v in report.metrics.items() if k.startswith("target_ms/")}
-    total = {k.split("/", 1)[1]: v for k, v in report.metrics.items() if k.startswith("total_ms/")}
+    draft = {
+        k.split("/", 1)[1]: v
+        for k, v in report.metrics.items()
+        if k.startswith("draft_ms/")
+    }
+    target = {
+        k.split("/", 1)[1]: v
+        for k, v in report.metrics.items()
+        if k.startswith("target_ms/")
+    }
+    total = {
+        k.split("/", 1)[1]: v
+        for k, v in report.metrics.items()
+        if k.startswith("total_ms/")
+    }
 
     # Each technique improves the end-to-end total, in order.
     assert total[ASP] < total[BASE]

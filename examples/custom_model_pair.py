@@ -63,7 +63,9 @@ def main() -> None:
             draft, target, SpecASRConfig(recycling=True), name="specasr-asp"
         ),
         "specasr-tsp": SpecASREngine(
-            draft, target, SpecASRConfig(recycling=True, sparse_tree=True),
+            draft,
+            target,
+            SpecASRConfig(recycling=True, sparse_tree=True),
             name="specasr-tsp",
         ),
     }

@@ -13,7 +13,12 @@ import argparse
 from repro.data.librisim import SPLITS
 from repro.harness.figures import ascii_table
 from repro.harness.methods import standard_methods
-from repro.harness.runner import ExperimentConfig, load_split, run_methods, shared_vocabulary
+from repro.harness.runner import (
+    ExperimentConfig,
+    load_split,
+    run_methods,
+    shared_vocabulary,
+)
 from repro.metrics.wer import model_wer
 from repro.models.registry import PAIRINGS, model_pair
 
@@ -39,8 +44,11 @@ def main() -> None:
                 100.0 * model_wer(target, dataset),
             ]
         )
-    print(ascii_table(["split", "draft WER (%)", "target WER (%)"], wer_rows,
-                      title=f"Model quality — {draft.name} / {target.name}"))
+    print(ascii_table(
+        ["split", "draft WER (%)", "target WER (%)"],
+        wer_rows,
+        title=f"Model quality — {draft.name} / {target.name}",
+    ))
     print()
 
     # --- speedups per split ------------------------------------------------------

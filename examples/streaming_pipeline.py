@@ -41,7 +41,10 @@ def main() -> None:
         shown = count
 
     print(f"\nfirst-token latency : {result.first_token_latency_s:.2f} s")
-    print(f"tail latency        : {result.final_latency_s * 1000:.0f} ms after end-of-audio")
+    print(
+        f"tail latency        : {result.final_latency_s * 1000:.0f} ms "
+        f"after end-of-audio"
+    )
     print(f"real-time factor    : {result.real_time_factor:.3f} (must stay < 1)")
     print(f"chunks processed    : {result.chunks}")
 

@@ -35,9 +35,7 @@ def main() -> None:
     curve = []
     thresholds = [round(0.1 * i, 1) for i in range(8)]
     for threshold in thresholds:
-        engine = SpecASREngine(
-            draft, target, replace(base_config, threshold=threshold)
-        )
+        engine = SpecASREngine(draft, target, replace(base_config, threshold=threshold))
         total_ms = draft_steps = rounds = 0.0
         for utterance in dataset:
             result = engine.decode(utterance)
@@ -58,12 +56,18 @@ def main() -> None:
         )
     )
     print()
-    print(ascii_bars([f"t={t}" for t in thresholds], curve, unit=" ms",
-                     title="latency per utterance (lower is better)"))
+    print(ascii_bars(
+        [f"t={t}" for t in thresholds],
+        curve,
+        unit=" ms",
+        title="latency per utterance (lower is better)",
+    ))
     best = thresholds[curve.index(min(curve))]
     print(f"\ntuned threshold: {best}  (paper's tuned value: 0.4)")
-    print("Tune on a dev split, deploy on test — thresholds transfer across "
-          "splits but not necessarily across model pairs.")
+    print(
+        "Tune on a dev split, deploy on test — thresholds transfer across "
+        "splits but not necessarily across model pairs."
+    )
 
 
 if __name__ == "__main__":

@@ -46,9 +46,7 @@ def mel_to_hz(mel: np.ndarray | float) -> np.ndarray | float:
 def mel_filterbank(config: LogMelConfig) -> np.ndarray:
     """Triangular mel filterbank of shape ``(n_mels, n_fft // 2 + 1)``."""
     fmax = config.fmax if config.fmax is not None else config.sample_rate / 2
-    mel_points = np.linspace(
-        hz_to_mel(config.fmin), hz_to_mel(fmax), config.n_mels + 2
-    )
+    mel_points = np.linspace(hz_to_mel(config.fmin), hz_to_mel(fmax), config.n_mels + 2)
     hz_points = np.asarray(mel_to_hz(mel_points))
     bins = np.floor((config.n_fft + 1) * hz_points / config.sample_rate).astype(int)
     bins = np.clip(bins, 0, config.n_fft // 2)

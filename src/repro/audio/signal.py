@@ -31,10 +31,26 @@ _VOWEL_FORMANTS: dict[str, tuple[float, float]] = {
 
 #: Noise-band centre (Hz) for coarse consonant classes.
 _CONSONANT_BANDS: dict[str, float] = {
-    "s": 5200.0, "z": 4800.0, "f": 4300.0, "v": 3700.0, "t": 3400.0,
-    "d": 3000.0, "k": 2600.0, "g": 2300.0, "p": 1200.0, "b": 900.0,
-    "m": 400.0, "n": 500.0, "l": 600.0, "r": 700.0, "h": 2000.0,
-    "w": 450.0, "j": 2200.0, "c": 2800.0, "q": 1500.0, "x": 3900.0,
+    "s": 5200.0,
+    "z": 4800.0,
+    "f": 4300.0,
+    "v": 3700.0,
+    "t": 3400.0,
+    "d": 3000.0,
+    "k": 2600.0,
+    "g": 2300.0,
+    "p": 1200.0,
+    "b": 900.0,
+    "m": 400.0,
+    "n": 500.0,
+    "l": 600.0,
+    "r": 700.0,
+    "h": 2000.0,
+    "w": 450.0,
+    "j": 2200.0,
+    "c": 2800.0,
+    "q": 1500.0,
+    "x": 3900.0,
 }
 
 
@@ -130,7 +146,10 @@ def synthesize_utterance(
         phonemes = word_to_phonemes(word)
         word_rng = rng.child("word", index)
         clean = np.concatenate(
-            [_phoneme_segment(ph, config, word_rng.child(i)) for i, ph in enumerate(phonemes)]
+            [
+                _phoneme_segment(ph, config, word_rng.child(i))
+                for i, ph in enumerate(phonemes)
+            ]
         )
         difficulty = utterance.difficulty[index]
         snr_db = 25.0 - 28.0 * difficulty

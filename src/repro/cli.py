@@ -5,16 +5,18 @@ Subcommands:
 * ``list``            — list reproducible experiments (paper figures/tables)
 * ``run EXP [...]``   — run one or all experiments and print their reports
 * ``decode``          — decode a sample utterance with every method
+* ``serve-sim``       — simulate live traffic against a latency SLO
 * ``models``          — show the model registry
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.harness.experiments import list_experiments, run_experiment
-from repro.harness.methods import standard_methods
+from repro.harness.methods import STANDARD_METHODS, standard_methods
 from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
 from repro.models.registry import PAIRINGS, get_spec, list_models, model_pair
 from repro.version import PAPER_TITLE, __version__
@@ -50,6 +52,62 @@ def _build_parser() -> argparse.ArgumentParser:
     decode_parser.add_argument("--pairing", choices=sorted(PAIRINGS), default="whisper")
     decode_parser.add_argument("--split", default="test-clean")
     decode_parser.add_argument("--index", type=int, default=0)
+
+    serve_parser = sub.add_parser(
+        "serve-sim",
+        help="simulate live request traffic and report SLO metrics",
+    )
+    serve_parser.add_argument(
+        "--method",
+        default="specasr-asp",
+        help=f"decoding method (e.g. {', '.join(STANDARD_METHODS)})",
+    )
+    serve_parser.add_argument(
+        "--qps", type=float, default=2.0, help="offered load, requests per second"
+    )
+    serve_parser.add_argument("--requests", type=int, default=48)
+    serve_parser.add_argument("--seed", type=int, default=2025)
+    serve_parser.add_argument(
+        "--utterances", type=int, default=32, help="corpus size backing the request mix"
+    )
+    serve_parser.add_argument("--pairing", choices=sorted(PAIRINGS), default="whisper")
+    serve_parser.add_argument(
+        "--arrival", choices=("poisson", "uniform"), default="poisson"
+    )
+    serve_parser.add_argument(
+        "--trace", default=None, help="replay a JSON arrival trace instead"
+    )
+    serve_parser.add_argument(
+        "--deadline-ms",
+        type=float,
+        default=3000.0,
+        help="completion SLO deadline per request",
+    )
+    serve_parser.add_argument(
+        "--batch", type=int, default=4, help="max rounds co-scheduled per device pass"
+    )
+    serve_parser.add_argument(
+        "--inflight", type=int, default=8, help="max concurrent decode sessions"
+    )
+    serve_parser.add_argument("--queue-capacity", type=int, default=32)
+    serve_parser.add_argument(
+        "--overlap", type=float, default=0.8, help="batching efficiency in [0, 1]"
+    )
+    serve_parser.add_argument(
+        "--no-max-qps", action="store_true", help="skip the max-sustainable-QPS search"
+    )
+    serve_parser.add_argument(
+        "--slo-target",
+        type=float,
+        default=0.95,
+        help="goodput ratio defining 'sustainable'",
+    )
+    serve_parser.add_argument(
+        "--json",
+        dest="json_path",
+        default=None,
+        help="also save the report as JSON here",
+    )
 
     sub.add_parser("models", help="show the model registry")
     return parser
@@ -96,8 +154,58 @@ def _cmd_decode(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_sim(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.serving import (
+        ServeSimConfig,
+        build_decoder,
+        load_trace,
+        max_sustainable_qps,
+        simulate,
+    )
+
+    config = ServeSimConfig(
+        method=args.method,
+        pairing=args.pairing,
+        qps=args.qps,
+        num_requests=args.requests,
+        seed=args.seed,
+        utterances=args.utterances,
+        arrival=args.arrival,
+        deadline_ms=args.deadline_ms,
+        max_batch=args.batch,
+        max_inflight=args.inflight,
+        queue_capacity=args.queue_capacity,
+        overlap=args.overlap,
+    )
+    trace = load_trace(args.trace) if args.trace else None
+    decoder = build_decoder(config)
+    report = simulate(config, trace=trace, decoder=decoder)
+    if not args.no_max_qps and trace is None:
+        max_qps, _ = max_sustainable_qps(
+            config, target_ratio=args.slo_target, decoder=decoder
+        )
+        report = report.with_max_qps(max_qps)
+    elif trace is not None and not args.no_max_qps:
+        print(
+            "note: max-sustainable-QPS search skipped — it measures a "
+            "synthetic arrival process, not the replayed --trace workload",
+            file=sys.stderr,
+        )
+    print(report.render())
+    if args.json_path:
+        path = Path(args.json_path)
+        path.write_text(json.dumps(report.to_dict(), indent=2) + "\n")
+        print(f"saved {path}")
+    return 0
+
+
 def _cmd_models() -> int:
-    print(f"{'model':22s} {'family':8s} {'dec (B)':>8s} {'enc (B)':>8s} {'capacity':>8s}")
+    print(
+        f"{'model':22s} {'family':8s} {'dec (B)':>8s} {'enc (B)':>8s} "
+        f"{'capacity':>8s}"
+    )
     for name in list_models():
         spec = get_spec(name)
         print(
@@ -118,6 +226,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "decode":
         return _cmd_decode(args)
+    if args.command == "serve-sim":
+        return _cmd_serve_sim(args)
     if args.command == "models":
         return _cmd_models()
     raise AssertionError(f"unhandled command {args.command}")

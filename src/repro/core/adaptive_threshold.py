@@ -53,9 +53,7 @@ class ThresholdController:
     def value(self) -> float:
         return self._value
 
-    def observe_round(
-        self, truncated: bool, submitted: int, accepted: int
-    ) -> float:
+    def observe_round(self, truncated: bool, submitted: int, accepted: int) -> float:
         """Update the threshold from one round's outcome; returns the new value.
 
         Args:

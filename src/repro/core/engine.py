@@ -31,8 +31,10 @@ from repro.core.recycling import (
 from repro.core.sparse_tree import assemble_tree, build_sparse_tree_round
 from repro.decoding.base import (
     DecodeResult,
+    DecodeStepper,
     DecodeTrace,
     ModelLike,
+    RoundGenerator,
     RoundStats,
     as_cursor,
     strip_eos,
@@ -59,8 +61,15 @@ class SpecASREngine:
         self.name = name or config.mode
 
     # -- public API ----------------------------------------------------------
-    def decode(self, unit) -> DecodeResult:
+    def begin(self, unit) -> DecodeStepper:
+        """Step-resumable decode; each step is one draft→verify round."""
         clock = SimClock()
+        return DecodeStepper(self._decode_rounds(unit, clock), clock)
+
+    def decode(self, unit) -> DecodeResult:
+        return self.begin(unit).drain()
+
+    def _decode_rounds(self, unit, clock: SimClock) -> RoundGenerator:
         draft_session = self.draft.session(unit, clock)
         target_session = self.target.session(unit, clock)
         draft_session.prefill()
@@ -95,7 +104,8 @@ class SpecASREngine:
                 draft_session, draft_cursor, suffix, eos_id, round_config
             )
             if len(tree) == 0:
-                break  # defensive: nothing draftable
+                yield (), True  # defensive: nothing draftable
+                break
             outcome = verify_tree(target_session, target_cursor, tree)
             stats.accepted_tokens = len(outcome.accepted_tokens)
             emitted = outcome.accepted_tokens + [outcome.correction]
@@ -103,8 +113,7 @@ class SpecASREngine:
             trace.rounds.append(stats)
             if controller is not None:
                 controller.observe_round(
-                    truncated=stats.submitted_tokens
-                    < self.config.max_draft_len,
+                    truncated=stats.submitted_tokens < self.config.max_draft_len,
                     submitted=stats.submitted_tokens,
                     accepted=stats.accepted_tokens,
                 )
@@ -116,6 +125,7 @@ class SpecASREngine:
             target_cursor = target_cursor.extend(newly_committed)
             draft_cursor.rollback()
             target_cursor.rollback()
+            yield newly_committed, done or len(prefix) >= limit
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,
@@ -208,7 +218,5 @@ class SpecASREngine:
         if not remainder:
             return None
         items = [info[node] for node in remainder]
-        retained = RecycledSuffix.from_items(
-            items, eos_id, self.config.max_draft_len
-        )
+        retained = RecycledSuffix.from_items(items, eos_id, self.config.max_draft_len)
         return retained if retained else None

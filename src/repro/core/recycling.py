@@ -160,9 +160,7 @@ def draft_with_recycling(
             frontier.append(("ext", ext_cursor))
         if regen_alive and merge_index is None:
             frontier.append(("regen", regen_cursor))
-        results = session.step_frontier(
-            [c for _, c in frontier], kind=KIND_DRAFT
-        )
+        results = session.step_frontier([c for _, c in frontier], kind=KIND_DRAFT)
         steps += 1
         for (kind, _), result in zip(frontier, results):
             drafted = DraftedToken(result.token, result.top_prob, result.topk)

@@ -94,9 +94,7 @@ def build_sparse_tree_round(
         # draft_adaptive records alternatives on uncertain points; fold the
         # top-k back into the trunk items so pass 2 can branch on them.
         for point in plain.uncertain:
-            trunk[point.offset] = replace(
-                trunk[point.offset], topk=point.alternatives
-            )
+            trunk[point.offset] = replace(trunk[point.offset], topk=point.alternatives)
         steps = plain.draft_steps
         fresh = len(plain.tokens)
         recycled_count = 0
@@ -122,9 +120,7 @@ def build_sparse_tree_round(
         )
 
     # ---- pass 2: extend branches, merging back where possible ----------------
-    live = [
-        b for b in branches if b.items[-1].token != eos_id
-    ]
+    live = [b for b in branches if b.items[-1].token != eos_id]
     # Try zero-cost merges first: the alternative token itself may already
     # match the trunk at an adjacent position.
     still_live: list[SparseBranch] = []
@@ -143,8 +139,7 @@ def build_sparse_tree_round(
         for item in trunk[:max_offset]:
             trunk_cursors.append(trunk_cursors[-1].advance(item.token))
         branch_cursors = {
-            id(b): trunk_cursors[b.trunk_offset].advance(b.items[0].token)
-            for b in live
+            id(b): trunk_cursors[b.trunk_offset].advance(b.items[0].token) for b in live
         }
 
     while live:
@@ -154,8 +149,12 @@ def build_sparse_tree_round(
         steps += 1
         next_live: list[SparseBranch] = []
         for branch, result in zip(live, results):
-            branch.items.append(DraftedToken(result.token, result.top_prob, result.topk))
-            branch_cursors[id(branch)] = branch_cursors[id(branch)].advance(result.token)
+            branch.items.append(
+                DraftedToken(result.token, result.top_prob, result.topk)
+            )
+            branch_cursors[id(branch)] = branch_cursors[id(branch)].advance(
+                result.token
+            )
             fresh += 1
             if _try_merge(branch, trunk, branches, config):
                 recycled_count += len(branch.merged_suffix)

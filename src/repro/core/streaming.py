@@ -132,9 +132,7 @@ class StreamingSpecASR:
             for offset in range(newly_final):
                 # tokens finalize progressively across the compute window
                 fraction = (offset + 1) / newly_final
-                emission_times.append(
-                    clock_s - compute_s * (1.0 - fraction)
-                )
+                emission_times.append(clock_s - compute_s * (1.0 - fraction))
             finalized += newly_final
             partials.append((clock_s, finalized))
         # Anything left (lookahead margin) finalizes after end-of-audio.

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
-from repro.decoding.base import DecodeResult, DecodeTrace, ModelLike, as_cursor, strip_eos
+from repro.decoding.base import (
+    DecodeResult,
+    DecodeStepper,
+    DecodeTrace,
+    ModelLike,
+    RoundGenerator,
+    as_cursor,
+    strip_eos,
+)
 from repro.models.latency import KIND_DECODE, SimClock
 
 
@@ -13,8 +21,15 @@ class AutoregressiveDecoder:
         self.target = target
         self.name = name
 
-    def decode(self, unit) -> DecodeResult:
+    def begin(self, unit) -> DecodeStepper:
+        """Step-resumable decode; each step emits one token."""
         clock = SimClock()
+        return DecodeStepper(self._rounds(unit, clock), clock)
+
+    def decode(self, unit) -> DecodeResult:
+        return self.begin(unit).drain()
+
+    def _rounds(self, unit, clock: SimClock) -> RoundGenerator:
         session = self.target.session(unit, clock)
         session.prefill()
         tokens: list[int] = []
@@ -23,7 +38,9 @@ class AutoregressiveDecoder:
         while len(tokens) < limit:
             result = session.step(cursor, kind=KIND_DECODE)
             tokens.append(result.token)
-            if session.is_eos(result.token):
+            done = session.is_eos(result.token) or len(tokens) >= limit
+            yield (result.token,), done
+            if done:
                 break
             cursor = cursor.advance(result.token)
         eos_id = self.target.vocab.eos_id if hasattr(self.target, "vocab") else None

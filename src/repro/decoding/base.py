@@ -9,12 +9,19 @@ package runs unchanged on both task families.
 The :class:`DecodeTrace` counters are exactly the quantities the paper's
 figures report: rounds, draft steps, predicted/accepted tokens per round,
 recycled tokens, tree nodes verified.
+
+Decoders may additionally be *step-resumable*: ``begin(unit)`` returns a
+:class:`DecodeStepper` that performs one speculative round per ``step()``
+call, so a serving scheduler can multiplex many in-flight decodes and admit
+new requests between rounds (continuous batching).  ``decode()`` is then
+just ``begin(unit).drain()``, so both entry points share one code path and
+produce bit-identical results.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Protocol, Sequence
+from typing import Generator, Protocol, Sequence
 
 from repro.models.latency import SimClock
 
@@ -101,6 +108,108 @@ class DecodeResult:
         if duration_s <= 0:
             raise ValueError("duration must be positive")
         return self.total_ms * 10.0 / duration_s
+
+
+@dataclass(frozen=True)
+class StepOutcome:
+    """Result of one resumable decode step (one draft→verify round).
+
+    ``ms`` is the simulated model time charged during the step — the SimClock
+    delta — which is what a serving scheduler bills to device time.  The
+    first step of a decode also carries its prefill/encode cost.
+    """
+
+    new_tokens: tuple[int, ...]
+    ms: float
+    done: bool
+
+
+#: A round generator yields ``(newly_committed_tokens, done)`` once per
+#: speculative round and returns the final :class:`DecodeResult`.
+RoundGenerator = Generator[tuple[Sequence[int], bool], None, DecodeResult]
+
+
+class DecodeStepper:
+    """Step-resumable decode: one speculative round per :meth:`step` call.
+
+    Wraps a round generator and the :class:`SimClock` its sessions bill to.
+    Each ``step()`` resumes the generator for one round and reports the
+    committed tokens plus the clock delta.  After the final round the
+    generator is drained so :attr:`result` is immediately available.
+    """
+
+    def __init__(self, rounds, clock: SimClock) -> None:
+        self._rounds = rounds
+        self.clock = clock
+        self._result: DecodeResult | None = None
+
+    @property
+    def done(self) -> bool:
+        return self._result is not None
+
+    @property
+    def result(self) -> DecodeResult:
+        if self._result is None:
+            raise RuntimeError("decode not finished; call step() until done")
+        return self._result
+
+    def _finish(self, stop: StopIteration) -> None:
+        if not isinstance(stop.value, DecodeResult):
+            raise RuntimeError(
+                "round generator finished without a DecodeResult"
+            ) from None
+        self._result = stop.value
+
+    def step(self) -> StepOutcome:
+        """Run one speculative round; raises if the decode already finished."""
+        if self._result is not None:
+            raise RuntimeError("decode already finished")
+        events_before = len(self.clock.events)
+        try:
+            tokens, done = next(self._rounds)
+        except StopIteration as stop:
+            # Degenerate decode (no rounds at all, e.g. a zero-length limit):
+            # the generator went straight to its return statement.
+            self._finish(stop)
+            tokens, done = (), True
+        else:
+            if done:
+                try:
+                    next(self._rounds)
+                except StopIteration as stop:
+                    self._finish(stop)
+                else:
+                    raise RuntimeError("round generator yielded past done=True")
+        ms = sum(event.ms for event in self.clock.events[events_before:])
+        return StepOutcome(tuple(tokens), ms, done)
+
+    def drain(self) -> DecodeResult:
+        """Run all remaining rounds and return the final result."""
+        while self._result is None:
+            self.step()
+        return self._result
+
+
+def _whole_decode_rounds(decoder, unit, clock: SimClock):
+    """Fallback round generator: the entire decode as a single step."""
+    result = decoder.decode(unit)
+    clock.merge(result.clock)
+    yield tuple(result.tokens), True
+    return result
+
+
+def begin_decode(decoder, unit) -> DecodeStepper:
+    """A :class:`DecodeStepper` for ``decoder`` on ``unit``.
+
+    Decoders exposing a native ``begin()`` get true per-round stepping;
+    anything else falls back to a single-step wrapper around ``decode()``
+    (correct, but a scheduler cannot interleave inside it).
+    """
+    make = getattr(decoder, "begin", None)
+    if make is not None:
+        return make(unit)
+    clock = SimClock()
+    return DecodeStepper(_whole_decode_rounds(decoder, unit, clock), clock)
 
 
 class PrefixCursor:

@@ -66,7 +66,10 @@ class SamplingDecoder:
     """Plain autoregressive *sampling* on the target model."""
 
     def __init__(
-        self, target: ModelLike, config: SamplingConfig = SamplingConfig(), name: str = "sampling"
+        self,
+        target: ModelLike,
+        config: SamplingConfig = SamplingConfig(),
+        name: str = "sampling",
     ) -> None:
         self.target = target
         self.config = config
@@ -184,9 +187,7 @@ class SpeculativeSamplingDecoder:
             else:
                 # All drafts accepted: bonus token from the final distribution.
                 bonus_dist = _distribution(results[len(drafts)])
-                emitted.append(
-                    _sample(bonus_dist, rng.child("bonus", step_index))
-                )
+                emitted.append(_sample(bonus_dist, rng.child("bonus", step_index)))
             stats.accepted_tokens = accepted
             stats.emitted_tokens = len(emitted)
             trace.rounds.append(stats)

@@ -13,8 +13,10 @@ from dataclasses import dataclass
 
 from repro.decoding.base import (
     DecodeResult,
+    DecodeStepper,
     DecodeTrace,
     ModelLike,
+    RoundGenerator,
     RoundStats,
     as_cursor,
     strip_eos,
@@ -71,8 +73,15 @@ class SpeculativeDecoder:
         self.name = name or f"speculative{config.label}"
 
     # -- public API ----------------------------------------------------------
-    def decode(self, unit) -> DecodeResult:
+    def begin(self, unit) -> DecodeStepper:
+        """Step-resumable decode; each step is one draft→verify round."""
         clock = SimClock()
+        return DecodeStepper(self._decode_rounds(unit, clock), clock)
+
+    def decode(self, unit) -> DecodeResult:
+        return self.begin(unit).drain()
+
+    def _decode_rounds(self, unit, clock: SimClock) -> RoundGenerator:
         draft_session = self.draft.session(unit, clock)
         target_session = self.target.session(unit, clock)
         draft_session.prefill()
@@ -89,8 +98,12 @@ class SpeculativeDecoder:
                 self._round_single if self.config.beams == 1 else self._round_beams
             )
             emitted = round_fn(
-                draft_cursor, target_cursor, draft_session, target_session,
-                trace, eos_id,
+                draft_cursor,
+                target_cursor,
+                draft_session,
+                target_session,
+                trace,
+                eos_id,
             )
             committed_before = len(prefix)
             prefix, done = commit(prefix, emitted, eos_id)
@@ -99,6 +112,7 @@ class SpeculativeDecoder:
             target_cursor = target_cursor.extend(newly_committed)
             draft_cursor.rollback()
             target_cursor.rollback()
+            yield newly_committed, done or len(prefix) >= limit
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,
@@ -108,8 +122,13 @@ class SpeculativeDecoder:
 
     # -- single-beam round ------------------------------------------------------
     def _round_single(
-        self, draft_cursor, target_cursor, draft_session, target_session,
-        trace, eos_id,
+        self,
+        draft_cursor,
+        target_cursor,
+        draft_session,
+        target_session,
+        trace,
+        eos_id,
     ) -> list[int]:
         stats = RoundStats()
         drafts: list[int] = []
@@ -133,8 +152,13 @@ class SpeculativeDecoder:
 
     # -- two-beam round ------------------------------------------------------
     def _round_beams(
-        self, draft_cursor, target_cursor, draft_session, target_session,
-        trace, eos_id,
+        self,
+        draft_cursor,
+        target_cursor,
+        draft_session,
+        target_session,
+        trace,
+        eos_id,
     ) -> list[int]:
         stats = RoundStats()
         tree = TokenTree()
@@ -150,11 +174,7 @@ class SpeculativeDecoder:
             frontier.append(secondary)
         # Extend every live branch one token per batched draft pass.
         for _ in range(self.config.draft_len - 1):
-            live = [
-                node
-                for node in frontier
-                if tree.nodes[node].token != eos_id
-            ]
+            live = [node for node in frontier if tree.nodes[node].token != eos_id]
             if not live:
                 break
             results = draft_session.step_frontier(

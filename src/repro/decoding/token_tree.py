@@ -67,9 +67,7 @@ class TokenTree:
         return indices
 
     @classmethod
-    def from_sequences(
-        cls, sequences: Iterable[Sequence[int]]
-    ) -> "TokenTree":
+    def from_sequences(cls, sequences: Iterable[Sequence[int]]) -> "TokenTree":
         """Build a trie merging shared prefixes of candidate sequences."""
         tree = cls()
         # Maps (parent, token) -> node index to merge shared prefixes.

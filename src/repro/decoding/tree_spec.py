@@ -72,8 +72,12 @@ class FixedTreeDecoder:
         done = False
         while not done and len(prefix) < limit:
             emitted = self._round(
-                draft_cursor, target_cursor, draft_session, target_session,
-                trace, eos_id,
+                draft_cursor,
+                target_cursor,
+                draft_session,
+                target_session,
+                trace,
+                eos_id,
             )
             committed_before = len(prefix)
             prefix, done = commit(prefix, emitted, eos_id)
@@ -90,8 +94,13 @@ class FixedTreeDecoder:
         )
 
     def _round(
-        self, draft_cursor, target_cursor, draft_session, target_session,
-        trace, eos_id,
+        self,
+        draft_cursor,
+        target_cursor,
+        draft_session,
+        target_session,
+        trace,
+        eos_id,
     ) -> list[int]:
         stats = RoundStats()
         tree = TokenTree()

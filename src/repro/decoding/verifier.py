@@ -97,7 +97,9 @@ def verify_tree(
     # topological order, so every parent cursor exists before its children.
     node_cursors: list = []
     for node in tree.nodes:
-        parent = root_cursor if node.parent == ROOT_PARENT else node_cursors[node.parent]
+        parent = (
+            root_cursor if node.parent == ROOT_PARENT else node_cursors[node.parent]
+        )
         node_cursors.append(parent.advance(node.token))
     billed = billed_tokens if billed_tokens is not None else len(tree)
     results = target.verify_eval([root_cursor, *node_cursors], billed_tokens=billed)

@@ -22,15 +22,29 @@ Backends:
 Transcripts, traces and SimClock totals are bit-identical to the serial
 runner for every backend: decodes don't interact, and aggregation happens
 in the parent in corpus order.
+
+Two consumption styles:
+
+* :meth:`CorpusExecutor.map_decode` materialises the full grid (small
+  corpora, figure reports);
+* :meth:`CorpusExecutor.iter_results` streams ``(method, index, result)``
+  triples in deterministic grid order while keeping only a bounded window
+  of tasks in flight — very large corpora never hold every DecodeResult in
+  the parent at once.
+
+:meth:`CorpusExecutor.map_jobs` is the generic worker-pool plumbing under
+non-decode workloads (e.g. serve-simulation QPS sweeps): any picklable
+module-level function over a list of job arguments, results in job order.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Mapping, Sequence
+from typing import Callable, Iterator, Mapping, Sequence
 
 from repro.data.corpus import Dataset
 from repro.decoding.base import DecodeResult
@@ -101,26 +115,61 @@ class CorpusExecutor:
         Returns ``{method: [result per utterance, in corpus order]}`` with
         the same content regardless of backend or worker count.
         """
+        if len(dataset) == 0:
+            # Empty corpus: no tasks to stream, but callers still expect one
+            # (empty) row per method.
+            live = methods() if callable(methods) else methods
+            names = list(method_order) if method_order is not None else list(live)
+            self.last_stats = ExecutorStats("serial", self.workers, 0)
+            return {name: [] for name in names}
+        # The grid fills lazily from the stream so a callable ``methods``
+        # factory is resolved exactly once (inside iter_results), never here.
+        grid: dict[str, list[DecodeResult | None]] = {}
+        for name, index, result in self.iter_results(methods, dataset, method_order):
+            row = grid.get(name)
+            if row is None:
+                row = grid[name] = [None] * len(dataset)
+            row[index] = result
+        complete = {name: list(results) for name, results in grid.items()}
+        return complete  # type: ignore[return-value]
+
+    def iter_results(
+        self,
+        methods: Mapping[str, object] | Callable[[], Mapping[str, object]],
+        dataset: Dataset,
+        method_order: Sequence[str] | None = None,
+        window: int | None = None,
+    ) -> Iterator[tuple[str, int, DecodeResult]]:
+        """Stream ``(method, index, result)`` in deterministic grid order.
+
+        Unlike :meth:`map_decode`, results are yielded as soon as the next
+        triple *in grid order* is ready, and at most ``window`` tasks
+        (default ``4 × workers``) are in flight at once — a very large
+        corpus is never materialised in the parent.  Content is identical
+        to the serial loop for every backend.
+
+        The pool lives inside the generator: abandoning it mid-iteration
+        shuts the pool down when the generator is garbage collected.
+        """
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
         live = methods() if callable(methods) else methods
         names = list(method_order) if method_order is not None else list(live)
         tasks = [(name, index) for name in names for index in range(len(dataset))]
         backend = self._effective_backend(methods, live, dataset)
         self.last_stats = ExecutorStats(backend, self.workers, len(tasks))
 
-        grid: dict[str, list[DecodeResult | None]] = {
-            name: [None] * len(dataset) for name in names
-        }
         if backend == "serial":
             for name, index in tasks:
-                grid[name][index] = live[name].decode(dataset[index])
-        elif backend == "thread":
+                yield name, index, live[name].decode(dataset[index])
+            return
+        window = window if window is not None else max(4 * self.workers, 4)
+        if backend == "thread":
             with ThreadPoolExecutor(max_workers=self.workers) as pool:
-                futures = {
-                    pool.submit(live[name].decode, dataset[index]): (name, index)
-                    for name, index in tasks
-                }
-                for future, (name, index) in futures.items():
-                    grid[name][index] = future.result()
+                def submit(name: str, index: int):
+                    return pool.submit(live[name].decode, dataset[index])
+
+                yield from _stream_ordered(tasks, submit, window)
         else:  # process
             payload = methods if callable(methods) else live
             with ProcessPoolExecutor(
@@ -128,13 +177,29 @@ class CorpusExecutor:
                 initializer=_init_worker,
                 initargs=(payload, dataset),
             ) as pool:
-                futures = {
-                    pool.submit(_decode_task, name, index): (name, index)
-                    for name, index in tasks
-                }
-                for future, (name, index) in futures.items():
-                    grid[name][index] = future.result()
-        return {name: list(results) for name, results in grid.items()}  # type: ignore[arg-type]
+                def submit(name: str, index: int):
+                    return pool.submit(_decode_task, name, index)
+
+                yield from _stream_ordered(tasks, submit, window)
+
+    def map_jobs(self, fn: Callable, jobs: Sequence) -> list:
+        """Run ``fn(job)`` for every job; results come back in job order.
+
+        Generic worker-pool plumbing shared by non-decode workloads (serve
+        QPS sweeps, calibration grids).  For the process backend ``fn`` must
+        be a picklable module-level callable; ``auto`` falls back to a
+        thread pool when pickling fails and to the serial loop for a single
+        worker.
+        """
+        jobs = list(jobs)
+        backend = self._job_backend(fn, jobs)
+        self.last_stats = ExecutorStats(backend, self.workers, len(jobs))
+        if backend == "serial":
+            return [fn(job) for job in jobs]
+        pool_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
+        with pool_cls(max_workers=self.workers) as pool:
+            futures = [pool.submit(fn, job) for job in jobs]
+            return [future.result() for future in futures]
 
     # -- helpers -------------------------------------------------------------
     def _effective_backend(self, methods, live, dataset) -> str:
@@ -158,3 +223,37 @@ class CorpusExecutor:
         except Exception:
             return "thread"
         return "process"
+
+    def _job_backend(self, fn, jobs) -> str:
+        if self.workers <= 1 or not jobs:
+            return "serial"
+        if self.backend != "auto":
+            return self.backend
+        if (os.cpu_count() or 1) <= 1:
+            return "serial"
+        try:
+            pickle.dumps(fn)
+            pickle.dumps(jobs[0])
+        except Exception:
+            return "thread"
+        return "process"
+
+
+def _stream_ordered(
+    tasks: Sequence[tuple[str, int]],
+    submit: Callable,
+    window: int,
+) -> Iterator[tuple[str, int, DecodeResult]]:
+    """Yield task results in task order with at most ``window`` in flight."""
+    pending: deque = deque()
+    task_iter = iter(tasks)
+    for task in tasks[:window]:
+        pending.append((task, submit(*task)))
+        next(task_iter)
+    while pending:
+        (name, index), future = pending.popleft()
+        result = future.result()
+        refill = next(task_iter, None)
+        if refill is not None:
+            pending.append((refill, submit(*refill)))
+        yield name, index, result

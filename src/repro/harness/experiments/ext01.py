@@ -7,8 +7,6 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
-
 from repro.core.config import SpecASRConfig, full_specasr
 from repro.core.engine import SpecASREngine
 from repro.core.streaming import StreamingConfig, StreamingSpecASR
@@ -45,9 +43,7 @@ def run_adaptive(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRep
         for label, cfg in variants.items()
     }
     # One batched corpus run (one worker pool) instead of one per variant.
-    runs = run_methods(
-        engines, dataset, check_lossless=False, workers=config.workers
-    )
+    runs = run_methods(engines, dataset, check_lossless=False, workers=config.workers)
     for label, run in runs.items():
         report.rows.append(
             [label, run.breakdown.ms_per_10s, run.mean_draft_steps, run.mean_rounds]

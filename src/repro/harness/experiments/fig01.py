@@ -65,7 +65,5 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
                 100.0 * decode_ms / total_ms,
             ]
         )
-        report.metrics[f"decoder_latency_share/{target_name}"] = (
-            decode_ms / total_ms
-        )
+        report.metrics[f"decoder_latency_share/{target_name}"] = decode_ms / total_ms
     return report

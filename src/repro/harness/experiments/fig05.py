@@ -26,7 +26,9 @@ def run_wer(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
     report = ExperimentReport(
         exp_id="fig05a",
         title="WER vs model scale (LibriSim clean/other)",
-        headers=["model", "params (B)", "WER clean (%)", "WER other (%)", "vs tiny (%)"],
+        headers=[
+            "model", "params (B)", "WER clean (%)", "WER other (%)", "vs tiny (%)"
+        ],
     )
     vocab = shared_vocabulary()
     clean = load_split("test-clean", config)

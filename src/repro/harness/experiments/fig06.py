@@ -16,15 +16,15 @@ def run_distribution(
     report = ExperimentReport(
         exp_id="fig06a",
         title="Acceptance-ratio distribution by prediction length (test-clean)",
-        headers=["prediction len", "0.0-0.2", "0.2-0.4", "0.4-0.6", "0.6-0.8", "0.8-1.0"],
+        headers=[
+            "prediction len", "0.0-0.2", "0.2-0.4", "0.4-0.6", "0.6-0.8", "0.8-1.0"
+        ],
     )
     vocab = shared_vocabulary()
     dataset = load_split("test-clean", config)
     draft, target = model_pair("whisper", vocab)
     for gamma in (8, 16, 24):
-        decoder = SpeculativeDecoder(
-            draft, target, SpeculativeConfig(draft_len=gamma)
-        )
+        decoder = SpeculativeDecoder(draft, target, SpeculativeConfig(draft_len=gamma))
         ratios = []
         for utterance in dataset:
             result = decoder.decode(utterance)

@@ -23,7 +23,9 @@ def run(
     report = ExperimentReport(
         exp_id="fig11",
         title="Speedup over autoregressive and speculative baselines",
-        headers=["pairing", "split", "method", "ms/10s", "x over AR", "x over best spec"],
+        headers=[
+            "pairing", "split", "method", "ms/10s", "x over AR", "x over best spec"
+        ],
     )
     vocab = shared_vocabulary()
     for pairing in pairings:

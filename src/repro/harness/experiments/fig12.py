@@ -32,14 +32,11 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
     draft, target = model_pair("whisper", vocab)
     methods = standard_methods(draft, target)
     methods.pop("autoregressive")  # no speculation rounds to report
-    runs = run_methods(
-        methods, dataset, check_lossless=True, workers=config.workers
-    )
+    runs = run_methods(methods, dataset, check_lossless=True, workers=config.workers)
 
     baseline = runs["spec(8,1)"]
     base_ineffective = (
-        baseline.mean_draft_steps
-        - baseline.accepted_per_round * baseline.mean_rounds
+        baseline.mean_draft_steps - baseline.accepted_per_round * baseline.mean_rounds
     )
     for name, run_result in runs.items():
         report.rows.append(
@@ -59,9 +56,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
 
     # Headline derived quantities the paper quotes.
     asp = runs["specasr-asp"]
-    asp_ineffective = (
-        asp.mean_draft_steps - asp.accepted_per_round * asp.mean_rounds
-    )
+    asp_ineffective = asp.mean_draft_steps - asp.accepted_per_round * asp.mean_rounds
     if base_ineffective > 0:
         reduction = 100.0 * (1.0 - asp_ineffective / base_ineffective)
         report.metrics["ineffective_step_reduction_pct"] = reduction
@@ -70,9 +65,7 @@ def run(config: ExperimentConfig = ExperimentConfig()) -> ExperimentReport:
             "(paper: 74.1 %)"
         )
     tsp = runs["specasr-tsp"]
-    gain = 100.0 * (
-        tsp.accepted_per_round / baseline.accepted_per_round - 1.0
-    )
+    gain = 100.0 * (tsp.accepted_per_round / baseline.accepted_per_round - 1.0)
     report.metrics["accepted_length_gain_pct"] = gain
     report.extra_sections.append(
         f"accepted tokens/round gain (TSP vs spec(8,1)): +{gain:.1f} % "

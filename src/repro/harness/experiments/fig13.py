@@ -40,9 +40,7 @@ def run_threshold(
         )
         for threshold in THRESHOLDS
     }
-    runs = run_methods(
-        engines, dataset, check_lossless=False, workers=config.workers
-    )
+    runs = run_methods(engines, dataset, check_lossless=False, workers=config.workers)
     for threshold in THRESHOLDS:
         run_result = runs[f"asp@{threshold}"]
         ms = run_result.breakdown.ms_per_10s

@@ -60,7 +60,5 @@ def ascii_bars(
     lines = [title] if title else []
     for label, value in zip(labels, values):
         bar = "#" * max(1, int(round(abs(value) / peak * width))) if value else ""
-        lines.append(
-            f"{label.ljust(label_width)} | {bar} {format_value(value)}{unit}"
-        )
+        lines.append(f"{label.ljust(label_width)} | {bar} {format_value(value)}{unit}")
     return "\n".join(lines)

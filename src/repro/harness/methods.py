@@ -47,9 +47,7 @@ def build_method(name: str, draft, target):
         # main results includes the recycling strategy (Sec. IV-B).
         return SpecASREngine(draft, target, asp_with_recycling(), name=name)
     if name == "specasr-asp-only":
-        return SpecASREngine(
-            draft, target, SpecASRConfig(recycling=False), name=name
-        )
+        return SpecASREngine(draft, target, SpecASRConfig(recycling=False), name=name)
     if name == "specasr-tsp":
         return SpecASREngine(draft, target, full_specasr(), name=name)
     raise KeyError(f"unknown method {name!r}")
@@ -77,19 +75,39 @@ def table1_families() -> list[MethodFamily]:
     """The qualitative comparison rows of the paper's Table I."""
     return [
         MethodFamily(
-            "Single Sequence", "Chen et al., Leviathan et al.",
-            "high", "low", "medium", "low", "medium",
+            "Single Sequence",
+            "Chen et al., Leviathan et al.",
+            "high",
+            "low",
+            "medium",
+            "low",
+            "medium",
         ),
         MethodFamily(
-            "Fixed Tree", "SpecInfer, EAGLE, MCSD",
-            "low", "high", "low", "medium", "low",
+            "Fixed Tree",
+            "SpecInfer, EAGLE, MCSD",
+            "low",
+            "high",
+            "low",
+            "medium",
+            "low",
         ),
         MethodFamily(
-            "Dynamic Tree", "Medusa, ProPD, EAGLE-2, Sequoia",
-            "low", "high", "low", "high", "high",
+            "Dynamic Tree",
+            "Medusa, ProPD, EAGLE-2, Sequoia",
+            "low",
+            "high",
+            "low",
+            "high",
+            "high",
         ),
         MethodFamily(
-            "Ours (SpecASR)", "this repo",
-            "high", "high", "high", "high", "high",
+            "Ours (SpecASR)",
+            "this repo",
+            "high",
+            "high",
+            "high",
+            "high",
+            "high",
         ),
     ]

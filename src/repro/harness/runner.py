@@ -76,9 +76,7 @@ class MethodRun:
     def mean_draft_steps(self) -> float:
         if not self.results:
             return 0.0
-        return sum(r.trace.total_draft_steps for r in self.results) / len(
-            self.results
-        )
+        return sum(r.trace.total_draft_steps for r in self.results) / len(self.results)
 
     @property
     def acceptance_ratio(self) -> float:
@@ -126,9 +124,7 @@ def run_method(
     else:
         for utterance in dataset:
             run.results.append(decoder.decode(utterance))
-    run.breakdown = aggregate_latency(
-        decoder.name, run.results, list(dataset)
-    )
+    run.breakdown = aggregate_latency(decoder.name, run.results, list(dataset))
     return run
 
 

@@ -8,19 +8,26 @@ from repro.metrics.acceptance import (
     rank_distribution_on_failure,
     suffix_alignment_curve,
 )
-from repro.metrics.latency_report import LatencyBreakdown, aggregate_latency
+from repro.metrics.latency_report import (
+    LatencyBreakdown,
+    PercentileSummary,
+    aggregate_latency,
+    percentile,
+)
 from repro.metrics.speedup import SpeedupRow, speedup_table
 from repro.metrics.wer import corpus_wer, wer
 
 __all__ = [
     "AcceptanceStats",
     "LatencyBreakdown",
+    "PercentileSummary",
     "SpeedupRow",
     "accept_at_topk",
     "acceptance_histogram",
     "aggregate_latency",
     "collect_acceptance",
     "corpus_wer",
+    "percentile",
     "rank_distribution_on_failure",
     "speedup_table",
     "suffix_alignment_curve",

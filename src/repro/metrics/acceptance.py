@@ -70,8 +70,7 @@ def acceptance_histogram(
         counts[index] += 1
     total = len(ratios)
     return [
-        (f"{i / bins:.1f}-{(i + 1) / bins:.1f}", counts[i] / total)
-        for i in range(bins)
+        (f"{i / bins:.1f}-{(i + 1) / bins:.1f}", counts[i] / total) for i in range(bins)
     ]
 
 
@@ -93,9 +92,7 @@ def _target_greedy_path(target_session, eos_id: int, limit: int) -> list[int]:
     return tokens
 
 
-def accept_at_topk(
-    draft_model, target_model, units, max_k: int = 5
-) -> list[float]:
+def accept_at_topk(draft_model, target_model, units, max_k: int = 5) -> list[float]:
     """P(target token within the draft's top-k) along the target greedy path.
 
     ``accept@1`` is exactly the per-token acceptance probability of greedy
@@ -217,6 +214,4 @@ def suffix_alignment_curve(
             prefix = new_prefix
             if correction == eos_id:
                 break
-    return [
-        matches[i] / totals[i] if totals[i] else 0.0 for i in range(max_offset)
-    ]
+    return [matches[i] / totals[i] if totals[i] else 0.0 for i in range(max_offset)]

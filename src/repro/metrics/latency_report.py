@@ -2,16 +2,74 @@
 
 Produces the per-model / per-kind millisecond breakdowns the paper reports,
 normalised per 10 seconds of audio (Table II) or as corpus totals (Fig. 7,
-Fig. 11).
+Fig. 11), plus the percentile summaries the serving layer's SLO reports are
+built from.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Iterable, Sequence
 
 from repro.data.corpus import Utterance
 from repro.decoding.base import DecodeResult
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``values`` (linear interpolation).
+
+    Deterministic pure-Python implementation (no numpy dtype dependence) so
+    SLO reports are bit-stable across platforms.  ``q`` is in ``[0, 100]``.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (len(ordered) - 1) * q / 100.0
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    frac = rank - low
+    return float(ordered[low] * (1.0 - frac) + ordered[high] * frac)
+
+
+@dataclass(frozen=True)
+class PercentileSummary:
+    """p50/p95/p99 + mean of one latency population (milliseconds)."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "PercentileSummary | None":
+        """Summarise ``values``; None when the population is empty."""
+        data = [float(v) for v in values]
+        if not data:
+            return None
+        return cls(
+            count=len(data),
+            mean=sum(data) / len(data),
+            p50=percentile(data, 50.0),
+            p95=percentile(data, 95.0),
+            p99=percentile(data, 99.0),
+            maximum=max(data),
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 3),
+            "p50": round(self.p50, 3),
+            "p95": round(self.p95, 3),
+            "p99": round(self.p99, 3),
+            "max": round(self.maximum, 3),
+        }
 
 
 @dataclass

@@ -16,9 +16,7 @@ def wer(reference: Sequence, hypothesis: Sequence) -> float:
     return (subs + ins + dels) / ref_len
 
 
-def corpus_wer(
-    references: Sequence[Sequence], hypotheses: Sequence[Sequence]
-) -> float:
+def corpus_wer(references: Sequence[Sequence], hypotheses: Sequence[Sequence]) -> float:
     """Corpus-level WER: pooled edit operations over pooled reference length."""
     if len(references) != len(hypotheses):
         raise ValueError(

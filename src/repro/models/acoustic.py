@@ -41,7 +41,7 @@ import numpy as np
 from repro.data.corpus import Utterance
 from repro.models.vocab import Vocabulary
 from repro.utils.cache import LRUCache
-from repro.utils.hashing import hash_prefix, stable_hash, stable_hash_with
+from repro.utils.hashing import hash_prefix, stable_hash_with
 from repro.utils.mathutil import softmax_array
 from repro.utils.rng import fast_generator as _fast_rng
 
@@ -225,9 +225,7 @@ class EmissionOracle:
     def greedy_stream(self) -> list[int]:
         """The model's anchored greedy transcript (EOS-terminated)."""
         if self._greedy is None:
-            self._greedy = [
-                self.step(pos).token for pos in range(self.max_positions)
-            ]
+            self._greedy = [self.step(pos).token for pos in range(self.max_positions)]
         return list(self._greedy)
 
     # -- emission process ------------------------------------------------------
@@ -305,9 +303,7 @@ class EmissionOracle:
         if perturb_level > 0:
             level_frac = perturb_level / max(p.perturb_window, 1)
             perturb = p.perturb_noise * level_frac * _normals(
-                stable_hash_with(
-                    self._h_perturb, position, perturb_level, context_key
-                ),
+                stable_hash_with(self._h_perturb, position, perturb_level, context_key),
                 n,
             )
             scores = scores + perturb
@@ -328,9 +324,7 @@ class EmissionOracle:
             topk=topk,
         )
 
-    def _compute_base(
-        self, position: int
-    ) -> tuple[list[int], np.ndarray, np.ndarray]:
+    def _compute_base(self, position: int) -> tuple[list[int], np.ndarray, np.ndarray]:
         """Candidates (list + array) and pre-perturbation scores."""
         p = self.params
         utt = self.utterance
@@ -388,9 +382,7 @@ class EmissionOracle:
         # Occasional "attention drop" on the reference evidence: when the
         # model errs, the reference sometimes falls below rank 2 (Fig. 13b's
         # rank >= 3 tail).  Larger models are less prone to it.
-        drop_draw = _fast_rng(
-            stable_hash_with(self._h_drop, position)
-        ).uniform()
+        drop_draw = _fast_rng(stable_hash_with(self._h_drop, position)).uniform()
         drop_prob = p.rank_drop_prob * difficulty * max(1.1 - self.capacity, 0.0)
         if position < utt.num_tokens and drop_draw < drop_prob:
             scores[0] -= p.rank_drop_penalty

@@ -124,9 +124,7 @@ class SimClock:
 
     def tokens_for_kind(self, *kinds: str) -> int:
         wanted = set(kinds)
-        return sum(
-            event.new_tokens for event in self.events if event.kind in wanted
-        )
+        return sum(event.new_tokens for event in self.events if event.kind in wanted)
 
     def merge(self, other: "SimClock") -> None:
         self.events.extend(other.events)

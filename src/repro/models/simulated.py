@@ -30,7 +30,7 @@ import weakref
 from typing import Iterator, NamedTuple, Sequence
 
 from repro.data.corpus import Utterance
-from repro.models.acoustic import EmissionOracle, OracleFactory, OracleParams, OracleStep
+from repro.models.acoustic import EmissionOracle, OracleFactory, OracleParams
 from repro.models.kv_cache import KVCacheTracker
 from repro.models.latency import (
     KIND_DECODE,
@@ -162,9 +162,7 @@ class SimulatedASRModel:
 class _TrieNode:
     """One explored prefix: divergence state plus cached oracle output."""
 
-    __slots__ = (
-        "token", "parent", "depth", "state", "last3", "children", "step"
-    )
+    __slots__ = ("token", "parent", "depth", "state", "last3", "children", "step")
 
     def __init__(
         self,
@@ -278,7 +276,9 @@ class DecodeSession:
         self._prompt_tokens = audio_embeddings + TEXT_PROMPT_TOKENS
         if self.model.encoder_latency_ms_per_10s > 0:
             encoder_ms = self.model.encoder_latency_ms_per_10s * duration / 10.0
-            self.clock.record(self.model.name, KIND_ENCODE, audio_embeddings, 0, encoder_ms)
+            self.clock.record(
+                self.model.name, KIND_ENCODE, audio_embeddings, 0, encoder_ms
+            )
         ms = prefill_ms(self.model.latency, self._prompt_tokens)
         self.clock.record(self.model.name, KIND_PREFILL, self._prompt_tokens, 0, ms)
         self.kv.append(self._prompt_tokens)
@@ -384,16 +384,18 @@ class DecodeSession:
         a rejected segment hides inside the ongoing prediction.
         """
         self._require_prefill()
-        if not prefixes:
-            raise ValueError("step_frontier needs at least one prefix")
         nodes = [self._resolve(p) for p in prefixes]
+        if not nodes:
+            raise ValueError("step_frontier needs at least one prefix")
         cached = self._prompt_tokens + max(node.depth for node in nodes)
         ms = forward_ms(self.model.latency, len(nodes), cached)
         self.clock.record(self.model.name, kind, len(nodes), cached, ms)
         self.kv.append(len(nodes))
         return [self._peek_node(node) for node in nodes]
 
-    def verify_eval(self, prefixes, billed_tokens: int | None = None) -> list[StepResult]:
+    def verify_eval(
+        self, prefixes, billed_tokens: int | None = None
+    ) -> list[StepResult]:
         """One verification forward pass evaluating ``prefixes`` in parallel.
 
         ``billed_tokens`` is the number of *input* tokens fed to the target
@@ -402,9 +404,9 @@ class DecodeSession:
         nodes, which is what the 2-D attention mask actually evaluates.
         """
         self._require_prefill()
-        if not prefixes:
-            raise ValueError("verify_eval needs at least one prefix")
         nodes = [self._resolve(p) for p in prefixes]
+        if not nodes:
+            raise ValueError("verify_eval needs at least one prefix")
         billed = billed_tokens if billed_tokens is not None else len(nodes)
         if billed < 1:
             raise ValueError(f"billed_tokens must be >= 1, got {billed}")

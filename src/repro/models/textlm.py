@@ -14,6 +14,7 @@ useless, unlike ASR.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -93,6 +94,82 @@ class SimulatedTextLM:
         return TextSession(self, prompt, clock)
 
 
+class _TextNode:
+    """One explored prefix of a text session: context window + cached step.
+
+    The next-token distribution is a pure function of ``(window, depth)``,
+    so each node carries exactly those plus child links — no full prefix
+    tuples anywhere, which is what makes cursor advancement O(1) instead of
+    the old per-call full-tuple hash.
+    """
+
+    __slots__ = ("token", "parent", "depth", "window", "children", "step")
+
+    def __init__(
+        self,
+        token: int | None,
+        parent: "_TextNode | None",
+        depth: int,
+        window: Prefix,
+    ) -> None:
+        self.token = token
+        self.parent = parent
+        self.depth = depth
+        self.window = window  # trailing CONTEXT_WINDOW ids incl. the prompt
+        self.children: dict[int, _TextNode] = {}
+        self.step: StepResult | None = None
+
+    def prefix(self) -> Prefix:
+        tokens: list[int] = []
+        node: _TextNode | None = self
+        while node is not None and node.token is not None:
+            tokens.append(node.token)
+            node = node.parent
+        tokens.reverse()
+        return tuple(tokens)
+
+
+class TextCursor:
+    """O(1) handle onto one prefix of a :class:`TextSession` trie.
+
+    Mirrors :class:`repro.models.simulated.SessionCursor` (``advance`` /
+    ``extend`` / ``rollback`` / ``len`` / iteration), so decoders written
+    against cursors get the native fast path on text sessions too.
+    """
+
+    __slots__ = ("session", "node")
+
+    def __init__(self, session: "TextSession", node: _TextNode) -> None:
+        self.session = session
+        self.node = node
+
+    def advance(self, token: int) -> "TextCursor":
+        return TextCursor(self.session, self.session._child(self.node, token))
+
+    def extend(self, tokens: Sequence[int]) -> "TextCursor":
+        node = self.node
+        child = self.session._child
+        for token in tokens:
+            node = child(node, token)
+        return TextCursor(self.session, node)
+
+    def rollback(self) -> None:
+        self.session.rollback(self.node.depth)
+
+    @property
+    def tokens(self) -> Prefix:
+        return self.node.prefix()
+
+    def __len__(self) -> int:
+        return self.node.depth
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.tokens)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TextCursor(depth={self.node.depth})"
+
+
 class TextSession:
     """Decode session over one text prompt (latency-accounted)."""
 
@@ -103,7 +180,7 @@ class TextSession:
         self.prompt = prompt
         self.clock = clock
         self._prompt_ids = tuple(model.vocab.encode_words(prompt.prompt_words))
-        self._cache: dict[Prefix, StepResult] = {}
+        self._root = _TextNode(None, None, 0, self._prompt_ids[-CONTEXT_WINDOW:])
         self._prefilled = False
 
     # -- lifecycle ------------------------------------------------------------
@@ -112,32 +189,55 @@ class TextSession:
             raise RuntimeError("session already prefilled")
         self._prefilled = True
         ms = prefill_ms(self.model.latency, len(self._prompt_ids))
-        self.clock.record(
-            self.model.name, "prefill", len(self._prompt_ids), 0, ms
-        )
+        self.clock.record(self.model.name, "prefill", len(self._prompt_ids), 0, ms)
 
     @property
     def prompt_tokens(self) -> int:
         return len(self._prompt_ids)
 
+    # -- prefix trie -----------------------------------------------------------
+    def cursor(self, prefix: Sequence[int] = ()) -> TextCursor:
+        """A cursor at ``prefix`` (walks the trie once; root is free)."""
+        return TextCursor(self, self._resolve(prefix))
+
+    def _child(self, node: _TextNode, token: int) -> _TextNode:
+        child = node.children.get(token)
+        if child is None:
+            child = _TextNode(
+                token,
+                node,
+                node.depth + 1,
+                (node.window + (token,))[-CONTEXT_WINDOW:],
+            )
+            node.children[token] = child
+        return child
+
+    def _resolve(self, prefix) -> _TextNode:
+        if isinstance(prefix, TextCursor):
+            if prefix.session is self:
+                return prefix.node
+            prefix = prefix.tokens  # foreign cursor: fall back to its tokens
+        node = self._root
+        child = self._child
+        for token in prefix:
+            node = child(node, token)
+        return node
+
     # -- emission ------------------------------------------------------------
-    def _context_hash(self, prefix: Prefix) -> int:
-        window = (self._prompt_ids + prefix)[-CONTEXT_WINDOW:]
-        return stable_hash("text-ctx", window, len(prefix))
+    def _node_step(self, node: _TextNode) -> StepResult:
+        step = node.step
+        if step is None:
+            ctx = stable_hash("text-ctx", node.window, node.depth)
+            step = self._compute(node.depth, ctx)
+            node.step = step
+        return step
 
     def peek(self, prefix) -> StepResult:
-        prefix = tuple(prefix)
-        cached = self._cache.get(prefix)
-        if cached is None:
-            cached = self._compute(prefix)
-            self._cache[prefix] = cached
-        return cached
+        return self._node_step(self._resolve(prefix))
 
-    def _compute(self, prefix: Prefix) -> StepResult:
+    def _compute(self, position: int, ctx: int) -> StepResult:
         p = self.model.params
         vocab = self.model.vocab
-        position = len(prefix)
-        ctx = self._context_hash(prefix)
         pair = self.model.pair_seed
 
         if position >= self.prompt.max_new_tokens:
@@ -193,32 +293,34 @@ class TextSession:
     # -- forward passes (latency-accounted) --------------------------------------
     def step(self, prefix, kind: str = KIND_DECODE) -> StepResult:
         self._require_prefill()
-        prefix = tuple(prefix)
-        cached = len(self._prompt_ids) + len(prefix)
+        node = self._resolve(prefix)
+        cached = len(self._prompt_ids) + node.depth
         ms = forward_ms(self.model.latency, 1, cached)
         self.clock.record(self.model.name, kind, 1, cached, ms)
-        return self.peek(prefix)
+        return self._node_step(node)
 
     def step_frontier(self, prefixes, kind: str = KIND_DRAFT) -> list[StepResult]:
         self._require_prefill()
-        tuples = [tuple(p) for p in prefixes]
-        if not tuples:
+        nodes = [self._resolve(p) for p in prefixes]
+        if not nodes:
             raise ValueError("step_frontier needs at least one prefix")
-        cached = len(self._prompt_ids) + max(len(p) for p in tuples)
-        ms = forward_ms(self.model.latency, len(tuples), cached)
-        self.clock.record(self.model.name, kind, len(tuples), cached, ms)
-        return [self.peek(p) for p in tuples]
+        cached = len(self._prompt_ids) + max(node.depth for node in nodes)
+        ms = forward_ms(self.model.latency, len(nodes), cached)
+        self.clock.record(self.model.name, kind, len(nodes), cached, ms)
+        return [self._node_step(node) for node in nodes]
 
-    def verify_eval(self, prefixes, billed_tokens: int | None = None) -> list[StepResult]:
+    def verify_eval(
+        self, prefixes, billed_tokens: int | None = None
+    ) -> list[StepResult]:
         self._require_prefill()
-        tuples = [tuple(p) for p in prefixes]
-        if not tuples:
+        nodes = [self._resolve(p) for p in prefixes]
+        if not nodes:
             raise ValueError("verify_eval needs at least one prefix")
-        billed = billed_tokens if billed_tokens is not None else len(tuples)
-        cached = len(self._prompt_ids) + min(len(p) for p in tuples)
+        billed = billed_tokens if billed_tokens is not None else len(nodes)
+        cached = len(self._prompt_ids) + min(node.depth for node in nodes)
         ms = forward_ms(self.model.latency, billed, cached)
         self.clock.record(self.model.name, "verify", billed, cached, ms)
-        return [self.peek(p) for p in tuples]
+        return [self._node_step(node) for node in nodes]
 
     def rollback(self, kept_prefix_len: int) -> None:
         """Text sessions do not track KV explicitly; rollback is a no-op."""

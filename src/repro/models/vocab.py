@@ -133,9 +133,7 @@ class Vocabulary:
         for word in self.words:
             word_id = self._word_to_id[word]
             same_group = [
-                other
-                for other in groups[phonetic_signature(word)]
-                if other != word_id
+                other for other in groups[phonetic_signature(word)] if other != word_id
             ]
             if len(same_group) < 3:
                 # Pad the pool with deterministic pseudo-random neighbours so

@@ -1,0 +1,64 @@
+"""Serving layer: request streams, continuous batching, SLO reports.
+
+Turns the offline corpus grids of :mod:`repro.harness` into the workload the
+paper actually targets — live ASR traffic.  An event-driven simulator feeds
+Poisson/trace arrivals through a bounded admission queue into a continuous
+micro-batch scheduler that multiplexes step-resumable decode sessions on one
+simulated device, and the report answers the deployment question: how much
+traffic does each decoding method sustain at a fixed latency SLO?
+"""
+
+from repro.serving.arrivals import (
+    Arrival,
+    load_trace,
+    make_trace,
+    offered_qps,
+    poisson_trace,
+    save_trace,
+    uniform_trace,
+)
+from repro.serving.queue import AdmissionQueue
+from repro.serving.report import ServeReport
+from repro.serving.request import (
+    STATUS_COMPLETED,
+    STATUS_PENDING,
+    STATUS_REJECTED,
+    RequestRecord,
+    ServeRequest,
+)
+from repro.serving.scheduler import (
+    ContinuousBatchScheduler,
+    SchedulerConfig,
+    ScheduleStats,
+)
+from repro.serving.simulator import (
+    ServeSimConfig,
+    build_decoder,
+    max_sustainable_qps,
+    simulate,
+    sweep_qps,
+)
+
+__all__ = [
+    "AdmissionQueue",
+    "Arrival",
+    "ContinuousBatchScheduler",
+    "RequestRecord",
+    "STATUS_COMPLETED",
+    "STATUS_PENDING",
+    "STATUS_REJECTED",
+    "ScheduleStats",
+    "SchedulerConfig",
+    "ServeReport",
+    "ServeRequest",
+    "ServeSimConfig",
+    "build_decoder",
+    "load_trace",
+    "make_trace",
+    "max_sustainable_qps",
+    "offered_qps",
+    "poisson_trace",
+    "save_trace",
+    "simulate",
+    "sweep_qps",
+]

@@ -1,0 +1,136 @@
+"""Arrival traces: when requests hit the server and which utterance each is.
+
+A trace is a list of :class:`Arrival` entries sorted by arrival time (ties
+broken by index).  Traces are either synthesised — Poisson (memoryless open
+loop, the standard serving-workload model) or uniform (a paced load
+generator) — or loaded from JSON, so recorded production traces can be
+replayed deterministically.
+
+All synthesis is seeded through :mod:`repro.utils.rng`: the same
+``(seed, qps, num_requests)`` always yields the bit-identical trace, which
+is what makes serve simulations reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+from repro.utils.rng import RngStream
+
+
+@dataclass(frozen=True)
+class Arrival:
+    """One request arrival: who arrives when, and which utterance it wants."""
+
+    index: int
+    utterance_index: int
+    arrival_ms: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_ms < 0:
+            raise ValueError(f"arrival {self.index}: negative arrival time")
+        if self.utterance_index < 0:
+            raise ValueError(f"arrival {self.index}: negative utterance index")
+
+
+def _assign_utterances(rng: RngStream, count: int, dataset_size: int) -> list[int]:
+    if dataset_size < 1:
+        raise ValueError("dataset must hold at least one utterance")
+    return [rng.integers(0, dataset_size) for _ in range(count)]
+
+
+def poisson_trace(
+    num_requests: int, qps: float, dataset_size: int, seed: int = 0
+) -> list[Arrival]:
+    """Open-loop Poisson arrivals at ``qps`` requests/second.
+
+    Inter-arrival gaps are exponential with mean ``1000 / qps`` ms; utterances
+    are drawn uniformly from the corpus.  Deterministic in ``seed``.
+    """
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+    gaps = RngStream(seed, "serve-arrivals", "gaps")
+    mean_gap_ms = 1000.0 / qps
+    utterances = _assign_utterances(
+        RngStream(seed, "serve-arrivals", "utterances"), num_requests, dataset_size
+    )
+    arrivals = []
+    now = 0.0
+    for index in range(num_requests):
+        now += gaps.numpy.exponential(mean_gap_ms)
+        arrivals.append(Arrival(index, utterances[index], float(now)))
+    return arrivals
+
+
+def uniform_trace(
+    num_requests: int, qps: float, dataset_size: int, seed: int = 0
+) -> list[Arrival]:
+    """Evenly paced arrivals at ``qps`` requests/second (a paced load test)."""
+    if num_requests < 1:
+        raise ValueError("need at least one request")
+    if qps <= 0:
+        raise ValueError(f"qps must be positive, got {qps}")
+    gap_ms = 1000.0 / qps
+    utterances = _assign_utterances(
+        RngStream(seed, "serve-arrivals", "utterances"), num_requests, dataset_size
+    )
+    return [
+        Arrival(index, utterances[index], gap_ms * (index + 1))
+        for index in range(num_requests)
+    ]
+
+
+def make_trace(
+    kind: str, num_requests: int, qps: float, dataset_size: int, seed: int = 0
+) -> list[Arrival]:
+    """Build a trace by kind name (``poisson`` or ``uniform``)."""
+    if kind == "poisson":
+        return poisson_trace(num_requests, qps, dataset_size, seed)
+    if kind == "uniform":
+        return uniform_trace(num_requests, qps, dataset_size, seed)
+    raise ValueError(f"unknown arrival kind {kind!r}; use 'poisson' or 'uniform'")
+
+
+def offered_qps(trace: Sequence[Arrival]) -> float:
+    """Offered load of a trace: requests per second of arrival span."""
+    if not trace:
+        return 0.0
+    span_ms = max(a.arrival_ms for a in trace)
+    if span_ms <= 0:
+        return 0.0
+    return len(trace) * 1000.0 / span_ms
+
+
+def save_trace(trace: Sequence[Arrival], path: str | Path) -> Path:
+    """Write a trace as JSON (replayable with :func:`load_trace`)."""
+    path = Path(path)
+    payload = [
+        {
+            "index": a.index,
+            "utterance_index": a.utterance_index,
+            "arrival_ms": a.arrival_ms,
+        }
+        for a in trace
+    ]
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    return path
+
+
+def load_trace(path: str | Path) -> list[Arrival]:
+    """Load a JSON trace; entries are re-sorted into arrival order."""
+    entries = json.loads(Path(path).read_text())
+    trace = [
+        Arrival(
+            int(entry["index"]),
+            int(entry["utterance_index"]),
+            float(entry["arrival_ms"]),
+        )
+        for entry in entries
+    ]
+    trace.sort(key=lambda a: (a.arrival_ms, a.index))
+    return trace

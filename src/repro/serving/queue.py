@@ -1,0 +1,50 @@
+"""Bounded FIFO admission queue with backpressure.
+
+The queue sits between the arrival stream and the scheduler.  When it is
+full, new arrivals are *rejected* immediately (load shedding) rather than
+waiting unboundedly — the serving-system analogue of HTTP 429/503
+backpressure.  Rejections count against goodput, so an overloaded
+configuration shows up in the SLO report instead of in an ever-growing
+latency tail.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serving.request import STATUS_REJECTED, RequestRecord
+
+
+class AdmissionQueue:
+    """FIFO queue bounded at ``capacity`` waiting requests."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"queue capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._waiting: deque[RequestRecord] = deque()
+        self.rejected = 0
+        self.admitted = 0
+        self.peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._waiting)
+
+    def __bool__(self) -> bool:
+        return bool(self._waiting)
+
+    def offer(self, record: RequestRecord) -> bool:
+        """Admit ``record`` or reject it if the queue is full."""
+        if len(self._waiting) >= self.capacity:
+            self.rejected += 1
+            record.status = STATUS_REJECTED
+            return False
+        self._waiting.append(record)
+        self.admitted += 1
+        if len(self._waiting) > self.peak_depth:
+            self.peak_depth = len(self._waiting)
+        return True
+
+    def pop(self) -> RequestRecord:
+        """Dequeue the oldest waiting request."""
+        return self._waiting.popleft()

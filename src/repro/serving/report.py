@@ -1,0 +1,133 @@
+"""SLO reporting for serve simulations.
+
+Collapses the per-request timelines of one scheduler run into the quantities
+a capacity planner asks for: client-latency percentiles (completion and
+time-to-first-token), goodput under a deadline, rejection rate, and device
+utilisation.  ``max_sustainable_qps`` is attached by the simulator's load
+search (:func:`repro.serving.simulator.max_sustainable_qps`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.metrics.latency_report import PercentileSummary
+from repro.serving.request import STATUS_COMPLETED, STATUS_REJECTED, RequestRecord
+from repro.serving.scheduler import ScheduleStats
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """SLO summary of one (method, arrival-trace) serve simulation."""
+
+    method: str
+    offered_qps: float
+    deadline_ms: float
+    num_requests: int
+    completed: int
+    rejected: int
+    met_deadline: int
+    goodput_rps: float  # deadline-meeting completions per second
+    goodput_ratio: float  # met_deadline / num_requests (rejections count)
+    completion: PercentileSummary | None
+    ttft: PercentileSummary | None
+    queue_wait: PercentileSummary | None
+    decode: PercentileSummary | None  # scheduler-independent model time
+    stats: ScheduleStats
+    max_sustainable_qps: float | None = None
+
+    @classmethod
+    def from_records(
+        cls,
+        method: str,
+        records: Sequence[RequestRecord],
+        stats: ScheduleStats,
+        deadline_ms: float,
+        offered_qps: float,
+    ) -> "ServeReport":
+        completed = [r for r in records if r.status == STATUS_COMPLETED]
+        rejected = sum(1 for r in records if r.status == STATUS_REJECTED)
+        met = [r for r in completed if r.meets_deadline(deadline_ms)]
+        span_s = stats.sim_end_ms / 1000.0
+        return cls(
+            method=method,
+            offered_qps=offered_qps,
+            deadline_ms=deadline_ms,
+            num_requests=len(records),
+            completed=len(completed),
+            rejected=rejected,
+            met_deadline=len(met),
+            goodput_rps=len(met) / span_s if span_s > 0 else 0.0,
+            goodput_ratio=len(met) / len(records) if records else 0.0,
+            completion=PercentileSummary.from_values(
+                r.completion_ms for r in completed
+            ),
+            ttft=PercentileSummary.from_values(r.ttft_ms for r in completed),
+            queue_wait=PercentileSummary.from_values(r.queue_ms for r in completed),
+            decode=PercentileSummary.from_values(r.decode_ms for r in completed),
+            stats=stats,
+        )
+
+    def with_max_qps(self, max_qps: float) -> "ServeReport":
+        """A copy carrying the load search's max sustainable QPS."""
+        return replace(self, max_sustainable_qps=max_qps)
+
+    # -- output ------------------------------------------------------------
+    def to_dict(self) -> dict:
+        payload = {
+            "method": self.method,
+            "offered_qps": round(self.offered_qps, 3),
+            "deadline_ms": self.deadline_ms,
+            "num_requests": self.num_requests,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "met_deadline": self.met_deadline,
+            "goodput_rps": round(self.goodput_rps, 3),
+            "goodput_ratio": round(self.goodput_ratio, 4),
+            "device_utilisation": round(self.stats.device_utilisation, 4),
+            "mean_batch_occupancy": round(self.stats.mean_batch_occupancy, 3),
+            "peak_queue_depth": self.stats.peak_queue_depth,
+            "sim_end_ms": round(self.stats.sim_end_ms, 3),
+            "latency_ms": {
+                "completion": self.completion.to_dict() if self.completion else None,
+                "ttft": self.ttft.to_dict() if self.ttft else None,
+                "queue_wait": self.queue_wait.to_dict() if self.queue_wait else None,
+                "decode": self.decode.to_dict() if self.decode else None,
+            },
+        }
+        if self.max_sustainable_qps is not None:
+            payload["max_sustainable_qps"] = round(self.max_sustainable_qps, 3)
+        return payload
+
+    def render(self) -> str:
+        """Human-readable SLO report."""
+        lines = [
+            f"serve-sim [{self.method}] "
+            f"offered {self.offered_qps:.2f} qps, "
+            f"SLO deadline {self.deadline_ms:.0f} ms",
+            f"  requests  : {self.num_requests} "
+            f"(completed {self.completed}, rejected {self.rejected})",
+            f"  goodput   : {self.goodput_rps:.2f} req/s within deadline "
+            f"({self.goodput_ratio:.1%} of offered)",
+            f"  device    : {self.stats.device_utilisation:.1%} busy, "
+            f"mean batch {self.stats.mean_batch_occupancy:.2f}, "
+            f"peak queue {self.stats.peak_queue_depth}",
+        ]
+        for label, summary in (
+            ("completion", self.completion),
+            ("ttft", self.ttft),
+            ("queue wait", self.queue_wait),
+            ("decode", self.decode),
+        ):
+            if summary is None:
+                lines.append(f"  {label:10s}: (no completed requests)")
+            else:
+                lines.append(
+                    f"  {label:10s}: p50 {summary.p50:8.1f}  "
+                    f"p95 {summary.p95:8.1f}  p99 {summary.p99:8.1f}  "
+                    f"mean {summary.mean:8.1f} ms"
+                )
+        if self.max_sustainable_qps is not None:
+            lines.append(f"  max sustainable qps @ SLO: {self.max_sustainable_qps:.2f}")
+        return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Request datatypes and per-request latency accounting.
+
+A :class:`ServeRequest` is one utterance arriving at the serving front-end at
+a point in *simulated* time (milliseconds, the same unit as
+:class:`~repro.models.latency.SimClock`).  Its :class:`RequestRecord`
+accumulates the timeline the SLO report is computed from:
+
+``arrival → queue wait → service start → first token → finish``
+
+Two latency notions coexist and must not be conflated:
+
+* **decode_ms** — the request's own simulated model time (its SimClock
+  total).  This depends only on (method, utterance) and is bit-identical
+  across scheduler configurations; the determinism suite asserts it.
+* **completion_ms / ttft_ms** — wall latency experienced by the client,
+  including queueing and time spent sharing the device with other requests.
+  This is what the scheduler shapes and what SLOs are written against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.corpus import Utterance
+
+#: Terminal request states.
+STATUS_PENDING = "pending"
+STATUS_REJECTED = "rejected"  # bounced by admission-queue backpressure
+STATUS_COMPLETED = "completed"
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One inbound transcription request."""
+
+    request_id: str
+    index: int  # arrival sequence number (ties broken by this)
+    utterance: Utterance
+    arrival_ms: float
+
+    def __post_init__(self) -> None:
+        if self.arrival_ms < 0:
+            raise ValueError(f"{self.request_id}: negative arrival time")
+
+
+@dataclass
+class RequestRecord:
+    """Mutable per-request timeline filled in by the scheduler."""
+
+    request: ServeRequest
+    status: str = STATUS_PENDING
+    service_start_ms: float | None = None  # first scheduled round began
+    first_token_ms: float | None = None  # first committed tokens visible
+    finish_ms: float | None = None  # transcript complete
+    tokens: list[int] = field(default_factory=list)
+    decode_ms: float = 0.0  # own simulated model time (SimClock total)
+    rounds: int = 0  # scheduler steps this request consumed
+
+    # -- derived latencies (client-observed, scheduler-dependent) ----------
+    @property
+    def queue_ms(self) -> float | None:
+        """Time from arrival until the first scheduled round began."""
+        if self.service_start_ms is None:
+            return None
+        return self.service_start_ms - self.request.arrival_ms
+
+    @property
+    def ttft_ms(self) -> float | None:
+        """Time to first token, from arrival."""
+        if self.first_token_ms is None:
+            return None
+        return self.first_token_ms - self.request.arrival_ms
+
+    @property
+    def completion_ms(self) -> float | None:
+        """End-to-end latency, from arrival to final token."""
+        if self.finish_ms is None:
+            return None
+        return self.finish_ms - self.request.arrival_ms
+
+    @property
+    def per_token_ms(self) -> float | None:
+        """Mean client-observed latency per emitted token."""
+        completion = self.completion_ms
+        if completion is None or not self.tokens:
+            return None
+        return completion / len(self.tokens)
+
+    def meets_deadline(self, deadline_ms: float) -> bool:
+        """True when the request completed within ``deadline_ms`` of arrival."""
+        completion = self.completion_ms
+        return completion is not None and completion <= deadline_ms

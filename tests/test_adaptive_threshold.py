@@ -67,9 +67,7 @@ class TestEngineIntegration:
     def test_adaptive_engine_still_lossless(self, whisper_pair, clean_dataset):
         draft, target = whisper_pair
         ar = AutoregressiveDecoder(target)
-        engine = SpecASREngine(
-            draft, target, SpecASRConfig(adaptive_threshold=True)
-        )
+        engine = SpecASREngine(draft, target, SpecASRConfig(adaptive_threshold=True))
         for utterance in clean_dataset:
             assert engine.decode(utterance).tokens == ar.decode(utterance).tokens
 
@@ -78,9 +76,7 @@ class TestEngineIntegration:
         fixed threshold — it starts at the optimum and must not wander off."""
         draft, target = whisper_pair
         fixed = SpecASREngine(draft, target, SpecASRConfig())
-        adaptive = SpecASREngine(
-            draft, target, SpecASRConfig(adaptive_threshold=True)
-        )
+        adaptive = SpecASREngine(draft, target, SpecASRConfig(adaptive_threshold=True))
         fixed_ms = sum(fixed.decode(u).total_ms for u in clean_dataset)
         adaptive_ms = sum(adaptive.decode(u).total_ms for u in clean_dataset)
         assert adaptive_ms < fixed_ms * 1.15
@@ -89,9 +85,7 @@ class TestEngineIntegration:
         """Starting from a clearly-too-high threshold, adaptation should
         recover part of the loss vs staying fixed at that bad value."""
         draft, target = whisper_pair
-        bad_fixed = SpecASREngine(
-            draft, target, SpecASRConfig(threshold=0.65)
-        )
+        bad_fixed = SpecASREngine(draft, target, SpecASRConfig(threshold=0.65))
         bad_adaptive = SpecASREngine(
             draft, target, SpecASRConfig(threshold=0.65, adaptive_threshold=True)
         )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import SpecASRConfig, asp_only, asp_with_recycling, full_specasr
+from repro.core.config import asp_only, asp_with_recycling, full_specasr
 from repro.core.engine import SpecASREngine
 from repro.decoding.autoregressive import AutoregressiveDecoder
 
@@ -99,9 +99,7 @@ class TestOnSimulatedModels:
         draft, target = whisper_pair
         engine = SpecASREngine(draft, target, full_specasr())
         result = engine.decode(utterance)
-        assert result.total_ms == pytest.approx(
-            sum(e.ms for e in result.clock.events)
-        )
+        assert result.total_ms == pytest.approx(sum(e.ms for e in result.clock.events))
 
     def test_round_counters_consistent(self, whisper_pair, utterance):
         draft, target = whisper_pair

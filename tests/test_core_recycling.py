@@ -93,9 +93,7 @@ class TestMergeAtCorrespondingPosition:
     def test_suffix_required(self):
         session = session_for([5, EOS])
         with pytest.raises(ValueError):
-            draft_with_recycling(
-                session, [], RecycledSuffix(), SpecASRConfig(), EOS
-            )
+            draft_with_recycling(session, [], RecycledSuffix(), SpecASRConfig(), EOS)
 
 
 class TestAdjacentMerge:
@@ -151,9 +149,7 @@ class TestTruncationInteraction:
         session = session_for(stream, probs={3: 0.1})
         suffix = suffix_of([6, 7], probs=[0.9, 0.1])
         config = SpecASRConfig(threshold=0.4, max_draft_len=5)
-        result = draft_with_recycling(
-            session, [5], suffix, config, EOS, truncate=False
-        )
+        result = draft_with_recycling(session, [5], suffix, config, EOS, truncate=False)
         assert result.merged
         assert len(result.main) == 5  # ran to the cap
 
@@ -162,9 +158,7 @@ class TestTruncationInteraction:
         session = session_for(stream, probs={3: 0.1})
         suffix = suffix_of([6, 7])
         config = SpecASRConfig(threshold=0.4, max_draft_len=5)
-        result = draft_with_recycling(
-            session, [5], suffix, config, EOS, truncate=False
-        )
+        result = draft_with_recycling(session, [5], suffix, config, EOS, truncate=False)
         points = result.uncertain_points(0.4, EOS)
         assert any(p.top_prob == pytest.approx(0.1) for p in points)
 

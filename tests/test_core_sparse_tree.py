@@ -1,7 +1,5 @@
 """Tests for two-pass sparse-tree prediction (TSP)."""
 
-import pytest
-
 from repro.core.config import SpecASRConfig
 from repro.core.recycling import DraftedToken, RecycledSuffix
 from repro.core.sparse_tree import (

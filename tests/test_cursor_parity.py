@@ -99,9 +99,7 @@ def test_cursor_advance_matches_tuple_calls(whisper_pair, clean_dataset):
         cursor = cursor_session.cursor()
         prefix = ()
         for _ in range(rng.randrange(14)):
-            token = rng.choice(
-                [tok for tok, _ in tuple_session.peek(prefix).topk[:3]]
-            )
+            token = rng.choice([tok for tok, _ in tuple_session.peek(prefix).topk[:3]])
             cursor = cursor.advance(token)
             prefix = prefix + (token,)
             assert len(cursor) == len(prefix)
@@ -156,3 +154,78 @@ def test_foreign_cursor_falls_back_to_tokens(whisper_pair, clean_dataset):
     prefix = tuple(target.greedy_transcript(utterance)[:5])
     foreign = draft_session.cursor(prefix)
     assert target_session.peek(foreign) == target_session.peek(prefix)
+
+
+class TestTextSessionCursor:
+    """The TextSession trie cursor must be bit-identical to tuple prefixes."""
+
+    @pytest.fixture(scope="class")
+    def text_model(self, vocab):
+        from repro.data.text_tasks import TextTaskConfig, build_text_corpus
+        from repro.models.latency import LatencyProfile
+        from repro.models.textlm import SimulatedTextLM
+
+        profile = LatencyProfile("t", 5.0, 0.2, 1.0, 0.05)
+        model = SimulatedTextLM("text-draft", 0.80, profile, vocab, pair_seed=5)
+        prompts = build_text_corpus(
+            TextTaskConfig(seed=3, num_prompts=2, max_new_tokens=20)
+        )
+        return model, prompts[0]
+
+    def test_native_cursor_used_by_as_cursor(self, text_model):
+        from repro.decoding.base import as_cursor
+        from repro.models.latency import SimClock
+        from repro.models.textlm import TextCursor
+
+        model, prompt = text_model
+        session = model.session(prompt, SimClock())
+        cursor = as_cursor(session)
+        assert isinstance(cursor, TextCursor)
+
+    def test_cursor_matches_tuple_prefixes(self, text_model):
+        from repro.models.latency import SimClock
+
+        model, prompt = text_model
+        session = model.session(prompt, SimClock())
+        rng = random.Random(13)
+        for _ in range(30):
+            cursor = session.cursor()
+            prefix = ()
+            for _ in range(rng.randrange(12)):
+                token = rng.choice(
+                    [tok for tok, _ in session.peek(prefix).topk[:4]]
+                )
+                cursor = cursor.advance(token)
+                prefix = prefix + (token,)
+                assert cursor.tokens == prefix
+                assert len(cursor) == len(prefix)
+                assert session.peek(cursor) == session.peek(prefix)
+
+    def test_two_sessions_agree(self, text_model):
+        """A trie session and a fresh session walked by tuples agree."""
+        from repro.models.latency import SimClock
+
+        model, prompt = text_model
+        cursor_session = model.session(prompt, SimClock())
+        tuple_session = model.session(prompt, SimClock())
+        greedy = ()
+        cursor = cursor_session.cursor()
+        for _ in range(15):
+            got = cursor_session.peek(cursor)
+            want = tuple_session.peek(greedy)
+            assert got == want
+            if tuple_session.is_eos(want.token):
+                break
+            cursor = cursor.advance(want.token)
+            greedy = greedy + (want.token,)
+
+    def test_foreign_cursor_resolves_by_tokens(self, text_model, whisper_pair,
+                                               clean_dataset):
+        from repro.models.latency import SimClock
+
+        model, prompt = text_model
+        _, target = whisper_pair
+        asr_session = target.session(clean_dataset[0], SimClock())
+        text_session = model.session(prompt, SimClock())
+        foreign = asr_session.cursor((1, 2, 3))
+        assert text_session.peek(foreign) == text_session.peek((1, 2, 3))

@@ -106,16 +106,15 @@ class TestSpeculative:
             FakeUnit()
         )
         assert result.tokens == [5, 6, 7]
-        assert result.trace.rounds[0].tree_nodes > result.trace.rounds[0].submitted_tokens
+        first_round = result.trace.rounds[0]
+        assert first_round.tree_nodes > first_round.submitted_tokens
 
     def test_latency_totals_equal_event_sum(self):
         stream = [5, 6, 7, EOS]
         draft = ScriptedModel(stream=list(stream), name="draft")
         target = ScriptedModel(stream=list(stream), name="target")
         result = SpeculativeDecoder(draft, target).decode(FakeUnit())
-        assert result.total_ms == pytest.approx(
-            sum(e.ms for e in result.clock.events)
-        )
+        assert result.total_ms == pytest.approx(sum(e.ms for e in result.clock.events))
 
 
 class TestFixedTree:

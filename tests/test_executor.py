@@ -48,9 +48,7 @@ class TestBackendParity:
 
     def test_auto_backend_matches_serial(self, vocab, clean_dataset, serial_runs):
         draft, target = model_pair("whisper", vocab)
-        runs = run_methods(
-            standard_methods(draft, target), clean_dataset, workers=4
-        )
+        runs = run_methods(standard_methods(draft, target), clean_dataset, workers=4)
         _assert_identical(runs, serial_runs)
 
     def test_factory_process_pool(self, vocab, clean_dataset, serial_runs):
@@ -75,9 +73,7 @@ class TestRunnerIntegration:
         from repro.decoding.autoregressive import AutoregressiveDecoder
 
         serial = run_method(AutoregressiveDecoder(target), clean_dataset)
-        parallel = run_method(
-            AutoregressiveDecoder(target), clean_dataset, workers=2
-        )
+        parallel = run_method(AutoregressiveDecoder(target), clean_dataset, workers=2)
         assert [r.tokens for r in parallel.results] == [
             r.tokens for r in serial.results
         ]
@@ -116,3 +112,81 @@ class TestExecutorValidation:
 
     def test_default_worker_count_positive(self):
         assert default_worker_count() >= 1
+
+
+class TestIterResults:
+    def test_serial_streaming_matches_map(self, vocab, clean_dataset, serial_runs):
+        draft, target = model_pair("whisper", vocab)
+        executor = CorpusExecutor(workers=1)
+        triples = list(
+            executor.iter_results(standard_methods(draft, target), clean_dataset)
+        )
+        # deterministic grid order: methods outer, corpus index inner
+        expected_order = [
+            (name, index)
+            for name in serial_runs
+            for index in range(len(clean_dataset))
+        ]
+        assert [(name, index) for name, index, _ in triples] == expected_order
+        for name, index, result in triples:
+            want = serial_runs[name].results[index]
+            assert result.tokens == want.tokens
+            assert result.total_ms == want.total_ms
+
+    def test_serial_is_lazy(self, vocab, clean_dataset):
+        draft, target = model_pair("whisper", vocab)
+        executor = CorpusExecutor(workers=1)
+        stream = executor.iter_results(
+            standard_methods(draft, target), clean_dataset
+        )
+        first = next(stream)  # only the first decode has run
+        assert first[:2] == ("autoregressive", 0)
+        stream.close()
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_pool_streaming_matches_serial(
+        self, vocab, clean_dataset, serial_runs, backend
+    ):
+        draft, target = model_pair("whisper", vocab)
+        executor = CorpusExecutor(workers=2, backend=backend)
+        triples = list(
+            executor.iter_results(
+                standard_methods(draft, target), clean_dataset, window=3
+            )
+        )
+        for name, index, result in triples:
+            want = serial_runs[name].results[index]
+            assert result.tokens == want.tokens
+            assert result.total_ms == want.total_ms
+        assert executor.last_stats.backend == backend
+
+    def test_window_validated(self, vocab, clean_dataset):
+        draft, target = model_pair("whisper", vocab)
+        executor = CorpusExecutor(workers=2, backend="thread")
+        with pytest.raises(ValueError):
+            list(
+                executor.iter_results(
+                    standard_methods(draft, target), clean_dataset, window=0
+                )
+            )
+
+
+def _square_job(value):
+    return value * value
+
+
+class TestMapJobs:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_results_in_job_order(self, backend):
+        workers = 1 if backend == "serial" else 3
+        executor = CorpusExecutor(workers=workers, backend=backend)
+        jobs = list(range(17))
+        assert executor.map_jobs(_square_job, jobs) == [v * v for v in jobs]
+
+    def test_auto_never_picks_process_for_unpicklable(self):
+        executor = CorpusExecutor(workers=2, backend="auto")
+        jobs = [1, 2, 3]
+        results = executor.map_jobs(lambda v: v + 1, jobs)  # lambda: no pickle
+        assert results == [2, 3, 4]
+        # thread on multi-core hosts, serial on single-core — never process
+        assert executor.last_stats.backend in ("thread", "serial")

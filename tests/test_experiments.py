@@ -21,8 +21,18 @@ def reports():
 class TestRegistry:
     def test_all_paper_experiments_present(self):
         paper = {
-            "fig01", "fig05a", "fig05b", "fig06a", "fig06b", "fig07",
-            "fig11", "fig12", "fig13a", "fig13b", "tab01", "tab02",
+            "fig01",
+            "fig05a",
+            "fig05b",
+            "fig06a",
+            "fig06b",
+            "fig07",
+            "fig11",
+            "fig12",
+            "fig13a",
+            "fig13b",
+            "tab01",
+            "tab02",
         }
         assert paper <= set(EXPERIMENTS)
         extensions = set(EXPERIMENTS) - paper

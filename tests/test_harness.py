@@ -120,8 +120,18 @@ class TestRunner:
 class TestPaperValues:
     def test_every_experiment_has_notes(self):
         for exp_id in (
-            "fig01", "fig05a", "fig05b", "fig06a", "fig06b",
-            "fig07", "fig11", "fig12", "fig13a", "fig13b", "tab01", "tab02",
+            "fig01",
+            "fig05a",
+            "fig05b",
+            "fig06a",
+            "fig06b",
+            "fig07",
+            "fig11",
+            "fig12",
+            "fig13a",
+            "fig13b",
+            "tab01",
+            "tab02",
         ):
             assert exp_id in PAPER_VALUES
             assert paper_notes(exp_id)

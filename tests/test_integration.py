@@ -1,7 +1,5 @@
 """End-to-end integration tests across subsystems."""
 
-import pytest
-
 from repro.audio.difficulty import measure_difficulty
 from repro.audio.encoder import AudioEncoder, encoder_preset
 from repro.audio.features import LogMelConfig, log_mel_spectrogram
@@ -84,6 +82,4 @@ class TestCrossMethodConsistency:
         engine = SpecASREngine(draft, target, full_specasr())
         ar = AutoregressiveDecoder(target)
         for utterance in list(clean_dataset)[:3]:
-            assert (
-                engine.decode(utterance).total_ms < ar.decode(utterance).total_ms
-            )
+            assert (engine.decode(utterance).total_ms < ar.decode(utterance).total_ms)

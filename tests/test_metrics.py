@@ -82,7 +82,9 @@ class TestAcceptanceAnalyses:
         assert all(0.0 <= v <= 1.0 for v in curve)
         assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
 
-    def test_rank_distribution_sums_to_one(self, whisper_pair, clean_dataset, other_dataset):
+    def test_rank_distribution_sums_to_one(
+        self, whisper_pair, clean_dataset, other_dataset
+    ):
         draft, target = whisper_pair
         units = list(clean_dataset) + list(other_dataset)
         distribution = rank_distribution_on_failure(draft, target, units)

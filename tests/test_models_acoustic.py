@@ -17,9 +17,7 @@ class TestOracleBasics:
 
     def test_different_models_can_differ(self, clean_dataset, vocab):
         for utt in clean_dataset:
-            streams = [
-                make_oracle(utt, vocab, seed=s).greedy_stream() for s in (1, 2)
-            ]
+            streams = [make_oracle(utt, vocab, seed=s).greedy_stream() for s in (1, 2)]
             if streams[0] != streams[1]:
                 return
         pytest.skip("no model disagreement on tiny sample")

@@ -12,7 +12,9 @@ from repro.models.latency import (
     summarize_events,
 )
 
-PROFILE = LatencyProfile("m", base_ms=10.0, per_token_ms=0.5, kv_us_per_token=2.0, prefill_per_token_ms=0.1)
+PROFILE = LatencyProfile(
+    "m", base_ms=10.0, per_token_ms=0.5, kv_us_per_token=2.0, prefill_per_token_ms=0.1
+)
 
 
 class TestForwardCost:
@@ -72,7 +74,10 @@ class TestSimClock:
         assert a.total_ms() == pytest.approx(3.0)
 
     def test_summarize(self):
-        events = [LatencyEvent("a", "draft", 1, 0, 1.0), LatencyEvent("a", "draft", 1, 0, 2.0)]
+        events = [
+            LatencyEvent("a", "draft", 1, 0, 1.0),
+            LatencyEvent("a", "draft", 1, 0, 2.0),
+        ]
         assert summarize_events(events) == {"a/draft": 3.0}
 
 

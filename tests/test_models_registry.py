@@ -38,9 +38,7 @@ class TestRegistry:
 
     def test_capacity_monotone_in_size_within_family(self):
         whisper = [
-            get_spec(n)
-            for n in list_models()
-            if get_spec(n).family == "whisper"
+            get_spec(n) for n in list_models() if get_spec(n).family == "whisper"
         ]
         whisper.sort(key=lambda s: s.decoder_params_b)
         capacities = [s.capacity for s in whisper]
@@ -48,9 +46,7 @@ class TestRegistry:
 
     def test_latency_monotone_in_size_within_family(self):
         whisper = [
-            get_spec(n)
-            for n in list_models()
-            if get_spec(n).family == "whisper"
+            get_spec(n) for n in list_models() if get_spec(n).family == "whisper"
         ]
         whisper.sort(key=lambda s: s.decoder_params_b)
         bases = [s.latency.base_ms for s in whisper]

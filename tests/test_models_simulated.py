@@ -126,7 +126,9 @@ class TestAudioAnchoring:
             assert result.perturb_level == 0
             prefix.append(result.token)
 
-    def test_divergence_perturbs_then_reanchors(self, whisper_pair, clean_dataset, vocab):
+    def test_divergence_perturbs_then_reanchors(
+        self, whisper_pair, clean_dataset, vocab
+    ):
         """Injecting a wrong token perturbs the next steps, after which the
         model re-anchors to its greedy stream — the audio-conditioning
         property the paper's recycling strategy relies on."""

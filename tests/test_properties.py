@@ -40,9 +40,7 @@ specasr_config = st.builds(
     merge_verify_window=st.integers(0, 24),
 )
 
-probs = st.dictionaries(
-    st.integers(0, 29), st.floats(0.05, 0.99), max_size=8
-)
+probs = st.dictionaries(st.integers(0, 29), st.floats(0.05, 0.99), max_size=8)
 
 
 def ar_reference(target_stream):

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.decoding.token_tree import ROOT_PARENT, TokenTree
+from repro.decoding.token_tree import TokenTree
 
 
 def build_sample_tree():
@@ -114,6 +114,4 @@ class TestAttentionMask:
         leaf_paths = {tuple(tree.path_tokens(leaf)) for leaf in tree.leaves()}
         # every input sequence is a prefix of some leaf path
         for sequence in sequences:
-            assert any(
-                tuple(sequence) == path[: len(sequence)] for path in leaf_paths
-            )
+            assert any(tuple(sequence) == path[: len(sequence)] for path in leaf_paths)

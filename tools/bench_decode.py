@@ -147,8 +147,7 @@ def _transcripts(runs):
 
 def _clock_totals(runs):
     return {
-        name: [round(r.total_ms, 6) for r in run.results]
-        for name, run in runs.items()
+        name: [round(r.total_ms, 6) for r in run.results] for name, run in runs.items()
     }
 
 
@@ -244,9 +243,7 @@ def run_bench(args) -> dict:
         report["speedups"]["parallel_vs_seed_serial"] = round(
             seed_wall / wall_parallel, 3
         )
-        report["speedups"]["cursor_vs_seed_serial"] = round(
-            seed_wall / wall_cursor, 3
-        )
+        report["speedups"]["cursor_vs_seed_serial"] = round(seed_wall / wall_cursor, 3)
     return report
 
 
@@ -256,8 +253,14 @@ def run_smoke(args) -> int:
     dataset = load_split(args.split, config)
     wall, runs = _measure(args.pairing, dataset, max(args.reps, 2))
     stats = _mode_stats(wall, dataset, runs)
-    print(f"smoke: {stats['utterances_per_s']} utterances/s "
-          f"({args.smoke_utterances} utterances, best of {max(args.reps, 2)})")
+    print(
+        f"smoke: {stats['utterances_per_s']} utterances/s "
+        f"({args.smoke_utterances} utterances, best of {max(args.reps, 2)})"
+    )
+    if args.smoke_output:
+        payload = {"utterances": args.smoke_utterances, **stats}
+        args.smoke_output.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"wrote {args.smoke_output}")
     if not args.baseline.exists():
         print(f"no baseline at {args.baseline}; nothing to compare", file=sys.stderr)
         return 0
@@ -267,8 +270,10 @@ def run_smoke(args) -> int:
         print("baseline JSON has no smoke reference; skipping check")
         return 0
     floor = reference * (1.0 - args.tolerance)
-    print(f"baseline {reference} utterances/s -> floor {floor:.2f} "
-          f"(tolerance {args.tolerance:.0%})")
+    print(
+        f"baseline {reference} utterances/s -> floor {floor:.2f} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
     if stats["utterances_per_s"] < floor:
         print(
             f"FAIL: throughput regressed more than {args.tolerance:.0%} "
@@ -287,19 +292,37 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=2025)
     parser.add_argument("--pairing", default="whisper")
     parser.add_argument("--workers", type=int, default=4)
-    parser.add_argument("--backend", default="auto",
-                        choices=("auto", "serial", "thread", "process"))
-    parser.add_argument("--reps", type=int, default=3,
-                        help="cold repetitions per mode; best wall time kept")
-    parser.add_argument("--output", type=Path,
-                        default=REPO_ROOT / "BENCH_decode.json")
-    parser.add_argument("--seed-baseline-s", type=float, default=None,
-                        help="measured wall time of the seed serial runner")
-    parser.add_argument("--smoke", action="store_true",
-                        help="reduced run; fail on >tolerance regression")
+    parser.add_argument(
+        "--backend", default="auto", choices=("auto", "serial", "thread", "process")
+    )
+    parser.add_argument(
+        "--reps",
+        type=int,
+        default=3,
+        help="cold repetitions per mode; best wall time kept",
+    )
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_decode.json")
+    parser.add_argument(
+        "--seed-baseline-s",
+        type=float,
+        default=None,
+        help="measured wall time of the seed serial runner",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced run; fail on >tolerance regression",
+    )
     parser.add_argument("--smoke-utterances", type=int, default=8)
-    parser.add_argument("--baseline", type=Path,
-                        default=REPO_ROOT / "BENCH_decode.json")
+    parser.add_argument(
+        "--smoke-output",
+        type=Path,
+        default=None,
+        help="write the smoke measurement JSON here (CI " "artifact)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=REPO_ROOT / "BENCH_decode.json"
+    )
     parser.add_argument("--tolerance", type=float, default=0.20)
     args = parser.parse_args(argv)
 

@@ -1,0 +1,274 @@
+#!/usr/bin/env python
+"""Serving benchmark: SLO capacity per decoding method + wall-clock guard.
+
+For each method in the suite this bench:
+
+* searches the **max sustainable QPS** at the completion SLO (goodput ratio
+  ≥ ``--slo-target`` within ``--deadline-ms``) — a deterministic simulation
+  metric, the serving headline of the paper's speedup claim;
+* records the full SLO report (p50/p95/p99 completion and TTFT, goodput,
+  device utilisation) at a common reference load ``--ref-qps``;
+* asserts the scheduler determinism contract: serial (batch=1) and batched
+  configurations produce bit-identical transcripts and per-request decode
+  times, and re-running the batched simulation reproduces identical
+  completion latencies.
+
+Wall-clock throughput (simulated requests per second of host time) is also
+measured, and ``--smoke`` compares it against the checked-in
+``BENCH_serve.json`` baseline, failing on a >``--tolerance`` regression —
+the serving counterpart of ``tools/bench_decode.py --smoke``.  The smoke
+mode also re-checks the deterministic capacity ordering (every speculative
+method must sustain more QPS than autoregressive), so a correctness
+regression fails CI even on noisy runners.
+
+Usage::
+
+    PYTHONPATH=src python tools/bench_serve.py              # full bench
+    PYTHONPATH=src python tools/bench_serve.py --smoke      # CI guard
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import replace
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.models.acoustic import clear_acoustic_caches  # noqa: E402
+from repro.serving import (  # noqa: E402
+    ServeSimConfig,
+    build_decoder,
+    max_sustainable_qps,
+    simulate,
+)
+
+#: Methods benchmarked, autoregressive first (the capacity baseline).
+SERVE_METHODS = (
+    "autoregressive",
+    "spec(8,1)",
+    "spec(16,1)",
+    "specasr-asp",
+    "specasr-tsp",
+)
+
+
+def _base_config(args, num_requests: int) -> ServeSimConfig:
+    return ServeSimConfig(
+        qps=args.ref_qps,
+        num_requests=num_requests,
+        seed=args.seed,
+        utterances=args.utterances,
+        deadline_ms=args.deadline_ms,
+    )
+
+
+def _check_determinism(config: ServeSimConfig) -> None:
+    """Serial vs batched: identical transcripts and decode times; batched
+    twice: identical completion latencies."""
+    decoder = build_decoder(config)
+    serial = replace(config, max_batch=1, max_inflight=1)
+    reports = {
+        "serial": simulate(serial, decoder=decoder),
+        "batched": simulate(config, decoder=decoder),
+        "batched2": simulate(config, decoder=decoder),
+    }
+    if reports["batched"].to_dict() != reports["batched2"].to_dict():
+        raise AssertionError("re-running the batched simulation diverged")
+    a, b = reports["serial"], reports["batched"]
+    if (a.decode and b.decode) and a.decode.to_dict() != b.decode.to_dict():
+        raise AssertionError(
+            "per-request decode time depends on scheduling — "
+            "determinism contract violated"
+        )
+
+
+def _method_entry(args, method: str, num_requests: int) -> dict:
+    config = replace(_base_config(args, num_requests), method=method)
+    decoder = build_decoder(config)
+    reference = simulate(config, decoder=decoder)
+    max_qps, probes = max_sustainable_qps(
+        config, target_ratio=args.slo_target, decoder=decoder
+    )
+    return {
+        "max_sustainable_qps": round(max_qps, 3),
+        "search_probes": len(probes),
+        "simulated_requests": num_requests * (1 + len(probes)),
+        "at_ref_qps": reference.to_dict(),
+    }
+
+
+def run_bench(args) -> dict:
+    config = _base_config(args, args.requests)
+    _check_determinism(replace(config, method="specasr-asp"))
+
+    start = time.perf_counter()
+    methods = {}
+    for method in SERVE_METHODS:
+        clear_acoustic_caches()
+        methods[method] = _method_entry(args, method, args.requests)
+    wall_s = time.perf_counter() - start
+
+    baseline_qps = methods["autoregressive"]["max_sustainable_qps"]
+    capacity_vs_ar = {
+        name: (
+            round(entry["max_sustainable_qps"] / baseline_qps, 3)
+            if baseline_qps > 0
+            else None
+        )
+        for name, entry in methods.items()
+    }
+    # Every probe simulation of the max-QPS search processes a full request
+    # trace, so it counts toward simulator throughput.
+    simulated = sum(entry["simulated_requests"] for entry in methods.values())
+    report = {
+        "config": {
+            "methods": list(SERVE_METHODS),
+            "ref_qps": args.ref_qps,
+            "requests": args.requests,
+            "utterances": args.utterances,
+            "seed": args.seed,
+            "deadline_ms": args.deadline_ms,
+            "slo_target": args.slo_target,
+        },
+        "slo": {
+            "deadline_ms": args.deadline_ms,
+            "target_goodput_ratio": args.slo_target,
+        },
+        "methods": methods,
+        "capacity_vs_autoregressive": capacity_vs_ar,
+        "determinism": {
+            "serial_vs_batched_decode_identical": True,
+            "batched_rerun_identical": True,
+        },
+        "wall": {
+            "wall_s": round(wall_s, 4),
+            "sim_requests_per_s": round(simulated / wall_s, 2),
+        },
+    }
+    return report
+
+
+def _smoke_measure(args) -> dict:
+    """Small deterministic workload timed for the regression guard."""
+    start = time.perf_counter()
+    entries = {}
+    simulated = 0
+    for method in SERVE_METHODS:
+        clear_acoustic_caches()
+        config = replace(_base_config(args, args.smoke_requests), method=method)
+        decoder = build_decoder(config)
+        max_qps, probes = max_sustainable_qps(
+            config,
+            target_ratio=args.slo_target,
+            refine_steps=3,
+            decoder=decoder,
+        )
+        entries[method] = round(max_qps, 3)
+        simulated += args.smoke_requests * len(probes)
+    wall_s = time.perf_counter() - start
+    return {
+        "requests": args.smoke_requests,
+        "max_sustainable_qps": entries,
+        "wall_s": round(wall_s, 4),
+        "sim_requests_per_s": round(simulated / wall_s, 2),
+    }
+
+
+def run_smoke(args) -> int:
+    smoke = _smoke_measure(args)
+    print(
+        f"smoke: {smoke['sim_requests_per_s']} simulated requests/s "
+        f"({len(SERVE_METHODS)} methods, incl. search probes)"
+    )
+    if args.smoke_output:
+        Path(args.smoke_output).write_text(json.dumps(smoke, indent=2) + "\n")
+        print(f"wrote {args.smoke_output}")
+
+    ar_qps = smoke["max_sustainable_qps"]["autoregressive"]
+    slower = [
+        name
+        for name, qps in smoke["max_sustainable_qps"].items()
+        if name != "autoregressive" and qps <= ar_qps
+    ]
+    if slower:
+        print(
+            f"FAIL: speculative method(s) {slower} no longer sustain more "
+            f"QPS than autoregressive ({ar_qps})",
+            file=sys.stderr,
+        )
+        return 1
+
+    if not args.baseline.exists():
+        print(f"no baseline at {args.baseline}; nothing to compare", file=sys.stderr)
+        return 0
+    baseline = json.loads(args.baseline.read_text())
+    reference = baseline.get("smoke", {}).get("sim_requests_per_s")
+    if not reference:
+        print("baseline JSON has no smoke reference; skipping check")
+        return 0
+    floor = reference * (1.0 - args.tolerance)
+    print(
+        f"baseline {reference} requests/s -> floor {floor:.2f} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    if smoke["sim_requests_per_s"] < floor:
+        print(
+            f"FAIL: simulator throughput regressed more than "
+            f"{args.tolerance:.0%} ({smoke['sim_requests_per_s']} < "
+            f"{floor:.2f})",
+            file=sys.stderr,
+        )
+        return 1
+    print("OK: within tolerance")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--ref-qps",
+        type=float,
+        default=2.0,
+        help="common reference load for the SLO reports",
+    )
+    parser.add_argument("--requests", type=int, default=64)
+    parser.add_argument("--utterances", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=2025)
+    parser.add_argument("--deadline-ms", type=float, default=3000.0)
+    parser.add_argument("--slo-target", type=float, default=0.95)
+    parser.add_argument("--output", type=Path, default=REPO_ROOT / "BENCH_serve.json")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced run; fail on >tolerance regression",
+    )
+    parser.add_argument("--smoke-requests", type=int, default=24)
+    parser.add_argument(
+        "--smoke-output",
+        type=Path,
+        default=None,
+        help="write the smoke measurement JSON here (CI " "artifact)",
+    )
+    parser.add_argument("--baseline", type=Path, default=REPO_ROOT / "BENCH_serve.json")
+    parser.add_argument("--tolerance", type=float, default=0.20)
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        return run_smoke(args)
+
+    report = run_bench(args)
+    # Record the smoke reference alongside, so --smoke has a baseline.
+    report["smoke"] = _smoke_measure(args)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
