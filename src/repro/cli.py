@@ -19,7 +19,38 @@ from repro.harness.experiments import list_experiments, run_experiment
 from repro.harness.methods import STANDARD_METHODS, standard_methods
 from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
 from repro.models.registry import PAIRINGS, get_spec, list_models, model_pair
+from repro.serving.router import ROUTER_ALIASES, ROUTER_POLICIES
 from repro.version import PAPER_TITLE, __version__
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {value}")
+    return value
+
+
+def _unit_interval(text: str) -> float:
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}") from None
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(f"expected a value in [0, 1], got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -63,12 +94,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help=f"decoding method (e.g. {', '.join(STANDARD_METHODS)})",
     )
     serve_parser.add_argument(
-        "--qps", type=float, default=2.0, help="offered load, requests per second"
+        "--qps",
+        type=_positive_float,
+        default=2.0,
+        help="offered load, requests per second",
     )
-    serve_parser.add_argument("--requests", type=int, default=48)
+    serve_parser.add_argument("--requests", type=_positive_int, default=48)
     serve_parser.add_argument("--seed", type=int, default=2025)
     serve_parser.add_argument(
-        "--utterances", type=int, default=32, help="corpus size backing the request mix"
+        "--utterances",
+        type=_positive_int,
+        default=32,
+        help="corpus size backing the request mix",
     )
     serve_parser.add_argument("--pairing", choices=sorted(PAIRINGS), default="whisper")
     serve_parser.add_argument(
@@ -79,19 +116,43 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve_parser.add_argument(
         "--deadline-ms",
-        type=float,
+        type=_positive_float,
         default=3000.0,
         help="completion SLO deadline per request",
     )
     serve_parser.add_argument(
-        "--batch", type=int, default=4, help="max rounds co-scheduled per device pass"
+        "--max-batch",
+        "--batch",
+        dest="batch",
+        type=_positive_int,
+        default=4,
+        help="max phases co-scheduled per device pass",
     )
     serve_parser.add_argument(
-        "--inflight", type=int, default=8, help="max concurrent decode sessions"
+        "--inflight",
+        type=_positive_int,
+        default=8,
+        help="max concurrent decode sessions",
     )
-    serve_parser.add_argument("--queue-capacity", type=int, default=32)
+    serve_parser.add_argument("--queue-capacity", type=_positive_int, default=32)
     serve_parser.add_argument(
-        "--overlap", type=float, default=0.8, help="batching efficiency in [0, 1]"
+        "--overlap",
+        type=_unit_interval,
+        default=0.8,
+        help="batching efficiency in [0, 1]",
+    )
+    serve_parser.add_argument(
+        "--devices",
+        type=_positive_int,
+        default=1,
+        help="simulated accelerators in the serving cluster",
+    )
+    serve_parser.add_argument(
+        "--router",
+        choices=sorted((*ROUTER_POLICIES, *ROUTER_ALIASES)),
+        default="colocated",
+        help="placement policy: colocated K-way sharding, disaggregated "
+        "draft/target pools, or merged cross-request verification",
     )
     serve_parser.add_argument(
         "--no-max-qps", action="store_true", help="skip the max-sustainable-QPS search"
@@ -178,9 +239,25 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         max_inflight=args.inflight,
         queue_capacity=args.queue_capacity,
         overlap=args.overlap,
+        devices=args.devices,
+        router=args.router,
     )
+    try:
+        # Cross-argument validation (e.g. disaggregation needs >= 2 devices,
+        # max_inflight >= max_batch) — fail with a clean message, not a
+        # traceback.
+        config.scheduler_config()
+        config.cluster_config()
+    except ValueError as error:
+        raise SystemExit(f"specasr serve-sim: error: {error}") from None
     trace = load_trace(args.trace) if args.trace else None
     decoder = build_decoder(config)
+    if args.router != "colocated" and not hasattr(decoder, "begin"):
+        raise SystemExit(
+            f"specasr serve-sim: error: method {args.method!r} has no "
+            f"phase-split stepper; --router {args.router} needs one "
+            "(use --router colocated)"
+        )
     report = simulate(config, trace=trace, decoder=decoder)
     if not args.no_max_qps and trace is None:
         max_qps, _ = max_sustainable_qps(

@@ -30,11 +30,13 @@ from repro.core.recycling import (
 )
 from repro.core.sparse_tree import assemble_tree, build_sparse_tree_round
 from repro.decoding.base import (
+    PHASE_DRAFT,
+    PHASE_VERIFY,
     DecodeResult,
-    DecodeStepper,
     DecodeTrace,
     ModelLike,
-    RoundGenerator,
+    PhaseGenerator,
+    PhasedDecodeStepper,
     RoundStats,
     as_cursor,
     strip_eos,
@@ -61,19 +63,19 @@ class SpecASREngine:
         self.name = name or config.mode
 
     # -- public API ----------------------------------------------------------
-    def begin(self, unit) -> DecodeStepper:
-        """Step-resumable decode; each step is one draft→verify round."""
+    def begin(self, unit) -> PhasedDecodeStepper:
+        """Step-resumable decode; each step is one draft→verify round, split
+        into a draft phase and a verify phase."""
         clock = SimClock()
-        return DecodeStepper(self._decode_rounds(unit, clock), clock)
+        return PhasedDecodeStepper(self._decode_phases(unit, clock), clock)
 
     def decode(self, unit) -> DecodeResult:
         return self.begin(unit).drain()
 
-    def _decode_rounds(self, unit, clock: SimClock) -> RoundGenerator:
+    def _decode_phases(self, unit, clock: SimClock) -> PhaseGenerator:
         draft_session = self.draft.session(unit, clock)
         target_session = self.target.session(unit, clock)
         draft_session.prefill()
-        target_session.prefill()
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
         prefix: list[int] = []
@@ -90,6 +92,7 @@ class SpecASREngine:
             if self.config.adaptive_threshold
             else None
         )
+        target_prefilled = False
         done = False
         while not done and len(prefix) < limit:
             # Per-round view of the config; differs from `config` only when
@@ -104,8 +107,20 @@ class SpecASREngine:
                 draft_session, draft_cursor, suffix, eos_id, round_config
             )
             if len(tree) == 0:
-                yield (), True  # defensive: nothing draftable
+                # Defensive: nothing draftable; end the decode on a final
+                # draft phase.  The target still prefills so the clock
+                # total matches the pre-phase-split implementation.
+                if not target_prefilled:
+                    target_session.prefill()
+                    target_prefilled = True
+                yield PHASE_DRAFT, self.draft.name, (), True, True
                 break
+            yield PHASE_DRAFT, self.draft.name, (), False, False
+            if not target_prefilled:
+                # Target prefill bills to the first verify phase, so a
+                # disaggregating router charges it to the target pool.
+                target_session.prefill()
+                target_prefilled = True
             outcome = verify_tree(target_session, target_cursor, tree)
             stats.accepted_tokens = len(outcome.accepted_tokens)
             emitted = outcome.accepted_tokens + [outcome.correction]
@@ -125,7 +140,8 @@ class SpecASREngine:
             target_cursor = target_cursor.extend(newly_committed)
             draft_cursor.rollback()
             target_cursor.rollback()
-            yield newly_committed, done or len(prefix) >= limit
+            done = done or len(prefix) >= limit
+            yield PHASE_VERIFY, self.target.name, newly_committed, True, done
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,

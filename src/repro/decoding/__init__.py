@@ -2,12 +2,19 @@
 
 from repro.decoding.autoregressive import AutoregressiveDecoder
 from repro.decoding.base import (
+    PHASE_DRAFT,
+    PHASE_VERIFY,
     DecodeResult,
+    DecodeStepper,
     DecodeTrace,
     Decoder,
+    PhasedDecodeStepper,
+    PhaseOutcome,
     PrefixCursor,
     RoundStats,
+    StepOutcome,
     as_cursor,
+    begin_decode,
     is_cursor,
 )
 from repro.decoding.dynamic_tree import DynamicTreeConfig, DynamicTreeDecoder
@@ -29,15 +36,22 @@ from repro.decoding.verifier import (
 __all__ = [
     "AutoregressiveDecoder",
     "DecodeResult",
+    "DecodeStepper",
     "DecodeTrace",
     "Decoder",
     "DynamicTreeConfig",
     "DynamicTreeDecoder",
     "FixedTreeConfig",
     "FixedTreeDecoder",
+    "PHASE_DRAFT",
+    "PHASE_VERIFY",
+    "PhaseOutcome",
+    "PhasedDecodeStepper",
     "PrefixCursor",
     "RoundStats",
+    "StepOutcome",
     "as_cursor",
+    "begin_decode",
     "is_cursor",
     "SamplingConfig",
     "SamplingDecoder",

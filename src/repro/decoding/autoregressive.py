@@ -3,11 +3,12 @@
 from __future__ import annotations
 
 from repro.decoding.base import (
+    PHASE_VERIFY,
     DecodeResult,
-    DecodeStepper,
     DecodeTrace,
     ModelLike,
-    RoundGenerator,
+    PhaseGenerator,
+    PhasedDecodeStepper,
     as_cursor,
     strip_eos,
 )
@@ -21,15 +22,18 @@ class AutoregressiveDecoder:
         self.target = target
         self.name = name
 
-    def begin(self, unit) -> DecodeStepper:
+    def begin(self, unit) -> PhasedDecodeStepper:
         """Step-resumable decode; each step emits one token."""
         clock = SimClock()
-        return DecodeStepper(self._rounds(unit, clock), clock)
+        return PhasedDecodeStepper(self._phases(unit, clock), clock)
 
     def decode(self, unit) -> DecodeResult:
         return self.begin(unit).drain()
 
-    def _rounds(self, unit, clock: SimClock) -> RoundGenerator:
+    def _phases(self, unit, clock: SimClock) -> PhaseGenerator:
+        # There is no draft model: every round is a single target-model
+        # phase, so a disaggregating router keeps AR decodes entirely on
+        # the target pool.
         session = self.target.session(unit, clock)
         session.prefill()
         tokens: list[int] = []
@@ -39,7 +43,7 @@ class AutoregressiveDecoder:
             result = session.step(cursor, kind=KIND_DECODE)
             tokens.append(result.token)
             done = session.is_eos(result.token) or len(tokens) >= limit
-            yield (result.token,), done
+            yield PHASE_VERIFY, self.target.name, (result.token,), True, done
             if done:
                 break
             cursor = cursor.advance(result.token)

@@ -16,6 +16,15 @@ call, so a serving scheduler can multiplex many in-flight decodes and admit
 new requests between rounds (continuous batching).  ``decode()`` is then
 just ``begin(unit).drain()``, so both entry points share one code path and
 produce bit-identical results.
+
+Rounds further split into *phases*: a draft→verify round is one
+``PHASE_DRAFT`` phase (billed to the draft model) followed by one
+``PHASE_VERIFY`` phase (billed to the target model).  ``step_phase()``
+returns a :class:`PhaseOutcome` per phase, which is what lets a multi-device
+scheduler place the two halves of a round on *different* simulated
+accelerators (draft/target disaggregation) and coalesce verification passes
+across requests.  The atomic ``step()`` is a thin wrapper that drains the
+phases of one round, so round-level callers are unchanged.
 """
 
 from __future__ import annotations
@@ -124,9 +133,41 @@ class StepOutcome:
     done: bool
 
 
+#: Phase kinds of one speculative round.
+PHASE_DRAFT = "draft"
+PHASE_VERIFY = "verify"
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    """Result of one resumable decode *phase* (half of a round).
+
+    ``ms`` is the SimClock delta charged during the phase; ``model`` names
+    the model that ran it (draft model for ``PHASE_DRAFT``, target model for
+    ``PHASE_VERIFY``), which is the routing key for draft/target
+    disaggregation.  Tokens only commit at the end of a verify phase.  The
+    first draft phase carries the draft-side prefill/encode cost; the first
+    verify phase carries the target-side prefill cost.
+    """
+
+    phase: str  # PHASE_DRAFT | PHASE_VERIFY
+    model: str  # name of the model the phase ran on
+    ms: float
+    new_tokens: tuple[int, ...]
+    round_done: bool  # this phase completes a draft→verify round
+    done: bool  # the whole decode finished
+
+
 #: A round generator yields ``(newly_committed_tokens, done)`` once per
 #: speculative round and returns the final :class:`DecodeResult`.
 RoundGenerator = Generator[tuple[Sequence[int], bool], None, DecodeResult]
+
+#: A phase generator yields ``(phase, model, tokens, round_done, done)``
+#: once per phase and returns the final :class:`DecodeResult`.  The stepper
+#: adds the SimClock delta, turning each yield into a :class:`PhaseOutcome`.
+PhaseGenerator = Generator[
+    tuple[str, str, Sequence[int], bool, bool], None, DecodeResult
+]
 
 
 class DecodeStepper:
@@ -183,11 +224,81 @@ class DecodeStepper:
         ms = sum(event.ms for event in self.clock.events[events_before:])
         return StepOutcome(tuple(tokens), ms, done)
 
+    def step_phase(self) -> PhaseOutcome:
+        """Run one phase.
+
+        Round-generator steppers have no finer granularity than a round, so
+        the whole round is reported as a single verify phase (it runs on one
+        device regardless of routing policy).  Phase-split decoders override
+        this with true draft/verify stepping (:class:`PhasedDecodeStepper`).
+        """
+        outcome = self.step()
+        return PhaseOutcome(
+            phase=PHASE_VERIFY,
+            model="",
+            ms=outcome.ms,
+            new_tokens=outcome.new_tokens,
+            round_done=True,
+            done=outcome.done,
+        )
+
     def drain(self) -> DecodeResult:
         """Run all remaining rounds and return the final result."""
         while self._result is None:
             self.step()
         return self._result
+
+
+class PhasedDecodeStepper(DecodeStepper):
+    """Phase-resumable decode: one draft or verify phase per
+    :meth:`step_phase` call.
+
+    Wraps a :data:`PhaseGenerator`.  The atomic :meth:`step` drains the
+    phases of one round and sums their costs, so it is bit-identical to the
+    round-level stepper it replaces — ``decode()``, ``drain()`` and every
+    round-granular caller are unchanged.
+    """
+
+    def step_phase(self) -> PhaseOutcome:
+        """Run one phase; raises if the decode already finished."""
+        if self._result is not None:
+            raise RuntimeError("decode already finished")
+        events_before = len(self.clock.events)
+        try:
+            phase, model, tokens, round_done, done = next(self._rounds)
+        except StopIteration as stop:
+            # Degenerate decode (no phases at all): the generator went
+            # straight to its return statement.
+            self._finish(stop)
+            phase, model, tokens, round_done, done = PHASE_VERIFY, "", (), True, True
+        else:
+            if done:
+                try:
+                    next(self._rounds)
+                except StopIteration as stop:
+                    self._finish(stop)
+                else:
+                    raise RuntimeError("phase generator yielded past done=True")
+        ms = sum(event.ms for event in self.clock.events[events_before:])
+        return PhaseOutcome(
+            phase=phase,
+            model=model,
+            ms=ms,
+            new_tokens=tuple(tokens),
+            round_done=round_done or done,
+            done=done,
+        )
+
+    def step(self) -> StepOutcome:
+        """One atomic draft→verify round, composed from its phases."""
+        tokens: list[int] = []
+        ms = 0.0
+        while True:
+            outcome = self.step_phase()
+            tokens.extend(outcome.new_tokens)
+            ms += outcome.ms
+            if outcome.round_done:
+                return StepOutcome(tuple(tokens), ms, outcome.done)
 
 
 def _whole_decode_rounds(decoder, unit, clock: SimClock):

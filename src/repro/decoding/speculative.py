@@ -12,11 +12,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.decoding.base import (
+    PHASE_DRAFT,
+    PHASE_VERIFY,
     DecodeResult,
-    DecodeStepper,
     DecodeTrace,
     ModelLike,
-    RoundGenerator,
+    PhaseGenerator,
+    PhasedDecodeStepper,
     RoundStats,
     as_cursor,
     strip_eos,
@@ -73,38 +75,41 @@ class SpeculativeDecoder:
         self.name = name or f"speculative{config.label}"
 
     # -- public API ----------------------------------------------------------
-    def begin(self, unit) -> DecodeStepper:
-        """Step-resumable decode; each step is one draft→verify round."""
+    def begin(self, unit) -> PhasedDecodeStepper:
+        """Step-resumable decode; each step is one draft→verify round, split
+        into a draft phase and a verify phase."""
         clock = SimClock()
-        return DecodeStepper(self._decode_rounds(unit, clock), clock)
+        return PhasedDecodeStepper(self._decode_phases(unit, clock), clock)
 
     def decode(self, unit) -> DecodeResult:
         return self.begin(unit).drain()
 
-    def _decode_rounds(self, unit, clock: SimClock) -> RoundGenerator:
+    def _decode_phases(self, unit, clock: SimClock) -> PhaseGenerator:
         draft_session = self.draft.session(unit, clock)
         target_session = self.target.session(unit, clock)
         draft_session.prefill()
-        target_session.prefill()
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
         prefix: list[int] = []
         draft_cursor = as_cursor(draft_session)
         target_cursor = as_cursor(target_session)
         limit = target_session.max_decode_positions()
+        single = self.config.beams == 1
+        target_prefilled = False
         done = False
         while not done and len(prefix) < limit:
-            round_fn = (
-                self._round_single if self.config.beams == 1 else self._round_beams
-            )
-            emitted = round_fn(
-                draft_cursor,
-                target_cursor,
-                draft_session,
-                target_session,
-                trace,
-                eos_id,
-            )
+            stats = RoundStats()
+            draft_fn = self._draft_single if single else self._draft_beams
+            drafted = draft_fn(draft_cursor, draft_session, stats, eos_id)
+            yield PHASE_DRAFT, self.draft.name, (), False, False
+            if not target_prefilled:
+                # Target prefill bills to the first verify phase, so a
+                # disaggregating router charges it to the target pool.
+                target_session.prefill()
+                target_prefilled = True
+            verify_fn = self._verify_single if single else self._verify_beams
+            emitted = verify_fn(target_session, target_cursor, drafted, stats)
+            trace.rounds.append(stats)
             committed_before = len(prefix)
             prefix, done = commit(prefix, emitted, eos_id)
             newly_committed = prefix[committed_before:]
@@ -112,7 +117,8 @@ class SpeculativeDecoder:
             target_cursor = target_cursor.extend(newly_committed)
             draft_cursor.rollback()
             target_cursor.rollback()
-            yield newly_committed, done or len(prefix) >= limit
+            done = done or len(prefix) >= limit
+            yield PHASE_VERIFY, self.target.name, newly_committed, True, done
         return DecodeResult(
             tokens=strip_eos(prefix, eos_id),
             clock=clock,
@@ -121,16 +127,7 @@ class SpeculativeDecoder:
         )
 
     # -- single-beam round ------------------------------------------------------
-    def _round_single(
-        self,
-        draft_cursor,
-        target_cursor,
-        draft_session,
-        target_session,
-        trace,
-        eos_id,
-    ) -> list[int]:
-        stats = RoundStats()
+    def _draft_single(self, draft_cursor, draft_session, stats, eos_id) -> list[int]:
         drafts: list[int] = []
         cursor = draft_cursor
         for _ in range(self.config.draft_len):
@@ -143,24 +140,17 @@ class SpeculativeDecoder:
         stats.drafted_tokens = len(drafts)
         stats.submitted_tokens = len(drafts)
         stats.tree_nodes = len(drafts)
+        return drafts
+
+    def _verify_single(self, target_session, target_cursor, drafts, stats) -> list[int]:
         outcome = verify_sequence(target_session, target_cursor, drafts)
         stats.accepted_tokens = outcome.accepted
         emitted = drafts[: outcome.accepted] + [outcome.correction]
         stats.emitted_tokens = len(emitted)
-        trace.rounds.append(stats)
         return emitted
 
     # -- two-beam round ------------------------------------------------------
-    def _round_beams(
-        self,
-        draft_cursor,
-        target_cursor,
-        draft_session,
-        target_session,
-        trace,
-        eos_id,
-    ) -> list[int]:
-        stats = RoundStats()
+    def _draft_beams(self, draft_cursor, draft_session, stats, eos_id) -> TokenTree:
         tree = TokenTree()
         first = draft_session.step(draft_cursor, kind=KIND_DRAFT)
         stats.draft_steps += 1
@@ -189,9 +179,11 @@ class SpeculativeDecoder:
         stats.drafted_tokens = len(tree)
         stats.submitted_tokens = tree.max_depth()
         stats.tree_nodes = len(tree)
+        return tree
+
+    def _verify_beams(self, target_session, target_cursor, tree, stats) -> list[int]:
         outcome = verify_tree(target_session, target_cursor, tree)
         stats.accepted_tokens = len(outcome.accepted_tokens)
         emitted = outcome.accepted_tokens + [outcome.correction]
         stats.emitted_tokens = len(emitted)
-        trace.rounds.append(stats)
         return emitted

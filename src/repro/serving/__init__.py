@@ -1,11 +1,13 @@
-"""Serving layer: request streams, continuous batching, SLO reports.
+"""Serving layer: request streams, cluster scheduling, SLO reports.
 
 Turns the offline corpus grids of :mod:`repro.harness` into the workload the
 paper actually targets — live ASR traffic.  An event-driven simulator feeds
 Poisson/trace arrivals through a bounded admission queue into a continuous
-micro-batch scheduler that multiplexes step-resumable decode sessions on one
-simulated device, and the report answers the deployment question: how much
-traffic does each decoding method sustain at a fixed latency SLO?
+micro-batch scheduler that places draft/verify decode *phases* across a
+simulated accelerator cluster (colocated sharding, draft/target
+disaggregation, or merged cross-request verification), and the report
+answers the deployment question: how much traffic does each decoding method
+sustain at a fixed latency SLO, on how many devices?
 """
 
 from repro.serving.arrivals import (
@@ -17,6 +19,7 @@ from repro.serving.arrivals import (
     save_trace,
     uniform_trace,
 )
+from repro.serving.devices import MODEL_SWITCH_COST, Device, make_devices
 from repro.serving.queue import AdmissionQueue
 from repro.serving.report import ServeReport
 from repro.serving.request import (
@@ -25,6 +28,15 @@ from repro.serving.request import (
     STATUS_REJECTED,
     RequestRecord,
     ServeRequest,
+)
+from repro.serving.router import (
+    ROUTER_COLOCATED,
+    ROUTER_DISAGGREGATED,
+    ROUTER_MERGED,
+    ROUTER_POLICIES,
+    ClusterConfig,
+    build_router,
+    normalize_router,
 )
 from repro.serving.scheduler import (
     ContinuousBatchScheduler,
@@ -42,7 +54,14 @@ from repro.serving.simulator import (
 __all__ = [
     "AdmissionQueue",
     "Arrival",
+    "ClusterConfig",
     "ContinuousBatchScheduler",
+    "Device",
+    "MODEL_SWITCH_COST",
+    "ROUTER_COLOCATED",
+    "ROUTER_DISAGGREGATED",
+    "ROUTER_MERGED",
+    "ROUTER_POLICIES",
     "RequestRecord",
     "STATUS_COMPLETED",
     "STATUS_PENDING",
@@ -53,9 +72,12 @@ __all__ = [
     "ServeRequest",
     "ServeSimConfig",
     "build_decoder",
+    "build_router",
     "load_trace",
+    "make_devices",
     "make_trace",
     "max_sustainable_qps",
+    "normalize_router",
     "offered_qps",
     "poisson_trace",
     "save_trace",

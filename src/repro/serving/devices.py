@@ -1,0 +1,147 @@
+"""Simulated accelerators: per-device busy timelines and batch cost model.
+
+A :class:`Device` is one simulated accelerator.  It owns a busy timeline
+(``free_at``) and occupancy counters, and prices a micro-batch of decode
+phases with the grouped-overlap model:
+
+* Phases that run the **same model** in the same batch share most of their
+  weight traffic.  Within one ``(model, phase-kind)`` group of per-phase
+  costs ``c_1..c_B`` the group busy time is
+
+  ``busy_g = max(c) + (1 - overlap) * (sum(c) - max(c))``
+
+  — ``overlap = 1`` is perfect batching (co-scheduled phases hide entirely
+  under the critical path), ``overlap = 0`` serialises every phase.
+
+* Phases that run **different models** cannot share a forward pass at all
+  (a draft-model kernel and a target-model kernel are separate launches),
+  so group busy times add serially:
+
+  ``busy = sum over groups of busy_g``
+
+This is what makes draft/target disaggregation a real lever in the
+simulation: a colocated device whose batch mixes draft and verify phases
+pays the cross-model serialisation *and* the residency-interference
+inflation below, while a disaggregated pool device only ever sees one
+model and batches at full ``overlap``.  The ``merged`` router additionally
+coalesces the verify group of a batch into a single target pass
+(``overlap = 1`` for that group — one weight read for all co-scheduled
+verifications).
+
+**Residency interference.** An accelerator that keeps two models resident
+alternates between their weight streams and activation caches; for a
+memory-bound decoder that churn inflates every mixed iteration (the
+interference argument disaggregated serving systems à la
+DistServe/Splitwise are built on).  Mixed-model batches are billed
+``busy * (1 + MODEL_SWITCH_COST * (distinct models - 1))``; single-model
+batches — everything a dedicated pool device ever runs — are unaffected.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.decoding.base import PHASE_VERIFY, PhaseOutcome
+
+#: Fractional busy-time inflation per *extra* resident model a micro-batch
+#: touches.  Calibrated to the memory-bound regime: re-streaming the other
+#: model's weights and re-warming its caches costs a sizeable slice of an
+#: iteration, which is exactly the overhead draft/target disaggregation
+#: removes.
+MODEL_SWITCH_COST = 0.15
+
+
+class Device:
+    """One simulated accelerator with its own busy timeline."""
+
+    __slots__ = (
+        "device_id",
+        "index",
+        "overlap",
+        "switch_cost",
+        "free_at",
+        "busy_ms",
+        "batches",
+        "phases",
+    )
+
+    def __init__(
+        self, index: int, overlap: float, switch_cost: float = MODEL_SWITCH_COST
+    ) -> None:
+        if not 0.0 <= overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1], got {overlap}")
+        if switch_cost < 0:
+            raise ValueError(f"switch_cost must be >= 0, got {switch_cost}")
+        self.index = index
+        self.device_id = f"dev{index}"
+        self.overlap = overlap
+        self.switch_cost = switch_cost
+        self.free_at = 0.0  # sim time the device next goes idle
+        self.busy_ms = 0.0  # total occupancy
+        self.batches = 0  # device iterations executed
+        self.phases = 0  # phases executed (sum of batch sizes)
+
+    def batch_busy_ms(
+        self, phases: Sequence[PhaseOutcome], merge_verify: bool = False
+    ) -> float:
+        """Device time one micro-batch of phases occupies.
+
+        Groups by ``(model, phase-kind)``; the overlap discount applies
+        within a group, groups serialise (different models cannot share a
+        forward pass), and batches touching several models pay the
+        residency-interference inflation.  ``merge_verify`` coalesces each
+        verify group into a single batched target pass (overlap 1: busy is
+        the critical path).
+        """
+        groups: dict[tuple[str, str], list[float]] = {}
+        for outcome in phases:
+            groups.setdefault((outcome.model, outcome.phase), []).append(outcome.ms)
+        busy = 0.0
+        for (_model, kind), costs in groups.items():
+            coalesced = merge_verify and kind == PHASE_VERIFY
+            overlap = 1.0 if coalesced else self.overlap
+            critical = max(costs)
+            busy += critical + (1.0 - overlap) * (sum(costs) - critical)
+        models = len({model for model, _kind in groups})
+        if models > 1:
+            busy *= 1.0 + self.switch_cost * (models - 1)
+        return busy
+
+    def execute(
+        self,
+        start_ms: float,
+        phases: Sequence[PhaseOutcome],
+        merge_verify: bool = False,
+    ) -> float:
+        """Run a micro-batch starting no earlier than ``start_ms``.
+
+        Returns the completion time and advances the busy timeline.
+        """
+        if not phases:
+            raise ValueError("cannot execute an empty batch")
+        start = max(start_ms, self.free_at)
+        busy = self.batch_busy_ms(phases, merge_verify)
+        end = start + busy
+        self.free_at = end
+        self.busy_ms += busy
+        self.batches += 1
+        self.phases += len(phases)
+        return end
+
+    def utilisation(self, sim_end_ms: float) -> float:
+        """Busy fraction of this device over the simulated span."""
+        if sim_end_ms <= 0:
+            return 0.0
+        return self.busy_ms / sim_end_ms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Device({self.device_id}, busy={self.busy_ms:.1f}ms)"
+
+
+def make_devices(
+    count: int, overlap: float, switch_cost: float = MODEL_SWITCH_COST
+) -> list[Device]:
+    """A fresh cluster of ``count`` devices sharing one ``overlap`` factor."""
+    if count < 1:
+        raise ValueError(f"need at least one device, got {count}")
+    return [Device(index, overlap, switch_cost) for index in range(count)]

@@ -85,7 +85,11 @@ class ServeReport:
             "met_deadline": self.met_deadline,
             "goodput_rps": round(self.goodput_rps, 3),
             "goodput_ratio": round(self.goodput_ratio, 4),
+            "devices": self.stats.devices,
             "device_utilisation": round(self.stats.device_utilisation, 4),
+            "per_device_busy_ms": [
+                round(busy, 3) for busy in self.stats.per_device_busy_ms
+            ],
             "mean_batch_occupancy": round(self.stats.mean_batch_occupancy, 3),
             "peak_queue_depth": self.stats.peak_queue_depth,
             "sim_end_ms": round(self.stats.sim_end_ms, 3),
@@ -110,7 +114,8 @@ class ServeReport:
             f"(completed {self.completed}, rejected {self.rejected})",
             f"  goodput   : {self.goodput_rps:.2f} req/s within deadline "
             f"({self.goodput_ratio:.1%} of offered)",
-            f"  device    : {self.stats.device_utilisation:.1%} busy, "
+            f"  cluster   : {self.stats.devices} device(s), "
+            f"{self.stats.device_utilisation:.1%} busy, "
             f"mean batch {self.stats.mean_batch_occupancy:.2f}, "
             f"peak queue {self.stats.peak_queue_depth}",
         ]

@@ -1,0 +1,132 @@
+"""Placement policies: which device runs which decode phase.
+
+Three policies, all deterministic (pure functions of request index and
+phase kind, so a fixed trace schedules identically on every run):
+
+* ``colocated`` — K-way sharding.  Each request has one home device
+  (``index % K``); its draft *and* verify phases both run there.  This is
+  the classic replicated deployment: more devices means more shards, but a
+  device batch can mix draft and verify phases, which serialise across
+  models (see :mod:`repro.serving.devices`).
+
+* ``disaggregated`` — draft-pool / target-pool split with round handoff.
+  The first ``K // 2`` devices form the draft pool, the rest the target
+  pool; a request's draft phases run on its home draft device and its
+  verify phases on its home target device, so drafting for one round can
+  proceed while the target pool verifies another request's previous round
+  (the pipeline the SpecASR setting exposes: the small draft model and the
+  large target model live on different hardware).  Pool devices only ever
+  run one model, so their batches never pay cross-model serialisation.
+
+* ``merged`` — disaggregated placement, plus **merged cross-request
+  verification**: every verify phase co-scheduled on a target device
+  coalesces into one batched target pass (a single weight read — overlap 1
+  for the verify group), the batched-verification win the throughput
+  framing of dLLM-ASR points at.
+
+:class:`ClusterConfig` is the serialisable knob set threaded through
+:class:`~repro.serving.simulator.ServeSimConfig` and the CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decoding.base import PHASE_DRAFT
+from repro.serving.devices import Device, make_devices
+
+ROUTER_COLOCATED = "colocated"
+ROUTER_DISAGGREGATED = "disaggregated"
+ROUTER_MERGED = "merged"
+
+#: Placement policies accepted by :class:`ClusterConfig`.
+ROUTER_POLICIES = (ROUTER_COLOCATED, ROUTER_DISAGGREGATED, ROUTER_MERGED)
+
+#: CLI-friendly aliases.
+ROUTER_ALIASES = {"disagg": ROUTER_DISAGGREGATED}
+
+
+def normalize_router(name: str) -> str:
+    """Canonical policy name (accepts the ``disagg`` shorthand)."""
+    return ROUTER_ALIASES.get(name, name)
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated accelerator cluster."""
+
+    devices: int = 1
+    router: str = ROUTER_COLOCATED
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "router", normalize_router(self.router))
+        if self.devices < 1:
+            raise ValueError(f"devices must be >= 1, got {self.devices}")
+        if self.router not in ROUTER_POLICIES:
+            raise ValueError(
+                f"unknown router policy {self.router!r}; "
+                f"use one of {', '.join(ROUTER_POLICIES)}"
+            )
+        if self.router != ROUTER_COLOCATED and self.devices < 2:
+            raise ValueError(
+                f"router {self.router!r} needs a draft pool and a target "
+                f"pool — at least 2 devices, got {self.devices}"
+            )
+
+
+class ColocatedRouter:
+    """K-way sharding: a request's whole decode lives on one device."""
+
+    name = ROUTER_COLOCATED
+    merge_verify = False
+
+    def __init__(self, devices: list[Device]) -> None:
+        if not devices:
+            raise ValueError("router needs at least one device")
+        self.devices = devices
+
+    def route(self, request_index: int, phase: str) -> Device:
+        return self.devices[request_index % len(self.devices)]
+
+
+class DisaggregatedRouter:
+    """Draft pool / target pool with per-request affinity in each pool."""
+
+    name = ROUTER_DISAGGREGATED
+    merge_verify = False
+
+    def __init__(self, devices: list[Device]) -> None:
+        if len(devices) < 2:
+            raise ValueError("disaggregation needs at least 2 devices")
+        # Verify is the heavier side (the target model is the big one), so
+        # an odd device goes to the target pool.
+        split = len(devices) // 2
+        self.draft_pool = devices[:split]
+        self.target_pool = devices[split:]
+
+    def route(self, request_index: int, phase: str) -> Device:
+        pool = self.draft_pool if phase == PHASE_DRAFT else self.target_pool
+        return pool[request_index % len(pool)]
+
+
+class MergedVerifyRouter(DisaggregatedRouter):
+    """Disaggregated placement + coalesced cross-request verify passes."""
+
+    name = ROUTER_MERGED
+    merge_verify = True
+
+
+def build_router(config: ClusterConfig, overlap: float):
+    """Devices + router for one scheduler run.
+
+    Returns ``(devices, router)``; the devices are freshly timed (state is
+    per-run, never shared between simulations).
+    """
+    devices = make_devices(config.devices, overlap)
+    if config.router == ROUTER_COLOCATED:
+        return devices, ColocatedRouter(devices)
+    if config.router == ROUTER_DISAGGREGATED:
+        return devices, DisaggregatedRouter(devices)
+    if config.router == ROUTER_MERGED:
+        return devices, MergedVerifyRouter(devices)
+    raise ValueError(f"unknown router policy {config.router!r}")

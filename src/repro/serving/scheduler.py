@@ -1,56 +1,67 @@
-"""Continuous micro-batch scheduler over step-resumable decode sessions.
+"""Cluster event loop: continuous batching over a simulated accelerator pool.
 
-One simulated accelerator serves many in-flight requests.  Scheduling is
-iteration-level (the Orca/vLLM "continuous batching" discipline): at every
-scheduling point the device runs **one speculative round** for up to
-``max_batch`` in-flight requests, then re-checks the arrival stream — so new
-requests are admitted *between rounds* instead of waiting for the current
-batch to drain, and finished requests free their slot immediately.
+The scheduler multiplexes many in-flight decodes across K simulated devices
+at **phase granularity**: every draft→verify round is two schedulable units
+(a draft-model phase and a target-model phase, see
+:class:`~repro.decoding.base.PhaseOutcome`), and a placement policy
+(:mod:`repro.serving.router`) decides which device runs which phase —
+``colocated`` K-way sharding, ``disaggregated`` draft-pool/target-pool with
+round handoff, or ``merged`` cross-request verification.  Scheduling stays
+iteration-level (the Orca/vLLM "continuous batching" discipline): a device
+runs one micro-batch of up to ``max_batch`` ready phases, and arrivals are
+admitted at every simulation event instead of waiting for a batch to drain.
 
-Device-time model for one micro-batch of round costs ``c_1..c_B`` (each the
-request's own SimClock delta for that round):
+The loop is a discrete-event simulation.  Its three event sources — request
+arrivals, batch completions, and the admissions/dispatches they enable — are
+processed in deterministic order (devices by index, waiting phases FIFO by
+``(ready time, request index)``), so one arrival trace schedules identically
+on every run, for every device count and every router policy.
 
-``busy = max(c) + (1 - overlap) * (sum(c) - max(c))``
-
-``overlap = 1`` is perfect batching (co-scheduled rounds hide entirely under
-the critical path, the limit where weight traffic dominates); ``overlap = 0``
-serialises every round (batch-1 device).  The default 0.8 models a
-memory-bound decoder where batched rounds share most of the weight read but
-pay their own attention/FFN arithmetic.
+Device time for one micro-batch is priced by
+:meth:`~repro.serving.devices.Device.batch_busy_ms`: the ``overlap``
+discount applies within each ``(model, phase)`` group of the batch, groups
+serialise (a draft-model pass and a target-model pass cannot share a
+kernel).  The ``merged`` policy coalesces each verify group into a single
+batched target pass.
 
 Determinism: given one arrival trace, every quantity here is a pure function
-of the trace and the decoders — no wall clock, no RNG.  Transcripts and
-per-request ``decode_ms`` are additionally *scheduler-independent* (they
-depend only on the method and the utterance), which the determinism suite
-asserts across batch sizes.
+of the trace, the decoders and the cluster shape — no wall clock, no RNG.
+Transcripts and per-request ``decode_ms`` are additionally *scheduler-
+independent* (they depend only on the method and the utterance), which the
+determinism suite asserts across batch sizes, device counts and router
+policies.
 
 Run-to-completion FIFO serving — the baseline continuous batching is usually
 compared against — is the ``max_batch=1, max_inflight=1`` corner of the same
-scheduler.
+scheduler on a 1-device colocated cluster.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from collections import deque
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.data.corpus import Dataset
-from repro.decoding.base import DecodeStepper, begin_decode
+from repro.decoding.base import DecodeStepper, PhaseOutcome, begin_decode
 from repro.serving.arrivals import Arrival
+from repro.serving.devices import Device
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import (
     STATUS_COMPLETED,
     RequestRecord,
     ServeRequest,
 )
+from repro.serving.router import ClusterConfig, build_router
 
 
 @dataclass(frozen=True)
 class SchedulerConfig:
     """Knobs of the serving loop."""
 
-    max_batch: int = 4  # rounds co-scheduled per device iteration
+    max_batch: int = 4  # phases co-scheduled per device iteration
     max_inflight: int = 8  # concurrent decode sessions held open
     queue_capacity: int = 32  # admission queue bound (backpressure)
     overlap: float = 0.8  # batching efficiency in [0, 1]
@@ -74,41 +85,56 @@ class ScheduleStats:
     """Aggregate facts about one scheduler run."""
 
     sim_end_ms: float  # when the last request finished
-    device_busy_ms: float  # total device occupancy
-    batches: int  # device iterations executed
-    rounds: int  # speculative rounds executed (sum of batch sizes)
+    device_busy_ms: float  # total occupancy summed over devices
+    batches: int  # device iterations executed (all devices)
+    rounds: int  # phases executed (sum of batch sizes)
     peak_queue_depth: int
     rejected: int
+    devices: int = 1  # cluster size
+    per_device_busy_ms: tuple[float, ...] = ()
 
     @property
     def device_utilisation(self) -> float:
-        if self.sim_end_ms <= 0:
+        """Mean busy fraction across the cluster (0.0 on empty runs)."""
+        if self.sim_end_ms <= 0 or self.devices < 1:
             return 0.0
-        return self.device_busy_ms / self.sim_end_ms
+        return self.device_busy_ms / (self.sim_end_ms * self.devices)
 
     @property
     def mean_batch_occupancy(self) -> float:
+        """Phases per device iteration (0.0 on empty runs)."""
         if self.batches == 0:
             return 0.0
         return self.rounds / self.batches
 
 
 class _Active:
-    """One in-flight request: its record plus its resumable decode."""
+    """One in-flight request: its record, resumable decode, and next phase."""
 
-    __slots__ = ("record", "stepper")
+    __slots__ = ("record", "stepper", "phase", "ready_ms", "running")
 
-    def __init__(self, record: RequestRecord, stepper: DecodeStepper) -> None:
+    def __init__(
+        self, record: RequestRecord, stepper: DecodeStepper, ready_ms: float
+    ) -> None:
         self.record = record
         self.stepper = stepper
+        self.phase: PhaseOutcome = stepper.step_phase()  # next phase to place
+        self.ready_ms = ready_ms  # when that phase became runnable
+        self.running = False  # currently inside a device batch
 
 
 class ContinuousBatchScheduler:
-    """Serve an arrival trace with one decoder on one simulated device."""
+    """Serve an arrival trace with one decoder on a simulated cluster."""
 
-    def __init__(self, decoder, config: SchedulerConfig | None = None) -> None:
+    def __init__(
+        self,
+        decoder,
+        config: SchedulerConfig | None = None,
+        cluster: ClusterConfig | None = None,
+    ) -> None:
         self.decoder = decoder
         self.config = config or SchedulerConfig()
+        self.cluster = cluster or ClusterConfig()
         self.last_stats: ScheduleStats | None = None
 
     def run(
@@ -123,6 +149,19 @@ class ContinuousBatchScheduler:
         rejected requests keep ``STATUS_REJECTED`` with an empty timeline.
         """
         config = self.config
+        if self.cluster.router != "colocated" and not hasattr(self.decoder, "begin"):
+            # A whole-decode fallback stepper yields one opaque verify blob:
+            # nothing to hand to a draft pool, and merged coalescing would
+            # mis-price distinct decodes as one pass.  Require a phase-split
+            # decoder for disaggregating policies instead of silently idling
+            # half the cluster.
+            name = getattr(self.decoder, "name", type(self.decoder).__name__)
+            raise ValueError(
+                f"router {self.cluster.router!r} needs a phase-split decoder "
+                f"(one exposing begin()), but {name!r} only supports "
+                "whole-decode stepping — use the colocated router"
+            )
+        devices, router = build_router(self.cluster, config.overlap)
         records = []
         for arrival in sorted(trace, key=lambda a: (a.arrival_ms, a.index)):
             if arrival.utterance_index >= len(dataset):
@@ -143,11 +182,12 @@ class ContinuousBatchScheduler:
 
         pending = deque(records)
         queue = AdmissionQueue(config.queue_capacity)
-        inflight: deque[_Active] = deque()
+        inflight: list[_Active] = []
+        # Batches in flight: (end_ms, tiebreak, device index, batch).  The
+        # counter keeps heap ordering total without comparing batches.
+        executing: list[tuple[float, int, int, list[_Active]]] = []
+        order = itertools.count()
         now = 0.0
-        device_busy = 0.0
-        batches = 0
-        rounds = 0
 
         def admit(now_ms: float) -> None:
             # Arrivals up to `now_ms` enter the queue (or bounce off it),
@@ -158,49 +198,80 @@ class ContinuousBatchScheduler:
                 record = queue.pop()
                 record.service_start_ms = now_ms
                 stepper = begin_decode(self.decoder, record.request.utterance)
-                inflight.append(_Active(record, stepper))
+                inflight.append(_Active(record, stepper, now_ms))
 
-        while pending or queue or inflight:
-            admit(now)
-            if not inflight:
-                if not pending:
-                    break  # queue can't be non-empty with free slots
-                # Device idle: fast-forward to the next arrival.
-                now = max(now, pending[0].request.arrival_ms)
-                continue
-            batch = [
-                inflight.popleft() for _ in range(min(config.max_batch, len(inflight)))
-            ]
-            outcomes = [active.stepper.step() for active in batch]
-            costs = [outcome.ms for outcome in outcomes]
-            critical = max(costs)
-            busy = critical + (1.0 - config.overlap) * (sum(costs) - critical)
-            now += busy
-            device_busy += busy
-            batches += 1
-            rounds += len(batch)
-            for active, outcome in zip(batch, outcomes):
+        def dispatch(now_ms: float) -> None:
+            # Devices in index order; each free device takes up to
+            # max_batch waiting phases routed to it, FIFO.
+            waiting_at: dict[int, list[_Active]] = {}
+            for active in inflight:
+                if active.running:
+                    continue
+                index = active.record.request.index
+                device = router.route(index, active.phase.phase)
+                waiting_at.setdefault(device.index, []).append(active)
+            for device in devices:
+                if device.free_at > now_ms:
+                    continue
+                waiting = waiting_at.get(device.index)
+                if not waiting:
+                    continue
+                waiting.sort(key=lambda a: (a.ready_ms, a.record.request.index))
+                batch = waiting[: config.max_batch]
+                for active in batch:
+                    active.running = True
+                end = device.execute(
+                    now_ms,
+                    [active.phase for active in batch],
+                    merge_verify=router.merge_verify,
+                )
+                heapq.heappush(executing, (end, next(order), device.index, batch))
+
+        def complete(batch: list[_Active], end_ms: float) -> None:
+            for active in batch:
+                outcome = active.phase
                 record = active.record
-                record.rounds += 1
+                active.running = False
+                active.ready_ms = end_ms
+                if outcome.round_done:
+                    record.rounds += 1
                 if outcome.new_tokens and record.first_token_ms is None:
-                    record.first_token_ms = now
+                    record.first_token_ms = end_ms
                 if outcome.done:
                     result = active.stepper.result
                     record.status = STATUS_COMPLETED
-                    record.finish_ms = now
+                    record.finish_ms = end_ms
                     record.tokens = list(result.tokens)
                     record.decode_ms = result.total_ms
                     if record.first_token_ms is None:
-                        record.first_token_ms = now  # empty transcript
+                        record.first_token_ms = end_ms  # empty transcript
+                    inflight.remove(active)
                 else:
-                    inflight.append(active)
+                    active.phase = active.stepper.step_phase()
+
+        while pending or queue or inflight or executing:
+            admit(now)
+            dispatch(now)
+            next_times = []
+            if executing:
+                next_times.append(executing[0][0])
+            if pending:
+                next_times.append(pending[0].request.arrival_ms)
+            if not next_times:
+                break  # queue can't be non-empty with free slots
+            now = max(now, min(next_times))
+            while executing and executing[0][0] <= now:
+                end, _, _, batch = heapq.heappop(executing)
+                complete(batch, end)
 
         self.last_stats = ScheduleStats(
             sim_end_ms=now,
-            device_busy_ms=device_busy,
-            batches=batches,
-            rounds=rounds,
+            device_busy_ms=sum(device.busy_ms for device in devices),
+            batches=sum(device.batches for device in devices),
+            rounds=sum(device.phases for device in devices),
             peak_queue_depth=queue.peak_depth,
             rejected=queue.rejected,
+            devices=len(devices),
+            per_device_busy_ms=tuple(device.busy_ms for device in devices),
         )
         return records

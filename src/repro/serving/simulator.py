@@ -19,6 +19,7 @@ from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
 from repro.models.registry import model_pair
 from repro.serving.arrivals import Arrival, make_trace, offered_qps
 from repro.serving.report import ServeReport
+from repro.serving.router import ClusterConfig
 from repro.serving.scheduler import ContinuousBatchScheduler, SchedulerConfig
 
 
@@ -45,6 +46,8 @@ class ServeSimConfig:
     max_inflight: int = 8
     queue_capacity: int = 32
     overlap: float = 0.8
+    devices: int = 1  # simulated accelerators in the cluster
+    router: str = "colocated"  # placement policy (see serving.router)
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -53,6 +56,9 @@ class ServeSimConfig:
             queue_capacity=self.queue_capacity,
             overlap=self.overlap,
         )
+
+    def cluster_config(self) -> ClusterConfig:
+        return ClusterConfig(devices=self.devices, router=self.router)
 
     def experiment_config(self) -> ExperimentConfig:
         return ExperimentConfig(seed=self.seed, utterances=self.utterances)
@@ -92,7 +98,9 @@ def simulate(
         offered = offered_qps(trace)
     if decoder is None:
         decoder = build_decoder(config)
-    scheduler = ContinuousBatchScheduler(decoder, config.scheduler_config())
+    scheduler = ContinuousBatchScheduler(
+        decoder, config.scheduler_config(), config.cluster_config()
+    )
     records = scheduler.run(trace, dataset)
     assert scheduler.last_stats is not None
     return ServeReport.from_records(

@@ -42,3 +42,68 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestServeSimValidation:
+    """Bad serve-sim arguments fail with a clean SystemExit, not a traceback."""
+
+    def _error_text(self, capsys) -> str:
+        captured = capsys.readouterr()
+        return captured.err + captured.out
+
+    @pytest.mark.parametrize(
+        "argv, fragment",
+        [
+            (["serve-sim", "--qps", "0"], "positive number"),
+            (["serve-sim", "--qps", "-2"], "positive number"),
+            (["serve-sim", "--devices", "0"], "positive integer"),
+            (["serve-sim", "--max-batch", "-1"], "positive integer"),
+            (["serve-sim", "--requests", "0"], "positive integer"),
+            (["serve-sim", "--overlap", "1.5"], "in [0, 1]"),
+            (["serve-sim", "--overlap", "-0.1"], "in [0, 1]"),
+        ],
+    )
+    def test_rejects_out_of_range_values(self, capsys, argv, fragment):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        assert fragment in self._error_text(capsys)
+
+    def test_rejects_unknown_router(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--router", "sharded"])
+
+    def test_rejects_disagg_on_single_device(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--router", "disagg", "--devices", "1"])
+        assert "at least 2 devices" in str(excinfo.value)
+
+    def test_rejects_inflight_below_batch(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--max-batch", "8", "--inflight", "2"])
+        assert "max_inflight" in str(excinfo.value)
+
+    def test_serve_sim_cluster_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "--method",
+                    "spec(8,1)",
+                    "--qps",
+                    "3",
+                    "--requests",
+                    "6",
+                    "--utterances",
+                    "6",
+                    "--devices",
+                    "2",
+                    "--router",
+                    "disagg",
+                    "--no-max-qps",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "2 device(s)" in out

@@ -8,10 +8,14 @@ For each method in the suite this bench:
   metric, the serving headline of the paper's speedup claim;
 * records the full SLO report (p50/p95/p99 completion and TTFT, goodput,
   device utilisation) at a common reference load ``--ref-qps``;
+* sweeps the **cluster grid** — device count × router policy (colocated
+  sharding, draft/target disaggregation, merged cross-request verification)
+  — and records max sustainable QPS per point;
 * asserts the scheduler determinism contract: serial (batch=1) and batched
   configurations produce bit-identical transcripts and per-request decode
-  times, and re-running the batched simulation reproduces identical
-  completion latencies.
+  times, re-running the batched simulation reproduces identical completion
+  latencies, and transcripts/decode times are identical across device
+  counts and router policies.
 
 Wall-clock throughput (simulated requests per second of host time) is also
 measured, and ``--smoke`` compares it against the checked-in
@@ -56,6 +60,20 @@ SERVE_METHODS = (
     "specasr-tsp",
 )
 
+#: Cluster grid swept by the full bench: (devices, router policy).
+CLUSTER_POINTS = (
+    (1, "colocated"),
+    (2, "colocated"),
+    (2, "disaggregated"),
+    (2, "merged"),
+    (4, "colocated"),
+    (4, "disaggregated"),
+    (4, "merged"),
+)
+
+#: Speculative methods the cluster grid is evaluated for.
+CLUSTER_METHODS = ("spec(8,1)", "specasr-asp")
+
 
 def _base_config(args, num_requests: int) -> ServeSimConfig:
     return ServeSimConfig(
@@ -68,8 +86,12 @@ def _base_config(args, num_requests: int) -> ServeSimConfig:
 
 
 def _check_determinism(config: ServeSimConfig) -> None:
-    """Serial vs batched: identical transcripts and decode times; batched
-    twice: identical completion latencies."""
+    """Serial vs batched vs clustered: identical per-request transcripts
+    and decode times; batched twice: identical completion latencies."""
+    from repro.harness.runner import load_split
+    from repro.serving import ContinuousBatchScheduler, make_trace
+    from repro.serving.router import ClusterConfig
+
     decoder = build_decoder(config)
     serial = replace(config, max_batch=1, max_inflight=1)
     reports = {
@@ -85,6 +107,55 @@ def _check_determinism(config: ServeSimConfig) -> None:
             "per-request decode time depends on scheduling — "
             "determinism contract violated"
         )
+    # Cluster contract, per request: same trace, any device count, any
+    # router policy — bit-identical transcripts and decode times.
+    dataset = load_split(config.split, config.experiment_config())
+    trace = make_trace(
+        config.arrival, config.num_requests, config.qps, len(dataset), config.seed
+    )
+    reference = None
+    for devices, router in CLUSTER_POINTS:
+        scheduler = ContinuousBatchScheduler(
+            decoder,
+            config.scheduler_config(),
+            ClusterConfig(devices=devices, router=router),
+        )
+        records = scheduler.run(trace, dataset)
+        outputs = [(r.tokens, r.decode_ms) for r in records]
+        if reference is None:
+            reference = outputs
+        elif outputs != reference:
+            raise AssertionError(
+                f"transcripts or decode times changed on {devices}x {router} "
+                "— cluster determinism contract violated"
+            )
+
+
+def _cluster_entry(
+    args, method: str, num_requests: int, colocated_1x: float | None = None
+) -> dict:
+    """Max sustainable QPS across the device-count × router grid.
+
+    ``colocated_1x`` reuses an already-searched single-device value (the
+    per-method entry computes the identical configuration).
+    """
+    decoder = build_decoder(replace(_base_config(args, num_requests), method=method))
+    grid = {}
+    for devices, router in CLUSTER_POINTS:
+        if (devices, router) == (1, "colocated") and colocated_1x is not None:
+            grid["1x-colocated"] = colocated_1x
+            continue
+        config = replace(
+            _base_config(args, num_requests),
+            method=method,
+            devices=devices,
+            router=router,
+        )
+        max_qps, _ = max_sustainable_qps(
+            config, target_ratio=args.slo_target, decoder=decoder
+        )
+        grid[f"{devices}x-{router}"] = round(max_qps, 3)
+    return grid
 
 
 def _method_entry(args, method: str, num_requests: int) -> dict:
@@ -111,6 +182,15 @@ def run_bench(args) -> dict:
     for method in SERVE_METHODS:
         clear_acoustic_caches()
         methods[method] = _method_entry(args, method, args.requests)
+    cluster = {}
+    for method in CLUSTER_METHODS:
+        clear_acoustic_caches()
+        cluster[method] = _cluster_entry(
+            args,
+            method,
+            args.requests,
+            colocated_1x=methods[method]["max_sustainable_qps"],
+        )
     wall_s = time.perf_counter() - start
 
     baseline_qps = methods["autoregressive"]["max_sustainable_qps"]
@@ -141,9 +221,11 @@ def run_bench(args) -> dict:
         },
         "methods": methods,
         "capacity_vs_autoregressive": capacity_vs_ar,
+        "cluster_max_sustainable_qps": cluster,
         "determinism": {
             "serial_vs_batched_decode_identical": True,
             "batched_rerun_identical": True,
+            "cluster_transcripts_and_decode_identical": True,
         },
         "wall": {
             "wall_s": round(wall_s, 4),
@@ -153,10 +235,20 @@ def run_bench(args) -> dict:
     return report
 
 
+#: Cluster points probed by the smoke guard, for one speculative method.
+SMOKE_CLUSTER_POINTS = (
+    (1, "colocated"),
+    (2, "colocated"),
+    (2, "disaggregated"),
+)
+SMOKE_CLUSTER_METHOD = "specasr-asp"
+
+
 def _smoke_measure(args) -> dict:
     """Small deterministic workload timed for the regression guard."""
     start = time.perf_counter()
     entries = {}
+    cluster = {}
     simulated = 0
     for method in SERVE_METHODS:
         clear_acoustic_caches()
@@ -170,10 +262,26 @@ def _smoke_measure(args) -> dict:
         )
         entries[method] = round(max_qps, 3)
         simulated += args.smoke_requests * len(probes)
+        if method == SMOKE_CLUSTER_METHOD:
+            for devices, router in SMOKE_CLUSTER_POINTS:
+                if (devices, router) == (1, "colocated"):
+                    # identical to the search just done for entries[method]
+                    cluster["1x-colocated"] = entries[method]
+                    continue
+                point = replace(config, devices=devices, router=router)
+                point_qps, point_probes = max_sustainable_qps(
+                    point,
+                    target_ratio=args.slo_target,
+                    refine_steps=3,
+                    decoder=decoder,
+                )
+                cluster[f"{devices}x-{router}"] = round(point_qps, 3)
+                simulated += args.smoke_requests * len(point_probes)
     wall_s = time.perf_counter() - start
     return {
         "requests": args.smoke_requests,
         "max_sustainable_qps": entries,
+        "cluster_max_sustainable_qps": {SMOKE_CLUSTER_METHOD: cluster},
         "wall_s": round(wall_s, 4),
         "sim_requests_per_s": round(simulated / wall_s, 2),
     }
@@ -199,6 +307,32 @@ def run_smoke(args) -> int:
         print(
             f"FAIL: speculative method(s) {slower} no longer sustain more "
             f"QPS than autoregressive ({ar_qps})",
+            file=sys.stderr,
+        )
+        return 1
+
+    # Multi-device guard: sharding across 2 devices must retain (almost)
+    # single-device capacity, and draft/target disaggregation must not fall
+    # behind colocated sharding at equal device count.
+    cluster = smoke["cluster_max_sustainable_qps"][SMOKE_CLUSTER_METHOD]
+    coloc1 = cluster["1x-colocated"]
+    coloc2 = cluster["2x-colocated"]
+    disagg2 = cluster["2x-disaggregated"]
+    print(
+        f"cluster [{SMOKE_CLUSTER_METHOD}]: 1x colocated {coloc1} qps, "
+        f"2x colocated {coloc2} qps, 2x disaggregated {disagg2} qps"
+    )
+    if coloc2 < 0.9 * coloc1:
+        print(
+            f"FAIL: 2-device colocated capacity ({coloc2}) fell below 0.9x "
+            f"of the single device ({coloc1})",
+            file=sys.stderr,
+        )
+        return 1
+    if disagg2 < coloc2:
+        print(
+            f"FAIL: disaggregated serving ({disagg2}) no longer matches "
+            f"colocated sharding ({coloc2}) at 2 devices",
             file=sys.stderr,
         )
         return 1
