@@ -14,7 +14,11 @@ The walkthrough:
    collapse and admission-queue backpressure (rejections);
 3. searches the max sustainable QPS per method at a 3 s completion SLO;
 4. scales the cluster: 1 vs 2 vs 4 simulated devices, colocated sharding vs
-   draft/target disaggregation vs merged cross-request verification.
+   draft/target disaggregation vs merged cross-request verification;
+5. makes placement a real optimisation problem: a heterogeneous
+   ``2x1.0,2x0.5`` fast/slow cluster, fixed ``K // 2`` pools vs the
+   workload-aware balanced planner (pool sizes follow the measured
+   draft:verify cost ratio and the device speeds).
 
 Run:  PYTHONPATH=src python examples/serving_slo.py
 """
@@ -95,6 +99,36 @@ def main() -> None:
         print(
             f"  {devices}x {router:14s} sustains {max_qps:6.2f} qps "
             f"({ratio:4.2f}x one device)"
+        )
+    print()
+
+    print("=== 5. heterogeneous clusters + workload-aware splits " + "=" * 14)
+    # Two full-speed and two half-speed accelerators.  The fixed K//2 split
+    # wastes fast silicon on the cheap draft side; the balanced planner
+    # measures the draft:verify cost ratio and gives the fast devices to
+    # the verify pool, sized to the workload.
+    for devices, spec, split in (
+        (4, "", "fixed"),
+        (4, "", "balanced"),
+        (4, "2x1.0,2x0.5", "fixed"),
+        (4, "2x1.0,2x0.5", "balanced"),
+    ):
+        config = replace(
+            base,
+            devices=devices,
+            router="disaggregated",
+            pool_split=split,
+            device_spec=spec,
+        )
+        max_qps, probes = max_sustainable_qps(config, refine_steps=4, decoder=decoder)
+        report = next(iter(probes.values()))
+        roles = "".join(
+            "D" if role == "draft" else "T" for role in report.stats.device_roles
+        )
+        label = spec if spec else "4x1.0 (homogeneous)"
+        print(
+            f"  {label:18s} split={split:8s} pools {roles}  "
+            f"sustains {max_qps:6.2f} qps"
         )
 
 

@@ -19,7 +19,7 @@ from repro.harness.experiments import list_experiments, run_experiment
 from repro.harness.methods import STANDARD_METHODS, standard_methods
 from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
 from repro.models.registry import PAIRINGS, get_spec, list_models, model_pair
-from repro.serving.router import ROUTER_ALIASES, ROUTER_POLICIES
+from repro.serving.router import ROUTER_ALIASES, ROUTER_POLICIES, SPLIT_POLICIES
 from repro.version import PAPER_TITLE, __version__
 
 
@@ -144,8 +144,9 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument(
         "--devices",
         type=_positive_int,
-        default=1,
-        help="simulated accelerators in the serving cluster",
+        default=None,
+        help="simulated accelerators in the serving cluster (default 1, or "
+        "the size of --device-spec; an explicit mismatch is an error)",
     )
     serve_parser.add_argument(
         "--router",
@@ -153,6 +154,21 @@ def _build_parser() -> argparse.ArgumentParser:
         default="colocated",
         help="placement policy: colocated K-way sharding, disaggregated "
         "draft/target pools, or merged cross-request verification",
+    )
+    serve_parser.add_argument(
+        "--device-spec",
+        default="",
+        help="heterogeneous cluster shorthand, comma-separated COUNTxSPEED "
+        "groups (e.g. 2x1.0,2x0.5 = two full-speed + two half-speed "
+        "accelerators); sets the device count, so --devices may be omitted",
+    )
+    serve_parser.add_argument(
+        "--split",
+        choices=SPLIT_POLICIES,
+        default="fixed",
+        help="draft/target pool sizing for disaggregating routers: 'fixed' "
+        "keeps the K//2 prefix split, 'balanced' sizes pools from the "
+        "measured draft:verify cost ratio and device speeds",
     )
     serve_parser.add_argument(
         "--no-max-qps", action="store_true", help="skip the max-sustainable-QPS search"
@@ -241,6 +257,8 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         overlap=args.overlap,
         devices=args.devices,
         router=args.router,
+        pool_split=args.split,
+        device_spec=args.device_spec,
     )
     try:
         # Cross-argument validation (e.g. disaggregation needs >= 2 devices,

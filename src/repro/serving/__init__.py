@@ -19,7 +19,14 @@ from repro.serving.arrivals import (
     save_trace,
     uniform_trace,
 )
-from repro.serving.devices import MODEL_SWITCH_COST, Device, make_devices
+from repro.serving.devices import (
+    MODEL_SWITCH_COST,
+    Device,
+    DeviceSpec,
+    format_device_specs,
+    make_devices,
+    parse_device_specs,
+)
 from repro.serving.queue import AdmissionQueue
 from repro.serving.report import ServeReport
 from repro.serving.request import (
@@ -34,9 +41,15 @@ from repro.serving.router import (
     ROUTER_DISAGGREGATED,
     ROUTER_MERGED,
     ROUTER_POLICIES,
+    ROUTER_REGISTRY,
+    SPLIT_BALANCED,
+    SPLIT_FIXED,
+    SPLIT_POLICIES,
     ClusterConfig,
     build_router,
+    measure_draft_share,
     normalize_router,
+    plan_pool_split,
 )
 from repro.serving.scheduler import (
     ContinuousBatchScheduler,
@@ -57,12 +70,17 @@ __all__ = [
     "ClusterConfig",
     "ContinuousBatchScheduler",
     "Device",
+    "DeviceSpec",
     "MODEL_SWITCH_COST",
     "ROUTER_COLOCATED",
     "ROUTER_DISAGGREGATED",
     "ROUTER_MERGED",
     "ROUTER_POLICIES",
+    "ROUTER_REGISTRY",
     "RequestRecord",
+    "SPLIT_BALANCED",
+    "SPLIT_FIXED",
+    "SPLIT_POLICIES",
     "STATUS_COMPLETED",
     "STATUS_PENDING",
     "STATUS_REJECTED",
@@ -73,12 +91,16 @@ __all__ = [
     "ServeSimConfig",
     "build_decoder",
     "build_router",
+    "format_device_specs",
     "load_trace",
     "make_devices",
     "make_trace",
     "max_sustainable_qps",
+    "measure_draft_share",
     "normalize_router",
     "offered_qps",
+    "parse_device_specs",
+    "plan_pool_split",
     "poisson_trace",
     "save_trace",
     "simulate",

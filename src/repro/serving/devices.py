@@ -35,10 +35,20 @@ interference argument disaggregated serving systems à la
 DistServe/Splitwise are built on).  Mixed-model batches are billed
 ``busy * (1 + MODEL_SWITCH_COST * (distinct models - 1))``; single-model
 batches — everything a dedicated pool device ever runs — are unaffected.
+
+**Heterogeneous clusters.** A :class:`DeviceSpec` describes one
+accelerator: its relative ``speed`` (phase costs are divided by it — a
+``speed=0.5`` part takes twice the simulated time per phase) and optional
+per-device ``overlap``/``switch_cost`` overrides.  ``parse_device_specs``
+turns the CLI shorthand ``"2x1.0,2x0.5"`` (two full-speed + two half-speed
+accelerators) into a spec list, which is what makes pool placement a real
+optimisation problem (see :mod:`repro.serving.router`).
 """
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.decoding.base import PHASE_VERIFY, PhaseOutcome
@@ -51,12 +61,92 @@ from repro.decoding.base import PHASE_VERIFY, PhaseOutcome
 MODEL_SWITCH_COST = 0.15
 
 
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one simulated accelerator.
+
+    ``speed`` is relative throughput: a phase whose nominal cost is ``c``
+    occupies the device for ``c / speed`` ms.  ``overlap`` and
+    ``switch_cost`` override the cluster-wide defaults when set (``None``
+    inherits them), so a cluster can mix well-batching parts with ones
+    whose batching efficiency or residency-interference penalty differs.
+    """
+
+    speed: float = 1.0
+    overlap: float | None = None
+    switch_cost: float | None = None
+
+    def __post_init__(self) -> None:
+        # NaN compares False against every bound, so an explicit finiteness
+        # check is required — a NaN speed would otherwise poison `free_at`
+        # and hang the scheduler's event loop.
+        if not math.isfinite(self.speed) or self.speed <= 0:
+            raise ValueError(f"device speed must be finite and > 0, got {self.speed}")
+        if self.overlap is not None and not 0.0 <= self.overlap <= 1.0:
+            raise ValueError(f"overlap must be in [0, 1], got {self.overlap}")
+        if self.switch_cost is not None and (
+            not math.isfinite(self.switch_cost) or self.switch_cost < 0
+        ):
+            raise ValueError(
+                f"switch_cost must be finite and >= 0, got {self.switch_cost}"
+            )
+
+
+def parse_device_specs(text: str) -> tuple[DeviceSpec, ...]:
+    """Parse the CLI cluster shorthand into a spec list.
+
+    The grammar is comma-separated groups of ``COUNTxSPEED`` (or a bare
+    ``SPEED`` for a single device): ``"2x1.0,2x0.5"`` is two full-speed
+    plus two half-speed accelerators, ``"1.0,0.25"`` a fast/slow pair.
+    Order matters — it fixes device indices, which the deterministic
+    tie-breaks key on.
+    """
+    specs: list[DeviceSpec] = []
+    for item in text.split(","):
+        item = item.strip()
+        if not item:
+            raise ValueError(f"empty device group in spec {text!r}")
+        count_text, sep, speed_text = item.partition("x")
+        if not sep:
+            count_text, speed_text = "1", item
+        try:
+            count = int(count_text)
+            speed = float(speed_text)
+        except ValueError:
+            raise ValueError(
+                f"bad device group {item!r} in spec {text!r}; expected "
+                "COUNTxSPEED (e.g. 2x1.0) or a bare SPEED"
+            ) from None
+        if count < 1:
+            raise ValueError(f"device group {item!r} must have count >= 1")
+        specs.extend(DeviceSpec(speed=speed) for _ in range(count))
+    return tuple(specs)
+
+
+def format_device_specs(specs: Sequence[DeviceSpec]) -> str:
+    """Canonical ``COUNTxSPEED`` rendering of the spec list's *speeds*.
+
+    The parser's inverse for speed-only specs; per-spec ``overlap``/
+    ``switch_cost`` overrides are display-irrelevant here and not encoded.
+    Adjacent equal speeds group (``"2x1,2x0.5"``); non-adjacent runs stay
+    separate so device order — which tie-breaks key on — remains visible.
+    """
+    groups: list[tuple[float, int]] = []
+    for spec in specs:
+        if groups and groups[-1][0] == spec.speed:
+            groups[-1] = (spec.speed, groups[-1][1] + 1)
+        else:
+            groups.append((spec.speed, 1))
+    return ",".join(f"{count}x{speed:g}" for speed, count in groups)
+
+
 class Device:
     """One simulated accelerator with its own busy timeline."""
 
     __slots__ = (
         "device_id",
         "index",
+        "speed",
         "overlap",
         "switch_cost",
         "free_at",
@@ -66,14 +156,21 @@ class Device:
     )
 
     def __init__(
-        self, index: int, overlap: float, switch_cost: float = MODEL_SWITCH_COST
+        self,
+        index: int,
+        overlap: float,
+        switch_cost: float = MODEL_SWITCH_COST,
+        speed: float = 1.0,
     ) -> None:
         if not 0.0 <= overlap <= 1.0:
             raise ValueError(f"overlap must be in [0, 1], got {overlap}")
-        if switch_cost < 0:
-            raise ValueError(f"switch_cost must be >= 0, got {switch_cost}")
+        if not math.isfinite(switch_cost) or switch_cost < 0:
+            raise ValueError(f"switch_cost must be finite and >= 0, got {switch_cost}")
+        if not math.isfinite(speed) or speed <= 0:
+            raise ValueError(f"speed must be finite and > 0, got {speed}")
         self.index = index
         self.device_id = f"dev{index}"
+        self.speed = speed
         self.overlap = overlap
         self.switch_cost = switch_cost
         self.free_at = 0.0  # sim time the device next goes idle
@@ -91,7 +188,9 @@ class Device:
         forward pass), and batches touching several models pay the
         residency-interference inflation.  ``merge_verify`` coalesces each
         verify group into a single batched target pass (overlap 1: busy is
-        the critical path).
+        the critical path).  The whole bill scales by ``1 / speed`` — the
+        cost model is linear in the per-phase costs, so a half-speed part
+        takes exactly twice the device time for any batch.
         """
         groups: dict[tuple[str, str], list[float]] = {}
         for outcome in phases:
@@ -105,7 +204,7 @@ class Device:
         models = len({model for model, _kind in groups})
         if models > 1:
             busy *= 1.0 + self.switch_cost * (models - 1)
-        return busy
+        return busy / self.speed
 
     def execute(
         self,
@@ -135,13 +234,40 @@ class Device:
         return self.busy_ms / sim_end_ms
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Device({self.device_id}, busy={self.busy_ms:.1f}ms)"
+        return (
+            f"Device({self.device_id}, speed={self.speed:g}, "
+            f"busy={self.busy_ms:.1f}ms)"
+        )
 
 
 def make_devices(
-    count: int, overlap: float, switch_cost: float = MODEL_SWITCH_COST
+    count: int,
+    overlap: float,
+    switch_cost: float = MODEL_SWITCH_COST,
+    specs: Sequence[DeviceSpec] | None = None,
 ) -> list[Device]:
-    """A fresh cluster of ``count`` devices sharing one ``overlap`` factor."""
+    """A fresh cluster of ``count`` devices.
+
+    Homogeneous by default (every device shares ``overlap``/``switch_cost``
+    at speed 1.0); passing ``specs`` builds a heterogeneous cluster —
+    ``len(specs)`` must equal ``count``, and per-spec ``overlap``/
+    ``switch_cost`` overrides beat the shared defaults.
+    """
     if count < 1:
         raise ValueError(f"need at least one device, got {count}")
-    return [Device(index, overlap, switch_cost) for index in range(count)]
+    if specs is None:
+        return [Device(index, overlap, switch_cost) for index in range(count)]
+    if len(specs) != count:
+        raise ValueError(
+            f"device spec list has {len(specs)} entries for a "
+            f"{count}-device cluster"
+        )
+    return [
+        Device(
+            index,
+            overlap if spec.overlap is None else spec.overlap,
+            switch_cost if spec.switch_cost is None else spec.switch_cost,
+            speed=spec.speed,
+        )
+        for index, spec in enumerate(specs)
+    ]

@@ -13,6 +13,7 @@ from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.metrics.latency_report import PercentileSummary
+from repro.serving.devices import DeviceSpec, format_device_specs
 from repro.serving.request import STATUS_COMPLETED, STATUS_REJECTED, RequestRecord
 from repro.serving.scheduler import ScheduleStats
 
@@ -73,6 +74,32 @@ class ServeReport:
         """A copy carrying the load search's max sustainable QPS."""
         return replace(self, max_sustainable_qps=max_qps)
 
+    def per_device_rows(self) -> list[dict]:
+        """One row per cluster device: spec, pool role, busy, utilisation.
+
+        Empty when the scheduler recorded no per-device detail (legacy
+        stats objects); speeds/roles default to ``1.0``/``"any"`` when a
+        run predates the heterogeneous-cluster stats fields.
+        """
+        stats = self.stats
+        speeds = stats.device_speeds
+        roles = stats.device_roles
+        rows = []
+        for index, busy in enumerate(stats.per_device_busy_ms):
+            speed = speeds[index] if index < len(speeds) else 1.0
+            role = roles[index] if index < len(roles) else "any"
+            utilisation = busy / stats.sim_end_ms if stats.sim_end_ms > 0 else 0.0
+            rows.append(
+                {
+                    "device": f"dev{index}",
+                    "speed": speed,
+                    "role": role,
+                    "busy_ms": round(busy, 3),
+                    "utilisation": round(utilisation, 4),
+                }
+            )
+        return rows
+
     # -- output ------------------------------------------------------------
     def to_dict(self) -> dict:
         payload = {
@@ -90,6 +117,12 @@ class ServeReport:
             "per_device_busy_ms": [
                 round(busy, 3) for busy in self.stats.per_device_busy_ms
             ],
+            "per_device": self.per_device_rows(),
+            "draft_share": (
+                round(self.stats.draft_share, 4)
+                if self.stats.draft_share is not None
+                else None
+            ),
             "mean_batch_occupancy": round(self.stats.mean_batch_occupancy, 3),
             "peak_queue_depth": self.stats.peak_queue_depth,
             "sim_end_ms": round(self.stats.sim_end_ms, 3),
@@ -104,6 +137,15 @@ class ServeReport:
             payload["max_sustainable_qps"] = round(self.max_sustainable_qps, 3)
         return payload
 
+    def cluster_label(self) -> str:
+        """``"N device(s)"``, with the speed mix when heterogeneous."""
+        label = f"{self.stats.devices} device(s)"
+        speeds = self.stats.device_speeds
+        if speeds and any(speed != 1.0 for speed in speeds):
+            specs = [DeviceSpec(speed=speed) for speed in speeds]
+            label += f" [{format_device_specs(specs)}]"
+        return label
+
     def render(self) -> str:
         """Human-readable SLO report."""
         lines = [
@@ -114,11 +156,22 @@ class ServeReport:
             f"(completed {self.completed}, rejected {self.rejected})",
             f"  goodput   : {self.goodput_rps:.2f} req/s within deadline "
             f"({self.goodput_ratio:.1%} of offered)",
-            f"  cluster   : {self.stats.devices} device(s), "
+            f"  cluster   : {self.cluster_label()}, "
             f"{self.stats.device_utilisation:.1%} busy, "
             f"mean batch {self.stats.mean_batch_occupancy:.2f}, "
             f"peak queue {self.stats.peak_queue_depth}",
         ]
+        if self.stats.draft_share is not None:
+            lines.append(
+                f"  planner   : measured draft share "
+                f"{self.stats.draft_share:.1%} of decode cost"
+            )
+        for row in self.per_device_rows():
+            lines.append(
+                f"    {row['device']:6s} speed {row['speed']:<4g} "
+                f"{row['role']:6s} busy {row['busy_ms']:10.1f} ms "
+                f"({row['utilisation']:.1%})"
+            )
         for label, summary in (
             ("completion", self.completion),
             ("ttft", self.ttft),

@@ -1,7 +1,7 @@
 """Placement policies: which device runs which decode phase.
 
-Three policies, all deterministic (pure functions of request index and
-phase kind, so a fixed trace schedules identically on every run):
+Three policies, all deterministic (pure functions of the arrival trace and
+the cluster spec, so a fixed trace schedules identically on every run):
 
 * ``colocated`` — K-way sharding.  Each request has one home device
   (``index % K``); its draft *and* verify phases both run there.  This is
@@ -9,20 +9,42 @@ phase kind, so a fixed trace schedules identically on every run):
   device batch can mix draft and verify phases, which serialise across
   models (see :mod:`repro.serving.devices`).
 
-* ``disaggregated`` — draft-pool / target-pool split with round handoff.
-  The first ``K // 2`` devices form the draft pool, the rest the target
-  pool; a request's draft phases run on its home draft device and its
-  verify phases on its home target device, so drafting for one round can
-  proceed while the target pool verifies another request's previous round
-  (the pipeline the SpecASR setting exposes: the small draft model and the
-  large target model live on different hardware).  Pool devices only ever
-  run one model, so their batches never pay cross-model serialisation.
+* ``disaggregated`` — draft-pool / target-pool split.  A request's draft
+  phases run in the draft pool and its verify phases in the target pool,
+  so drafting for one round can proceed while the target pool verifies
+  another request's previous round (the pipeline the SpecASR setting
+  exposes: the small draft model and the large target model live on
+  different hardware).  Pool devices only ever run one model, so their
+  batches never pay cross-model serialisation.
 
 * ``merged`` — disaggregated placement, plus **merged cross-request
   verification**: every verify phase co-scheduled on a target device
   coalesces into one batched target pass (a single weight read — overlap 1
   for the verify group), the batched-verification win the throughput
   framing of dLLM-ASR points at.
+
+Policies live in ``ROUTER_REGISTRY`` (name → class); ``build_router`` and
+:class:`ClusterConfig` validation both read it, so registering a policy is
+one dict entry — there is no dispatch chain a new policy can silently miss.
+
+**Pool planning.**  The draft/target split is itself a placement decision:
+
+* ``split="fixed"`` keeps the legacy ``K // 2`` prefix split (odd device to
+  the target pool — verify is the heavy side).
+* ``split="balanced"`` sizes the pools from the *workload*: the scheduler
+  measures the draft:verify cost ratio of the decoder on sample utterances
+  (``measure_draft_share``) and :func:`plan_pool_split` picks the split
+  whose draft-pool share of total cluster speed best matches the draft
+  share of total decode cost.  Devices are considered slowest-first for the
+  draft pool, so on a heterogeneous cluster the fast parts verify — the
+  DistServe/Splitwise-style answer to asymmetric phase compute.
+
+**Within-pool routing** is least-loaded instead of ``request_index %
+len(pool)``: at each dispatch round the router projects every pool
+device's next free time and sends each waiting phase to the device with
+the earliest projection (ties broken by higher speed, then device index —
+fully deterministic).  On heterogeneous pools this keeps slow devices from
+becoming static hash-bucket hotspots.
 
 :class:`ClusterConfig` is the serialisable knob set threaded through
 :class:`~repro.serving.simulator.ServeSimConfig` and the CLI.
@@ -31,19 +53,30 @@ phase kind, so a fixed trace schedules identically on every run):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
-from repro.decoding.base import PHASE_DRAFT
-from repro.serving.devices import Device, make_devices
+from repro.decoding.base import PHASE_DRAFT, PhaseOutcome, begin_decode
+from repro.serving.devices import Device, DeviceSpec, make_devices
 
 ROUTER_COLOCATED = "colocated"
 ROUTER_DISAGGREGATED = "disaggregated"
 ROUTER_MERGED = "merged"
 
-#: Placement policies accepted by :class:`ClusterConfig`.
-ROUTER_POLICIES = (ROUTER_COLOCATED, ROUTER_DISAGGREGATED, ROUTER_MERGED)
-
 #: CLI-friendly aliases.
 ROUTER_ALIASES = {"disagg": ROUTER_DISAGGREGATED}
+
+SPLIT_FIXED = "fixed"
+SPLIT_BALANCED = "balanced"
+
+#: Pool-split policies accepted by :class:`ClusterConfig`.
+SPLIT_POLICIES = (SPLIT_FIXED, SPLIT_BALANCED)
+
+#: Draft share :func:`plan_pool_split` assumes when no measurement is
+#: available (an empty trace, or a caller that never sampled the decoder).
+DEFAULT_DRAFT_SHARE = 0.5
+
+#: Utterances sampled by the scheduler to measure the draft:verify ratio.
+PLANNER_SAMPLE_UTTERANCES = 3
 
 
 def normalize_router(name: str) -> str:
@@ -53,19 +86,48 @@ def normalize_router(name: str) -> str:
 
 @dataclass(frozen=True)
 class ClusterConfig:
-    """Shape of the simulated accelerator cluster."""
+    """Shape of the simulated accelerator cluster.
 
-    devices: int = 1
+    ``devices`` may be omitted (``None``): it defaults to 1, or to
+    ``len(device_specs)`` when a heterogeneous spec list is provided.  An
+    *explicit* count that disagrees with the spec list — including 1 — is
+    an error, never silently reinterpreted.  ``split`` picks the
+    draft/target pool-sizing policy for disaggregating routers
+    (``colocated`` has no pools and ignores it).
+    """
+
+    devices: int | None = None  # resolved to a concrete count in __post_init__
     router: str = ROUTER_COLOCATED
+    split: str = SPLIT_FIXED
+    device_specs: tuple[DeviceSpec, ...] | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "router", normalize_router(self.router))
+        if self.device_specs is not None:
+            specs = tuple(self.device_specs)
+            object.__setattr__(self, "device_specs", specs)
+            if not specs:
+                raise ValueError("device_specs must not be empty")
+            if self.devices is None:
+                object.__setattr__(self, "devices", len(specs))
+            elif self.devices != len(specs):
+                raise ValueError(
+                    f"devices={self.devices} does not match the "
+                    f"{len(specs)}-entry device spec list"
+                )
+        elif self.devices is None:
+            object.__setattr__(self, "devices", 1)
         if self.devices < 1:
             raise ValueError(f"devices must be >= 1, got {self.devices}")
-        if self.router not in ROUTER_POLICIES:
+        if self.router not in ROUTER_REGISTRY:
             raise ValueError(
                 f"unknown router policy {self.router!r}; "
-                f"use one of {', '.join(ROUTER_POLICIES)}"
+                f"use one of {', '.join(ROUTER_REGISTRY)}"
+            )
+        if self.split not in SPLIT_POLICIES:
+            raise ValueError(
+                f"unknown split policy {self.split!r}; "
+                f"use one of {', '.join(SPLIT_POLICIES)}"
             )
         if self.router != ROUTER_COLOCATED and self.devices < 2:
             raise ValueError(
@@ -74,39 +136,188 @@ class ClusterConfig:
             )
 
 
+def plan_pool_split(
+    speeds: Sequence[float], draft_share: float
+) -> tuple[tuple[int, ...], tuple[int, ...]]:
+    """Partition device indices into ``(draft_pool, target_pool)``.
+
+    ``draft_share`` is the fraction of total decode cost spent in draft
+    phases (0 = all verify, 1 = all draft).  Candidate draft pools are
+    prefixes of the devices ordered slowest-first (ties by index), so fast
+    parts default to the heavy verify side; the chosen prefix is the one
+    whose share of total cluster speed is closest to ``draft_share``.
+    Ties prefer the smaller draft pool (verify is the heavy side), which
+    also makes the choice deterministic on all-equal-speed clusters.
+    Both pools always keep at least one device; degenerate shares clamp to
+    the 1-device / (K-1)-device extremes.  Returned index tuples are
+    sorted, so pool iteration order never depends on the planner's
+    internal ordering.
+    """
+    if len(speeds) < 2:
+        raise ValueError("pool planning needs at least 2 devices")
+    if not 0.0 <= draft_share <= 1.0:
+        raise ValueError(f"draft_share must be in [0, 1], got {draft_share}")
+    order = sorted(range(len(speeds)), key=lambda i: (speeds[i], i))
+    total = sum(speeds)
+    best_k = 1
+    best_error = None
+    prefix_speed = 0.0
+    for k in range(1, len(speeds)):
+        prefix_speed += speeds[order[k - 1]]
+        error = abs(prefix_speed / total - draft_share)
+        if best_error is None or error < best_error:
+            best_error = error
+            best_k = k
+    draft = tuple(sorted(order[:best_k]))
+    target = tuple(sorted(order[best_k:]))
+    return draft, target
+
+
+def measure_draft_share(decoder, utterances) -> float:
+    """Fraction of decode cost spent in draft phases, measured by decoding.
+
+    Pure simulation: phase costs depend only on (decoder, utterance), so
+    the measurement is deterministic and placement-independent — running
+    it never perturbs the transcripts or ``decode_ms`` the determinism
+    contract guards (and the decoder's oracle caches make the later
+    serving run of the same utterances cheap).
+    """
+    draft = 0.0
+    total = 0.0
+    for utterance in utterances:
+        stepper = begin_decode(decoder, utterance)
+        while not stepper.done:
+            outcome = stepper.step_phase()
+            total += outcome.ms
+            if outcome.phase == PHASE_DRAFT:
+                draft += outcome.ms
+    if total <= 0:
+        return 0.0
+    return draft / total
+
+
 class ColocatedRouter:
     """K-way sharding: a request's whole decode lives on one device."""
 
     name = ROUTER_COLOCATED
     merge_verify = False
 
-    def __init__(self, devices: list[Device]) -> None:
+    def __init__(
+        self,
+        devices: list[Device],
+        split: str = SPLIT_FIXED,
+        draft_share: float | None = None,
+    ) -> None:
         if not devices:
             raise ValueError("router needs at least one device")
         self.devices = devices
 
-    def route(self, request_index: int, phase: str) -> Device:
+    def plan_round(self, now_ms: float) -> None:
+        """Per-dispatch hook; static sharding keeps no round state."""
+
+    def route(self, request_index: int, phase: PhaseOutcome) -> Device:
         return self.devices[request_index % len(self.devices)]
+
+    def device_roles(self) -> tuple[str, ...]:
+        """Per-device pool membership, index order (for reports)."""
+        return ("any",) * len(self.devices)
 
 
 class DisaggregatedRouter:
-    """Draft pool / target pool with per-request affinity in each pool."""
+    """Draft pool / target pool with least-loaded routing in each pool."""
 
     name = ROUTER_DISAGGREGATED
     merge_verify = False
 
-    def __init__(self, devices: list[Device]) -> None:
+    def __init__(
+        self,
+        devices: list[Device],
+        split: str = SPLIT_FIXED,
+        draft_share: float | None = None,
+    ) -> None:
         if len(devices) < 2:
             raise ValueError("disaggregation needs at least 2 devices")
-        # Verify is the heavier side (the target model is the big one), so
-        # an odd device goes to the target pool.
-        split = len(devices) // 2
-        self.draft_pool = devices[:split]
-        self.target_pool = devices[split:]
+        if split == SPLIT_FIXED:
+            # Verify is the heavier side (the target model is the big
+            # one), so an odd device goes to the target pool.
+            cut = len(devices) // 2
+            draft_ids = tuple(range(cut))
+            target_ids = tuple(range(cut, len(devices)))
+        elif split == SPLIT_BALANCED:
+            share = DEFAULT_DRAFT_SHARE if draft_share is None else draft_share
+            draft_ids, target_ids = plan_pool_split(
+                [device.speed for device in devices], share
+            )
+        else:
+            raise ValueError(
+                f"unknown split policy {split!r}; use one of "
+                f"{', '.join(SPLIT_POLICIES)}"
+            )
+        self.draft_pool = [devices[i] for i in draft_ids]
+        self.target_pool = [devices[i] for i in target_ids]
+        self._roles = tuple(
+            "draft" if index in draft_ids else "target"
+            for index in range(len(devices))
+        )
+        self._projected: dict[int, float] = {}
+        self._verify_peak: dict[int, float] = {}
 
-    def route(self, request_index: int, phase: str) -> Device:
-        pool = self.draft_pool if phase == PHASE_DRAFT else self.target_pool
-        return pool[request_index % len(pool)]
+    def plan_round(self, now_ms: float) -> None:
+        """Reset per-round load projections to the devices' free times."""
+        self._projected = {
+            device.index: max(now_ms, device.free_at)
+            for device in (*self.draft_pool, *self.target_pool)
+        }
+        self._verify_peak = {}
+
+    def _completion(self, device: Device, cost_ms: float, coalesce: bool) -> float:
+        """Projected finish time of a ``cost_ms`` phase routed to ``device``.
+
+        Ordinarily each routed phase extends the device's projection by its
+        full cost.  Under merged verification, co-scheduled verify phases on
+        one device coalesce to their critical path, so an extra verify phase
+        only extends the projection past the round's current peak — which is
+        what makes stacking verify work on one target device (the merged
+        policy's whole point) look as cheap to the router as it is to
+        :meth:`~repro.serving.devices.Device.batch_busy_ms`.
+        """
+        projected = self._projected.get(device.index, device.free_at)
+        if not coalesce:
+            return projected + cost_ms
+        peak = self._verify_peak.get(device.index, 0.0)
+        return projected - peak + max(peak, cost_ms)
+
+    def route(self, request_index: int, phase: PhaseOutcome) -> Device:
+        """Least-loaded device of the phase's pool.
+
+        Each waiting phase goes to the pool device where it would finish
+        earliest (ties: higher speed, then device index — deterministic on
+        any cluster shape), and the projection then charges that device, so
+        one dispatch round spreads phases across equally-free pool devices
+        instead of stacking them on a single argmin — except coalescible
+        merged-verify phases, which deliberately stack (see
+        :meth:`_completion`).
+        """
+        pool = self.draft_pool if phase.phase == PHASE_DRAFT else self.target_pool
+        coalesce = self.merge_verify and phase.phase != PHASE_DRAFT
+        device = min(
+            pool,
+            key=lambda d: (
+                self._completion(d, phase.ms / d.speed, coalesce),
+                -d.speed,
+                d.index,
+            ),
+        )
+        cost = phase.ms / device.speed
+        self._projected[device.index] = self._completion(device, cost, coalesce)
+        if coalesce:
+            peak = self._verify_peak.get(device.index, 0.0)
+            self._verify_peak[device.index] = max(peak, cost)
+        return device
+
+    def device_roles(self) -> tuple[str, ...]:
+        """Per-device pool membership, index order (for reports)."""
+        return self._roles
 
 
 class MergedVerifyRouter(DisaggregatedRouter):
@@ -116,17 +327,31 @@ class MergedVerifyRouter(DisaggregatedRouter):
     merge_verify = True
 
 
-def build_router(config: ClusterConfig, overlap: float):
+#: Policy name → router class.  ``build_router`` and ``ClusterConfig``
+#: validation both read this mapping, so a new policy is exactly one
+#: entry here — no dispatch chain to forget a branch in.
+ROUTER_REGISTRY: dict[str, type] = {
+    ROUTER_COLOCATED: ColocatedRouter,
+    ROUTER_DISAGGREGATED: DisaggregatedRouter,
+    ROUTER_MERGED: MergedVerifyRouter,
+}
+
+#: Placement policies accepted by :class:`ClusterConfig`.
+ROUTER_POLICIES = tuple(ROUTER_REGISTRY)
+
+
+def build_router(
+    config: ClusterConfig, overlap: float, draft_share: float | None = None
+):
     """Devices + router for one scheduler run.
 
     Returns ``(devices, router)``; the devices are freshly timed (state is
-    per-run, never shared between simulations).
+    per-run, never shared between simulations).  ``draft_share`` feeds the
+    balanced pool planner (measured by the scheduler from the decoder; see
+    :func:`measure_draft_share`).
     """
-    devices = make_devices(config.devices, overlap)
-    if config.router == ROUTER_COLOCATED:
-        return devices, ColocatedRouter(devices)
-    if config.router == ROUTER_DISAGGREGATED:
-        return devices, DisaggregatedRouter(devices)
-    if config.router == ROUTER_MERGED:
-        return devices, MergedVerifyRouter(devices)
-    raise ValueError(f"unknown router policy {config.router!r}")
+    devices = make_devices(config.devices, overlap, specs=config.device_specs)
+    router_cls = ROUTER_REGISTRY.get(config.router)
+    if router_cls is None:
+        raise ValueError(f"unknown router policy {config.router!r}")
+    return devices, router_cls(devices, split=config.split, draft_share=draft_share)

@@ -15,7 +15,11 @@ The loop is a discrete-event simulation.  Its three event sources — request
 arrivals, batch completions, and the admissions/dispatches they enable — are
 processed in deterministic order (devices by index, waiting phases FIFO by
 ``(ready time, request index)``), so one arrival trace schedules identically
-on every run, for every device count and every router policy.
+on every run, for every device count, device-spec mix, split policy and
+router policy.  Under ``split="balanced"`` the scheduler first measures the
+decoder's draft:verify cost ratio on the trace's leading utterances
+(:func:`~repro.serving.router.measure_draft_share` — a pure, deterministic
+simulation) and hands it to the workload-aware pool planner.
 
 Device time for one micro-batch is priced by
 :meth:`~repro.serving.devices.Device.batch_busy_ms`: the ``overlap``
@@ -54,7 +58,14 @@ from repro.serving.request import (
     RequestRecord,
     ServeRequest,
 )
-from repro.serving.router import ClusterConfig, build_router
+from repro.serving.router import (
+    PLANNER_SAMPLE_UTTERANCES,
+    ROUTER_COLOCATED,
+    SPLIT_BALANCED,
+    ClusterConfig,
+    build_router,
+    measure_draft_share,
+)
 
 
 @dataclass(frozen=True)
@@ -92,6 +103,9 @@ class ScheduleStats:
     rejected: int
     devices: int = 1  # cluster size
     per_device_busy_ms: tuple[float, ...] = ()
+    device_speeds: tuple[float, ...] = ()  # relative speed per device
+    device_roles: tuple[str, ...] = ()  # pool membership per device
+    draft_share: float | None = None  # measured ratio fed to the planner
 
     @property
     def device_utilisation(self) -> float:
@@ -149,7 +163,9 @@ class ContinuousBatchScheduler:
         rejected requests keep ``STATUS_REJECTED`` with an empty timeline.
         """
         config = self.config
-        if self.cluster.router != "colocated" and not hasattr(self.decoder, "begin"):
+        if self.cluster.router != ROUTER_COLOCATED and not hasattr(
+            self.decoder, "begin"
+        ):
             # A whole-decode fallback stepper yields one opaque verify blob:
             # nothing to hand to a draft pool, and merged coalescing would
             # mis-price distinct decodes as one pass.  Require a phase-split
@@ -161,9 +177,29 @@ class ContinuousBatchScheduler:
                 f"(one exposing begin()), but {name!r} only supports "
                 "whole-decode stepping — use the colocated router"
             )
-        devices, router = build_router(self.cluster, config.overlap)
+        arrivals = sorted(trace, key=lambda a: (a.arrival_ms, a.index))
+        draft_share = None
+        if (
+            self.cluster.split == SPLIT_BALANCED
+            and self.cluster.router != ROUTER_COLOCATED
+        ):
+            # Workload-aware pool planning: measure the draft:verify cost
+            # ratio on the first few distinct utterances of the trace.
+            # Phase costs are pure functions of (decoder, utterance), so
+            # this is deterministic and leaves transcripts untouched.
+            sample_indices: list[int] = []
+            for arrival in arrivals:
+                index = arrival.utterance_index
+                if index < len(dataset) and index not in sample_indices:
+                    sample_indices.append(index)
+                if len(sample_indices) >= PLANNER_SAMPLE_UTTERANCES:
+                    break
+            draft_share = measure_draft_share(
+                self.decoder, [dataset[i] for i in sample_indices]
+            )
+        devices, router = build_router(self.cluster, config.overlap, draft_share)
         records = []
-        for arrival in sorted(trace, key=lambda a: (a.arrival_ms, a.index)):
+        for arrival in arrivals:
             if arrival.utterance_index >= len(dataset):
                 raise ValueError(
                     f"arrival {arrival.index} references utterance "
@@ -201,23 +237,24 @@ class ContinuousBatchScheduler:
                 inflight.append(_Active(record, stepper, now_ms))
 
         def dispatch(now_ms: float) -> None:
-            # Devices in index order; each free device takes up to
-            # max_batch waiting phases routed to it, FIFO.
+            # Waiting phases route in global FIFO order (ready time, then
+            # request index) so least-loaded routers see them in a
+            # deterministic sequence; each free device then takes up to
+            # max_batch of the phases routed to it, still FIFO.
+            waiting = [active for active in inflight if not active.running]
+            waiting.sort(key=lambda a: (a.ready_ms, a.record.request.index))
+            router.plan_round(now_ms)
             waiting_at: dict[int, list[_Active]] = {}
-            for active in inflight:
-                if active.running:
-                    continue
-                index = active.record.request.index
-                device = router.route(index, active.phase.phase)
+            for active in waiting:
+                device = router.route(active.record.request.index, active.phase)
                 waiting_at.setdefault(device.index, []).append(active)
             for device in devices:
                 if device.free_at > now_ms:
                     continue
-                waiting = waiting_at.get(device.index)
-                if not waiting:
+                routed = waiting_at.get(device.index)
+                if not routed:
                     continue
-                waiting.sort(key=lambda a: (a.ready_ms, a.record.request.index))
-                batch = waiting[: config.max_batch]
+                batch = routed[: config.max_batch]
                 for active in batch:
                     active.running = True
                 end = device.execute(
@@ -273,5 +310,8 @@ class ContinuousBatchScheduler:
             rejected=queue.rejected,
             devices=len(devices),
             per_device_busy_ms=tuple(device.busy_ms for device in devices),
+            device_speeds=tuple(device.speed for device in devices),
+            device_roles=router.device_roles(),
+            draft_share=draft_share,
         )
         return records

@@ -18,8 +18,9 @@ from repro.harness.methods import build_method
 from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
 from repro.models.registry import model_pair
 from repro.serving.arrivals import Arrival, make_trace, offered_qps
+from repro.serving.devices import parse_device_specs
 from repro.serving.report import ServeReport
-from repro.serving.router import ClusterConfig
+from repro.serving.router import SPLIT_FIXED, ClusterConfig
 from repro.serving.scheduler import ContinuousBatchScheduler, SchedulerConfig
 
 
@@ -46,8 +47,10 @@ class ServeSimConfig:
     max_inflight: int = 8
     queue_capacity: int = 32
     overlap: float = 0.8
-    devices: int = 1  # simulated accelerators in the cluster
+    devices: int | None = None  # accelerator count; None = 1 or len(device_spec)
     router: str = "colocated"  # placement policy (see serving.router)
+    pool_split: str = SPLIT_FIXED  # draft/target pool sizing: fixed | balanced
+    device_spec: str = ""  # heterogeneous cluster shorthand, e.g. "2x1.0,2x0.5"
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -58,7 +61,13 @@ class ServeSimConfig:
         )
 
     def cluster_config(self) -> ClusterConfig:
-        return ClusterConfig(devices=self.devices, router=self.router)
+        specs = parse_device_specs(self.device_spec) if self.device_spec else None
+        return ClusterConfig(
+            devices=self.devices,
+            router=self.router,
+            split=self.pool_split,
+            device_specs=specs,
+        )
 
     def experiment_config(self) -> ExperimentConfig:
         return ExperimentConfig(seed=self.seed, utterances=self.utterances)

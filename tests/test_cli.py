@@ -83,6 +83,25 @@ class TestServeSimValidation:
             main(["serve-sim", "--max-batch", "8", "--inflight", "2"])
         assert "max_inflight" in str(excinfo.value)
 
+    def test_rejects_malformed_device_spec(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--device-spec", "2xfast"])
+        assert "COUNTxSPEED" in str(excinfo.value)
+
+    def test_rejects_device_spec_count_mismatch(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--devices", "3", "--device-spec", "2x1.0"])
+        assert "does not match" in str(excinfo.value)
+
+    def test_rejects_explicit_single_device_with_multi_spec(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve-sim", "--devices", "1", "--device-spec", "2x1.0,2x0.5"])
+        assert "does not match" in str(excinfo.value)
+
+    def test_rejects_unknown_split(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve-sim", "--split", "optimal"])
+
     def test_serve_sim_cluster_runs(self, capsys):
         assert (
             main(
@@ -107,3 +126,32 @@ class TestServeSimValidation:
         )
         out = capsys.readouterr().out
         assert "2 device(s)" in out
+
+    def test_serve_sim_heterogeneous_balanced_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "--method",
+                    "spec(8,1)",
+                    "--qps",
+                    "3",
+                    "--requests",
+                    "6",
+                    "--utterances",
+                    "6",
+                    "--device-spec",
+                    "2x1.0,2x0.5",
+                    "--router",
+                    "merged",
+                    "--split",
+                    "balanced",
+                    "--no-max-qps",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "4 device(s)" in out
+        assert "speed 0.5" in out
+        assert "measured draft share" in out

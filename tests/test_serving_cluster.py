@@ -34,6 +34,7 @@ from repro.serving import (
     SchedulerConfig,
     ServeSimConfig,
     normalize_router,
+    parse_device_specs,
     poisson_trace,
     simulate,
     uniform_trace,
@@ -41,6 +42,8 @@ from repro.serving import (
 from repro.serving.request import STATUS_COMPLETED
 
 PHASED_METHODS = ("autoregressive", "spec(8,1)", "spec(8,2)", "specasr-asp")
+
+HETERO = parse_device_specs("2x1.0,2x0.5")
 
 CLUSTERS = (
     ClusterConfig(devices=1, router="colocated"),
@@ -50,7 +53,31 @@ CLUSTERS = (
     ClusterConfig(devices=4, router="colocated"),
     ClusterConfig(devices=4, router="disaggregated"),
     ClusterConfig(devices=4, router="merged"),
+    # workload-aware pool splits, homogeneous and heterogeneous
+    ClusterConfig(devices=4, router="disaggregated", split="balanced"),
+    ClusterConfig(devices=4, router="merged", split="balanced"),
+    ClusterConfig(devices=4, router="colocated", device_specs=HETERO),
+    ClusterConfig(devices=4, router="disaggregated", device_specs=HETERO),
+    ClusterConfig(
+        devices=4, router="disaggregated", split="balanced", device_specs=HETERO
+    ),
+    ClusterConfig(devices=4, router="merged", split="balanced", device_specs=HETERO),
+    ClusterConfig(
+        devices=3,
+        router="merged",
+        split="balanced",
+        device_specs=parse_device_specs("2.0,2x0.5"),
+    ),
 )
+
+
+def _cluster_id(config: ClusterConfig) -> str:
+    parts = [f"{config.devices}x-{config.router}"]
+    if config.split != "fixed":
+        parts.append(config.split)
+    if config.device_specs:
+        parts.append("hetero")
+    return "-".join(parts)
 
 
 class TestPhaseSplitSteppers:
@@ -224,9 +251,7 @@ class TestClusterDeterminism:
         scheduler = ContinuousBatchScheduler(decoder, SchedulerConfig(), cluster)
         return scheduler.run(trace, dataset), scheduler.last_stats
 
-    @pytest.mark.parametrize(
-        "cluster", CLUSTERS, ids=lambda c: f"{c.devices}x-{c.router}"
-    )
+    @pytest.mark.parametrize("cluster", CLUSTERS, ids=_cluster_id)
     def test_transcripts_and_decode_ms_cluster_independent(
         self, whisper_pair, clean_dataset, trace, cluster
     ):
@@ -237,9 +262,7 @@ class TestClusterDeterminism:
         assert [r.tokens for r in records] == [r.tokens for r in reference]
         assert [r.decode_ms for r in records] == [r.decode_ms for r in reference]
 
-    @pytest.mark.parametrize(
-        "cluster", CLUSTERS, ids=lambda c: f"{c.devices}x-{c.router}"
-    )
+    @pytest.mark.parametrize("cluster", CLUSTERS, ids=_cluster_id)
     def test_rerun_bit_identical(self, whisper_pair, clean_dataset, trace, cluster):
         a, stats_a = self._run(whisper_pair, clean_dataset, trace, cluster)
         b, stats_b = self._run(whisper_pair, clean_dataset, trace, cluster)
@@ -340,6 +363,66 @@ class TestPlacementSemantics:
         )
         records = scheduler.run(trace, clean_dataset)
         assert all(r.status == STATUS_COMPLETED for r in records)
+
+    def test_balanced_split_records_measured_share(self, whisper_pair, clean_dataset):
+        stats = self._stats(
+            whisper_pair,
+            clean_dataset,
+            ClusterConfig(devices=4, router="disaggregated", split="balanced"),
+            "specasr-asp",
+        )
+        assert stats.draft_share is not None
+        assert 0.0 < stats.draft_share < 1.0
+        assert stats.device_roles.count("draft") >= 1
+        assert stats.device_roles.count("target") >= 1
+        assert len(stats.device_roles) == 4
+
+    def test_fixed_split_measures_nothing(self, whisper_pair, clean_dataset):
+        stats = self._stats(
+            whisper_pair,
+            clean_dataset,
+            ClusterConfig(devices=2, router="disaggregated"),
+            "specasr-asp",
+        )
+        assert stats.draft_share is None
+        assert stats.device_roles == ("draft", "target")
+
+    def test_balanced_hetero_gives_fast_devices_to_verify(
+        self, whisper_pair, clean_dataset
+    ):
+        stats = self._stats(
+            whisper_pair,
+            clean_dataset,
+            ClusterConfig(
+                devices=4,
+                router="disaggregated",
+                split="balanced",
+                device_specs=HETERO,
+            ),
+            "specasr-asp",
+        )
+        assert stats.device_speeds == (1.0, 1.0, 0.5, 0.5)
+        # with a draft share well under the fast devices' speed fraction,
+        # the full-speed parts must end up in the target pool
+        fast_roles = {stats.device_roles[0], stats.device_roles[1]}
+        assert fast_roles == {"target"}
+
+    def test_least_loaded_routing_uses_whole_pool(self, whisper_pair, clean_dataset):
+        # 1 draft + 3 target devices: least-loaded verify routing must
+        # spread work across every target device, not a static hash bucket
+        draft, target = whisper_pair
+        decoder = build_method("specasr-asp", draft, target)
+        scheduler = ContinuousBatchScheduler(
+            decoder,
+            SchedulerConfig(max_batch=2, max_inflight=8),
+            ClusterConfig(devices=4, router="disaggregated", split="balanced"),
+        )
+        trace = uniform_trace(12, 8.0, len(clean_dataset), seed=11)
+        records = scheduler.run(trace, clean_dataset)
+        assert all(r.status == STATUS_COMPLETED for r in records)
+        stats = scheduler.last_stats
+        for role, busy in zip(stats.device_roles, stats.per_device_busy_ms):
+            assert busy > 0.0, f"idle {role} device in a saturated pool"
 
     def test_sharding_speeds_up_saturated_serving(self, whisper_pair, clean_dataset):
         draft, target = whisper_pair

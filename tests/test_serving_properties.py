@@ -1,0 +1,226 @@
+"""Property-based serving invariants (hypothesis).
+
+Three invariant families the serving stack must hold for *any* workload
+and cluster shape, not just the hand-picked fixtures of the unit suites:
+
+* **Request conservation** — every request a trace admits is accounted
+  for when the scheduler drains: completed + rejected == offered, with no
+  request left in flight and no status invented.
+* **Device timeline monotonicity** — a device's ``free_at`` never
+  decreases, its busy intervals never overlap, and its ``busy_ms`` is
+  exactly the sum of its interval lengths.
+* **Batch cost bounds** — for any micro-batch,
+  ``max(costs) <= busy * speed <= sum(costs) * inflation`` where
+  ``inflation`` is the residency-interference multiplier, and busy time
+  is monotonically non-increasing in ``overlap``.
+
+All examples are bounded and deadline-free (``deadline=None``,
+``derandomize=True``) so the suite is CI-stable by construction.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoding.base import PHASE_DRAFT, PHASE_VERIFY, PhaseOutcome
+from repro.harness.methods import build_method
+from repro.serving import (
+    ClusterConfig,
+    ContinuousBatchScheduler,
+    Device,
+    SchedulerConfig,
+)
+from repro.serving.arrivals import Arrival
+from repro.serving.request import STATUS_COMPLETED, STATUS_REJECTED
+
+STABLE = settings(max_examples=30, deadline=None, derandomize=True)
+STABLE_SMALL = settings(max_examples=15, deadline=None, derandomize=True)
+
+overlaps = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+speeds = st.floats(min_value=0.1, max_value=8.0, allow_nan=False)
+switch_costs = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+models = st.sampled_from(("draft-model", "target-model"))
+kinds = st.sampled_from((PHASE_DRAFT, PHASE_VERIFY))
+
+
+def _phase(model: str, kind: str, ms: float) -> PhaseOutcome:
+    return PhaseOutcome(kind, model, ms, (), True, False)
+
+
+batches = st.lists(
+    st.tuples(
+        models,
+        kinds,
+        st.floats(min_value=0.1, max_value=500.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=8,
+).map(lambda items: [_phase(m, k, ms) for m, k, ms in items])
+
+
+class TestBatchCostBounds:
+    @given(batch=batches, overlap=overlaps, speed=speeds, switch=switch_costs)
+    @STABLE
+    def test_busy_bounded_by_critical_path_and_serial_sum(
+        self, batch, overlap, speed, switch
+    ):
+        device = Device(0, overlap=overlap, switch_cost=switch, speed=speed)
+        busy = device.batch_busy_ms(batch)
+        phase_costs = [p.ms for p in batch]
+        n_models = len({p.model for p in batch})
+        inflation = 1.0 + switch * (n_models - 1)
+        # speed scales linearly, so compare in nominal (speed-1) time
+        nominal = busy * speed
+        assert nominal >= max(phase_costs) * (1.0 - 1e-9)
+        assert nominal <= sum(phase_costs) * inflation * (1.0 + 1e-9)
+
+    @given(
+        batch=batches,
+        lo=overlaps,
+        hi=overlaps,
+        speed=speeds,
+        merge=st.booleans(),
+    )
+    @STABLE
+    def test_busy_monotone_non_increasing_in_overlap(
+        self, batch, lo, hi, speed, merge
+    ):
+        lo, hi = min(lo, hi), max(lo, hi)
+        less_batched = Device(0, overlap=lo, speed=speed)
+        more_batched = Device(1, overlap=hi, speed=speed)
+        assert (
+            more_batched.batch_busy_ms(batch, merge_verify=merge)
+            <= less_batched.batch_busy_ms(batch, merge_verify=merge) + 1e-9
+        )
+
+    @given(batch=batches, overlap=overlaps, speed=speeds)
+    @STABLE
+    def test_merge_verify_never_costs_more(self, batch, overlap, speed):
+        device = Device(0, overlap=overlap, speed=speed)
+        assert (
+            device.batch_busy_ms(batch, merge_verify=True)
+            <= device.batch_busy_ms(batch, merge_verify=False) + 1e-9
+        )
+
+
+class TestDeviceTimeline:
+    @given(
+        overlap=overlaps,
+        speed=speeds,
+        submissions=st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+                batches,
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+    )
+    @STABLE
+    def test_free_at_monotone_and_busy_intervals_disjoint(
+        self, overlap, speed, submissions
+    ):
+        device = Device(0, overlap=overlap, speed=speed)
+        intervals = []
+        previous_free = device.free_at
+        for start_ms, batch in submissions:
+            begin = max(start_ms, device.free_at)
+            end = device.execute(start_ms, batch)
+            assert end >= begin
+            assert device.free_at == end
+            assert device.free_at >= previous_free  # never rewinds
+            previous_free = device.free_at
+            intervals.append((begin, end))
+        # busy intervals never overlap: each starts at or after the
+        # previous one ended (submission order is execution order)
+        for (_, prev_end), (next_begin, _) in zip(intervals, intervals[1:]):
+            assert next_begin >= prev_end - 1e-9
+        assert device.busy_ms == pytest.approx(
+            sum(end - begin for begin, end in intervals)
+        )
+        assert device.batches == len(submissions)
+        assert device.phases == sum(len(batch) for _, batch in submissions)
+
+
+@pytest.fixture(scope="module")
+def serving_decoder(whisper_pair):
+    draft, target = whisper_pair
+    return build_method("spec(8,1)", draft, target)
+
+
+cluster_shapes = st.sampled_from(
+    (
+        ClusterConfig(devices=1),
+        ClusterConfig(devices=2, router="disaggregated"),
+        ClusterConfig(devices=3, router="merged", split="balanced"),
+        ClusterConfig(devices=4, router="disaggregated", split="balanced"),
+    )
+)
+
+
+class TestRequestConservation:
+    @given(
+        arrival_gaps=st.lists(
+            st.floats(min_value=0.0, max_value=800.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+        utterance_picks=st.lists(
+            st.integers(min_value=0, max_value=1000), min_size=12, max_size=12
+        ),
+        queue_capacity=st.integers(min_value=1, max_value=4),
+        max_batch=st.integers(min_value=1, max_value=3),
+        cluster=cluster_shapes,
+    )
+    @STABLE_SMALL
+    def test_admitted_equals_completed_plus_rejected_at_drain(
+        self,
+        serving_decoder,
+        clean_dataset,
+        arrival_gaps,
+        utterance_picks,
+        queue_capacity,
+        max_batch,
+        cluster,
+    ):
+        trace = []
+        now = 0.0
+        for index, gap in enumerate(arrival_gaps):
+            now += gap
+            utterance = utterance_picks[index] % len(clean_dataset)
+            trace.append(Arrival(index, utterance, now))
+        scheduler = ContinuousBatchScheduler(
+            serving_decoder,
+            SchedulerConfig(
+                max_batch=max_batch,
+                max_inflight=max_batch + 2,
+                queue_capacity=queue_capacity,
+            ),
+            cluster,
+        )
+        records = scheduler.run(trace, clean_dataset)
+        stats = scheduler.last_stats
+
+        # conservation: offered == completed + rejected, nothing in flight
+        assert len(records) == len(trace)
+        completed = [r for r in records if r.status == STATUS_COMPLETED]
+        rejected = [r for r in records if r.status == STATUS_REJECTED]
+        assert len(completed) + len(rejected) == len(records)
+        assert stats.rejected == len(rejected)
+
+        # per-request timeline sanity for everything that ran
+        for record in completed:
+            assert record.service_start_ms >= record.request.arrival_ms
+            assert record.first_token_ms >= record.service_start_ms
+            assert record.finish_ms >= record.first_token_ms
+            assert record.finish_ms <= stats.sim_end_ms + 1e-9
+        for record in rejected:
+            assert record.finish_ms is None and not record.tokens
+
+        # cluster accounting is self-consistent
+        assert stats.devices == cluster.devices
+        assert len(stats.per_device_busy_ms) == cluster.devices
+        assert sum(stats.per_device_busy_ms) == pytest.approx(stats.device_busy_ms)
+        assert all(busy >= 0.0 for busy in stats.per_device_busy_ms)

@@ -10,12 +10,14 @@ For each method in the suite this bench:
   device utilisation) at a common reference load ``--ref-qps``;
 * sweeps the **cluster grid** — device count × router policy (colocated
   sharding, draft/target disaggregation, merged cross-request verification)
-  — and records max sustainable QPS per point;
+  × pool-split policy (fixed ``K // 2`` vs the workload-aware balanced
+  planner) × device mix (homogeneous vs a ``2x1.0,2x0.5`` fast/slow
+  heterogeneous cluster) — and records max sustainable QPS per point;
 * asserts the scheduler determinism contract: serial (batch=1) and batched
   configurations produce bit-identical transcripts and per-request decode
   times, re-running the batched simulation reproduces identical completion
   latencies, and transcripts/decode times are identical across device
-  counts and router policies.
+  counts, device specs, split policies and router policies.
 
 Wall-clock throughput (simulated requests per second of host time) is also
 measured, and ``--smoke`` compares it against the checked-in
@@ -60,19 +62,51 @@ SERVE_METHODS = (
     "specasr-tsp",
 )
 
-#: Cluster grid swept by the full bench: (devices, router policy).
+#: Fast/slow device mix used by the heterogeneous grid points.
+HETERO_SPEC = "2x1.0,2x0.5"
+
+#: Cluster grid swept by the full bench:
+#: (devices, router policy, pool split, device spec).
 CLUSTER_POINTS = (
-    (1, "colocated"),
-    (2, "colocated"),
-    (2, "disaggregated"),
-    (2, "merged"),
-    (4, "colocated"),
-    (4, "disaggregated"),
-    (4, "merged"),
+    (1, "colocated", "fixed", ""),
+    (2, "colocated", "fixed", ""),
+    (2, "disaggregated", "fixed", ""),
+    (2, "merged", "fixed", ""),
+    (4, "colocated", "fixed", ""),
+    (4, "disaggregated", "fixed", ""),
+    (4, "disaggregated", "balanced", ""),
+    (4, "merged", "fixed", ""),
+    (4, "merged", "balanced", ""),
+    (4, "colocated", "fixed", HETERO_SPEC),
+    (4, "disaggregated", "fixed", HETERO_SPEC),
+    (4, "disaggregated", "balanced", HETERO_SPEC),
+    (4, "merged", "balanced", HETERO_SPEC),
 )
 
 #: Speculative methods the cluster grid is evaluated for.
 CLUSTER_METHODS = ("spec(8,1)", "specasr-asp")
+
+
+def _point_key(devices: int, router: str, split: str, device_spec: str) -> str:
+    """Stable grid-entry key; legacy points keep their PR-3 names."""
+    key = f"{devices}x-{router}"
+    if split != "fixed":
+        key += f"-{split}"
+    if device_spec:
+        key += f"-hetero[{device_spec}]"
+    return key
+
+
+def _point_config(
+    base: ServeSimConfig, devices: int, router: str, split: str, device_spec: str
+) -> ServeSimConfig:
+    return replace(
+        base,
+        devices=devices,
+        router=router,
+        pool_split=split,
+        device_spec=device_spec,
+    )
 
 
 def _base_config(args, num_requests: int) -> ServeSimConfig:
@@ -90,7 +124,6 @@ def _check_determinism(config: ServeSimConfig) -> None:
     and decode times; batched twice: identical completion latencies."""
     from repro.harness.runner import load_split
     from repro.serving import ContinuousBatchScheduler, make_trace
-    from repro.serving.router import ClusterConfig
 
     decoder = build_decoder(config)
     serial = replace(config, max_batch=1, max_inflight=1)
@@ -108,17 +141,17 @@ def _check_determinism(config: ServeSimConfig) -> None:
             "determinism contract violated"
         )
     # Cluster contract, per request: same trace, any device count, any
-    # router policy — bit-identical transcripts and decode times.
+    # device spec, any split policy, any router policy — bit-identical
+    # transcripts and decode times.
     dataset = load_split(config.split, config.experiment_config())
     trace = make_trace(
         config.arrival, config.num_requests, config.qps, len(dataset), config.seed
     )
     reference = None
-    for devices, router in CLUSTER_POINTS:
+    for devices, router, split, device_spec in CLUSTER_POINTS:
+        point = _point_config(config, devices, router, split, device_spec)
         scheduler = ContinuousBatchScheduler(
-            decoder,
-            config.scheduler_config(),
-            ClusterConfig(devices=devices, router=router),
+            decoder, config.scheduler_config(), point.cluster_config()
         )
         records = scheduler.run(trace, dataset)
         outputs = [(r.tokens, r.decode_ms) for r in records]
@@ -126,7 +159,8 @@ def _check_determinism(config: ServeSimConfig) -> None:
             reference = outputs
         elif outputs != reference:
             raise AssertionError(
-                f"transcripts or decode times changed on {devices}x {router} "
+                "transcripts or decode times changed on "
+                f"{_point_key(devices, router, split, device_spec)} "
                 "— cluster determinism contract violated"
             )
 
@@ -141,20 +175,22 @@ def _cluster_entry(
     """
     decoder = build_decoder(replace(_base_config(args, num_requests), method=method))
     grid = {}
-    for devices, router in CLUSTER_POINTS:
-        if (devices, router) == (1, "colocated") and colocated_1x is not None:
-            grid["1x-colocated"] = colocated_1x
+    for devices, router, split, device_spec in CLUSTER_POINTS:
+        key = _point_key(devices, router, split, device_spec)
+        if key == "1x-colocated" and colocated_1x is not None:
+            grid[key] = colocated_1x
             continue
-        config = replace(
-            _base_config(args, num_requests),
-            method=method,
-            devices=devices,
-            router=router,
+        config = _point_config(
+            replace(_base_config(args, num_requests), method=method),
+            devices,
+            router,
+            split,
+            device_spec,
         )
         max_qps, _ = max_sustainable_qps(
             config, target_ratio=args.slo_target, decoder=decoder
         )
-        grid[f"{devices}x-{router}"] = round(max_qps, 3)
+        grid[key] = round(max_qps, 3)
     return grid
 
 
@@ -237,9 +273,11 @@ def run_bench(args) -> dict:
 
 #: Cluster points probed by the smoke guard, for one speculative method.
 SMOKE_CLUSTER_POINTS = (
-    (1, "colocated"),
-    (2, "colocated"),
-    (2, "disaggregated"),
+    (1, "colocated", "fixed", ""),
+    (2, "colocated", "fixed", ""),
+    (2, "disaggregated", "fixed", ""),
+    (4, "disaggregated", "fixed", ""),
+    (4, "disaggregated", "balanced", ""),
 )
 SMOKE_CLUSTER_METHOD = "specasr-asp"
 
@@ -263,19 +301,20 @@ def _smoke_measure(args) -> dict:
         entries[method] = round(max_qps, 3)
         simulated += args.smoke_requests * len(probes)
         if method == SMOKE_CLUSTER_METHOD:
-            for devices, router in SMOKE_CLUSTER_POINTS:
-                if (devices, router) == (1, "colocated"):
+            for devices, router, split, device_spec in SMOKE_CLUSTER_POINTS:
+                key = _point_key(devices, router, split, device_spec)
+                if key == "1x-colocated":
                     # identical to the search just done for entries[method]
-                    cluster["1x-colocated"] = entries[method]
+                    cluster[key] = entries[method]
                     continue
-                point = replace(config, devices=devices, router=router)
+                point = _point_config(config, devices, router, split, device_spec)
                 point_qps, point_probes = max_sustainable_qps(
                     point,
                     target_ratio=args.slo_target,
                     refine_steps=3,
                     decoder=decoder,
                 )
-                cluster[f"{devices}x-{router}"] = round(point_qps, 3)
+                cluster[key] = round(point_qps, 3)
                 simulated += args.smoke_requests * len(point_probes)
     wall_s = time.perf_counter() - start
     return {
@@ -312,15 +351,21 @@ def run_smoke(args) -> int:
         return 1
 
     # Multi-device guard: sharding across 2 devices must retain (almost)
-    # single-device capacity, and draft/target disaggregation must not fall
-    # behind colocated sharding at equal device count.
+    # single-device capacity, draft/target disaggregation must not fall
+    # behind colocated sharding at equal device count, and the workload-
+    # aware balanced split must sustain at least the fixed K//2 split on a
+    # homogeneous 4-device cluster.
     cluster = smoke["cluster_max_sustainable_qps"][SMOKE_CLUSTER_METHOD]
     coloc1 = cluster["1x-colocated"]
     coloc2 = cluster["2x-colocated"]
     disagg2 = cluster["2x-disaggregated"]
+    disagg4_fixed = cluster["4x-disaggregated"]
+    disagg4_balanced = cluster["4x-disaggregated-balanced"]
     print(
         f"cluster [{SMOKE_CLUSTER_METHOD}]: 1x colocated {coloc1} qps, "
-        f"2x colocated {coloc2} qps, 2x disaggregated {disagg2} qps"
+        f"2x colocated {coloc2} qps, 2x disaggregated {disagg2} qps, "
+        f"4x disaggregated fixed {disagg4_fixed} / balanced "
+        f"{disagg4_balanced} qps"
     )
     if coloc2 < 0.9 * coloc1:
         print(
@@ -333,6 +378,13 @@ def run_smoke(args) -> int:
         print(
             f"FAIL: disaggregated serving ({disagg2}) no longer matches "
             f"colocated sharding ({coloc2}) at 2 devices",
+            file=sys.stderr,
+        )
+        return 1
+    if disagg4_balanced < disagg4_fixed:
+        print(
+            f"FAIL: balanced pool split ({disagg4_balanced}) fell behind "
+            f"the fixed K//2 split ({disagg4_fixed}) at 4 devices",
             file=sys.stderr,
         )
         return 1
