@@ -171,6 +171,56 @@ def _build_parser() -> argparse.ArgumentParser:
         "measured draft:verify cost ratio and device speeds",
     )
     serve_parser.add_argument(
+        "--faults",
+        default="",
+        help="inject a deterministic fault plan, ';'-separated events: "
+        "crash@T:devI[:restart=MS], stall@T+D:devI, slow[@T+D]:devI:xF, "
+        "perr:RATE (see repro.serving.faults)",
+    )
+    serve_parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed of the transient phase-error hash in --faults",
+    )
+    serve_parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=3,
+        help="per-phase failure budget before a request is shed",
+    )
+    serve_parser.add_argument(
+        "--retry-backoff-ms",
+        type=float,
+        default=25.0,
+        help="base of the exponential retry backoff",
+    )
+    serve_parser.add_argument(
+        "--straggler-k",
+        type=float,
+        default=0.0,
+        help="re-issue a running phase whose projected completion exceeds "
+        "k x its pool median on the fastest idle peer (0 = off)",
+    )
+    serve_parser.add_argument(
+        "--admission-deadline-ms",
+        type=float,
+        default=None,
+        help="shed interactive requests already older than this at admission",
+    )
+    serve_parser.add_argument(
+        "--batch-deadline-ms",
+        type=float,
+        default=None,
+        help="SLO deadline and admission shed bound for batch-class requests",
+    )
+    serve_parser.add_argument(
+        "--batch-fraction",
+        type=float,
+        default=0.0,
+        help="fraction of synthetic arrivals tagged batch-class (seeded)",
+    )
+    serve_parser.add_argument(
         "--no-max-qps", action="store_true", help="skip the max-sustainable-QPS search"
     )
     serve_parser.add_argument(
@@ -259,13 +309,28 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         router=args.router,
         pool_split=args.split,
         device_spec=args.device_spec,
+        faults=args.faults,
+        fault_seed=args.fault_seed,
+        max_retries=args.max_retries,
+        retry_backoff_ms=args.retry_backoff_ms,
+        straggler_k=args.straggler_k,
+        admission_deadline_ms=args.admission_deadline_ms,
+        batch_deadline_ms=args.batch_deadline_ms,
+        batch_fraction=args.batch_fraction,
     )
     try:
         # Cross-argument validation (e.g. disaggregation needs >= 2 devices,
-        # max_inflight >= max_batch) — fail with a clean message, not a
-        # traceback.
+        # max_inflight >= max_batch, fault events naming absent devices) —
+        # fail with a clean message, not a traceback.
         config.scheduler_config()
-        config.cluster_config()
+        cluster = config.cluster_config()
+        plan = config.fault_plan()
+        if plan is not None:
+            plan.validate_for(cluster.devices)
+        if not 0.0 <= args.batch_fraction <= 1.0:
+            raise ValueError(
+                f"batch_fraction must be in [0, 1], got {args.batch_fraction}"
+            )
     except ValueError as error:
         raise SystemExit(f"specasr serve-sim: error: {error}") from None
     trace = load_trace(args.trace) if args.trace else None

@@ -8,6 +8,13 @@ simulated accelerator cluster (colocated sharding, draft/target
 disaggregation, or merged cross-request verification), and the report
 answers the deployment question: how much traffic does each decoding method
 sustain at a fixed latency SLO, on how many devices?
+
+A seeded :class:`~repro.serving.faults.FaultPlan` injects chaos — device
+crashes with warm restarts, stall windows, straggler slowdowns, transient
+phase errors — and the scheduler recovers deterministically: failed phases
+requeue with bounded exponential backoff, pools re-plan on membership
+change, stragglers are duplicated first-finisher-wins, and overload sheds
+work by priority class instead of blowing every SLO at once.
 """
 
 from repro.serving.arrivals import (
@@ -27,14 +34,30 @@ from repro.serving.devices import (
     make_devices,
     parse_device_specs,
 )
+from repro.serving.faults import (
+    DeviceCrash,
+    DeviceFaultProfile,
+    DeviceSlowdown,
+    DeviceStall,
+    FaultPlan,
+    PhaseErrorRate,
+    RetryPolicy,
+    format_fault_plan,
+    parse_fault_spec,
+)
 from repro.serving.queue import AdmissionQueue
 from repro.serving.report import ServeReport
 from repro.serving.request import (
+    PRIORITY_BATCH,
+    PRIORITY_CLASSES,
+    PRIORITY_INTERACTIVE,
     STATUS_COMPLETED,
     STATUS_PENDING,
     STATUS_REJECTED,
+    STATUS_SHED,
     RequestRecord,
     ServeRequest,
+    priority_rank,
 )
 from repro.serving.router import (
     ROUTER_COLOCATED,
@@ -70,20 +93,31 @@ __all__ = [
     "ClusterConfig",
     "ContinuousBatchScheduler",
     "Device",
+    "DeviceCrash",
+    "DeviceFaultProfile",
+    "DeviceSlowdown",
     "DeviceSpec",
+    "DeviceStall",
+    "FaultPlan",
     "MODEL_SWITCH_COST",
+    "PRIORITY_BATCH",
+    "PRIORITY_CLASSES",
+    "PRIORITY_INTERACTIVE",
+    "PhaseErrorRate",
     "ROUTER_COLOCATED",
     "ROUTER_DISAGGREGATED",
     "ROUTER_MERGED",
     "ROUTER_POLICIES",
     "ROUTER_REGISTRY",
     "RequestRecord",
+    "RetryPolicy",
     "SPLIT_BALANCED",
     "SPLIT_FIXED",
     "SPLIT_POLICIES",
     "STATUS_COMPLETED",
     "STATUS_PENDING",
     "STATUS_REJECTED",
+    "STATUS_SHED",
     "ScheduleStats",
     "SchedulerConfig",
     "ServeReport",
@@ -92,6 +126,7 @@ __all__ = [
     "build_decoder",
     "build_router",
     "format_device_specs",
+    "format_fault_plan",
     "load_trace",
     "make_devices",
     "make_trace",
@@ -100,8 +135,10 @@ __all__ = [
     "normalize_router",
     "offered_qps",
     "parse_device_specs",
+    "parse_fault_spec",
     "plan_pool_split",
     "poisson_trace",
+    "priority_rank",
     "save_trace",
     "simulate",
     "sweep_qps",

@@ -18,22 +18,33 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
+from repro.serving.request import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    priority_rank,
+)
 from repro.utils.rng import RngStream
 
 
 @dataclass(frozen=True)
 class Arrival:
-    """One request arrival: who arrives when, and which utterance it wants."""
+    """One request arrival: who arrives when, and which utterance it wants.
+
+    ``priority`` tags the request's SLO class (``interactive`` by default;
+    ``batch`` for throughput-oriented offline transcription jobs).
+    """
 
     index: int
     utterance_index: int
     arrival_ms: float
+    priority: str = PRIORITY_INTERACTIVE
 
     def __post_init__(self) -> None:
         if self.arrival_ms < 0:
             raise ValueError(f"arrival {self.index}: negative arrival time")
         if self.utterance_index < 0:
             raise ValueError(f"arrival {self.index}: negative utterance index")
+        priority_rank(self.priority)  # validates the class name
 
 
 def _assign_utterances(rng: RngStream, count: int, dataset_size: int) -> list[int]:
@@ -42,8 +53,30 @@ def _assign_utterances(rng: RngStream, count: int, dataset_size: int) -> list[in
     return [rng.integers(0, dataset_size) for _ in range(count)]
 
 
+def _assign_priorities(seed: int, count: int, batch_fraction: float) -> list[str]:
+    """Seeded per-arrival class draw (``batch`` with prob ``batch_fraction``).
+
+    Drawn from its own stream scope, so enabling a class mix never perturbs
+    the gap/utterance draws of existing traces (and ``batch_fraction=0``
+    reproduces the legacy all-interactive trace bit-identically).
+    """
+    if not 0.0 <= batch_fraction <= 1.0:
+        raise ValueError(f"batch_fraction must be in [0, 1], got {batch_fraction}")
+    if batch_fraction == 0.0:
+        return [PRIORITY_INTERACTIVE] * count
+    classes = RngStream(seed, "serve-arrivals", "classes")
+    return [
+        PRIORITY_BATCH if classes.uniform() < batch_fraction else PRIORITY_INTERACTIVE
+        for _ in range(count)
+    ]
+
+
 def poisson_trace(
-    num_requests: int, qps: float, dataset_size: int, seed: int = 0
+    num_requests: int,
+    qps: float,
+    dataset_size: int,
+    seed: int = 0,
+    batch_fraction: float = 0.0,
 ) -> list[Arrival]:
     """Open-loop Poisson arrivals at ``qps`` requests/second.
 
@@ -59,16 +92,23 @@ def poisson_trace(
     utterances = _assign_utterances(
         RngStream(seed, "serve-arrivals", "utterances"), num_requests, dataset_size
     )
+    priorities = _assign_priorities(seed, num_requests, batch_fraction)
     arrivals = []
     now = 0.0
     for index in range(num_requests):
         now += gaps.numpy.exponential(mean_gap_ms)
-        arrivals.append(Arrival(index, utterances[index], float(now)))
+        arrivals.append(
+            Arrival(index, utterances[index], float(now), priorities[index])
+        )
     return arrivals
 
 
 def uniform_trace(
-    num_requests: int, qps: float, dataset_size: int, seed: int = 0
+    num_requests: int,
+    qps: float,
+    dataset_size: int,
+    seed: int = 0,
+    batch_fraction: float = 0.0,
 ) -> list[Arrival]:
     """Evenly paced arrivals at ``qps`` requests/second (a paced load test)."""
     if num_requests < 1:
@@ -79,20 +119,26 @@ def uniform_trace(
     utterances = _assign_utterances(
         RngStream(seed, "serve-arrivals", "utterances"), num_requests, dataset_size
     )
+    priorities = _assign_priorities(seed, num_requests, batch_fraction)
     return [
-        Arrival(index, utterances[index], gap_ms * (index + 1))
+        Arrival(index, utterances[index], gap_ms * (index + 1), priorities[index])
         for index in range(num_requests)
     ]
 
 
 def make_trace(
-    kind: str, num_requests: int, qps: float, dataset_size: int, seed: int = 0
+    kind: str,
+    num_requests: int,
+    qps: float,
+    dataset_size: int,
+    seed: int = 0,
+    batch_fraction: float = 0.0,
 ) -> list[Arrival]:
     """Build a trace by kind name (``poisson`` or ``uniform``)."""
     if kind == "poisson":
-        return poisson_trace(num_requests, qps, dataset_size, seed)
+        return poisson_trace(num_requests, qps, dataset_size, seed, batch_fraction)
     if kind == "uniform":
-        return uniform_trace(num_requests, qps, dataset_size, seed)
+        return uniform_trace(num_requests, qps, dataset_size, seed, batch_fraction)
     raise ValueError(f"unknown arrival kind {kind!r}; use 'poisson' or 'uniform'")
 
 
@@ -114,6 +160,7 @@ def save_trace(trace: Sequence[Arrival], path: str | Path) -> Path:
             "index": a.index,
             "utterance_index": a.utterance_index,
             "arrival_ms": a.arrival_ms,
+            "priority": a.priority,
         }
         for a in trace
     ]
@@ -129,6 +176,7 @@ def load_trace(path: str | Path) -> list[Arrival]:
             int(entry["index"]),
             int(entry["utterance_index"]),
             float(entry["arrival_ms"]),
+            str(entry.get("priority", PRIORITY_INTERACTIVE)),
         )
         for entry in entries
     ]

@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.decoding.base import PHASE_VERIFY, PhaseOutcome
+from repro.serving.faults import HEALTHY_PROFILE, DeviceFaultProfile
 
 #: Fractional busy-time inflation per *extra* resident model a micro-batch
 #: touches.  Calibrated to the memory-bound regime: re-streaming the other
@@ -105,7 +106,10 @@ def parse_device_specs(text: str) -> tuple[DeviceSpec, ...]:
     for item in text.split(","):
         item = item.strip()
         if not item:
-            raise ValueError(f"empty device group in spec {text!r}")
+            raise ValueError(
+                f"empty device group in spec {text!r}; every comma-separated "
+                "segment must be COUNTxSPEED (e.g. 2x1.0) or a bare SPEED"
+            )
         count_text, sep, speed_text = item.partition("x")
         if not sep:
             count_text, speed_text = "1", item
@@ -118,7 +122,10 @@ def parse_device_specs(text: str) -> tuple[DeviceSpec, ...]:
                 "COUNTxSPEED (e.g. 2x1.0) or a bare SPEED"
             ) from None
         if count < 1:
-            raise ValueError(f"device group {item!r} must have count >= 1")
+            raise ValueError(
+                f"device group {item!r} in spec {text!r} asks for {count} "
+                "device(s); each COUNTxSPEED group needs a count >= 1"
+            )
         specs.extend(DeviceSpec(speed=speed) for _ in range(count))
     return tuple(specs)
 
@@ -141,7 +148,17 @@ def format_device_specs(specs: Sequence[DeviceSpec]) -> str:
 
 
 class Device:
-    """One simulated accelerator with its own busy timeline."""
+    """One simulated accelerator with its own busy timeline.
+
+    A :class:`~repro.serving.faults.DeviceFaultProfile` (attached via
+    :meth:`set_fault_profile`; the default is healthy) folds injected
+    faults into the timeline math: :meth:`available` gates new dispatches
+    during crashes and stall windows, :meth:`effective_speed` applies
+    straggler slowdown windows (batches are priced at their *start* time's
+    effective speed), and :meth:`execute` can abort a batch mid-flight at a
+    crash — the device stays busy up to the crash (wasted work, tracked in
+    ``wasted_ms``) and the phases never commit.
+    """
 
     __slots__ = (
         "device_id",
@@ -153,6 +170,9 @@ class Device:
         "busy_ms",
         "batches",
         "phases",
+        "faults",
+        "wasted_ms",
+        "aborted_batches",
     )
 
     def __init__(
@@ -177,9 +197,32 @@ class Device:
         self.busy_ms = 0.0  # total occupancy
         self.batches = 0  # device iterations executed
         self.phases = 0  # phases executed (sum of batch sizes)
+        self.faults: DeviceFaultProfile = HEALTHY_PROFILE
+        self.wasted_ms = 0.0  # occupancy billed to crash-aborted batches
+        self.aborted_batches = 0
+
+    # -- fault-plan timeline -----------------------------------------------
+    def set_fault_profile(self, profile: DeviceFaultProfile) -> None:
+        """Attach this device's slice of the run's fault plan."""
+        self.faults = profile
+
+    def is_dead(self, at_ms: float) -> bool:
+        """Crashed and not yet warm-restarted at ``at_ms``."""
+        return self.faults.is_dead(at_ms)
+
+    def available(self, at_ms: float) -> bool:
+        """Can the device start new work at ``at_ms``? (not dead/stalled)"""
+        return self.faults.available(at_ms)
+
+    def effective_speed(self, at_ms: float) -> float:
+        """Speed after slowdown windows active at ``at_ms``."""
+        return self.speed * self.faults.speed_factor(at_ms)
 
     def batch_busy_ms(
-        self, phases: Sequence[PhaseOutcome], merge_verify: bool = False
+        self,
+        phases: Sequence[PhaseOutcome],
+        merge_verify: bool = False,
+        at_ms: float | None = None,
     ) -> float:
         """Device time one micro-batch of phases occupies.
 
@@ -190,7 +233,9 @@ class Device:
         verify group into a single batched target pass (overlap 1: busy is
         the critical path).  The whole bill scales by ``1 / speed`` — the
         cost model is linear in the per-phase costs, so a half-speed part
-        takes exactly twice the device time for any batch.
+        takes exactly twice the device time for any batch.  With ``at_ms``
+        the bill uses the *effective* speed at that instant, so slowdown
+        (straggler) windows inflate batches started inside them.
         """
         groups: dict[tuple[str, str], list[float]] = {}
         for outcome in phases:
@@ -204,25 +249,41 @@ class Device:
         models = len({model for model, _kind in groups})
         if models > 1:
             busy *= 1.0 + self.switch_cost * (models - 1)
-        return busy / self.speed
+        speed = self.speed if at_ms is None else self.effective_speed(at_ms)
+        return busy / speed
 
     def execute(
         self,
         start_ms: float,
         phases: Sequence[PhaseOutcome],
         merge_verify: bool = False,
+        abort_ms: float | None = None,
     ) -> float:
         """Run a micro-batch starting no earlier than ``start_ms``.
 
-        Returns the completion time and advances the busy timeline.
+        Returns the completion time and advances the busy timeline.  With
+        ``abort_ms`` (a crash inside the batch's span) the batch ends there
+        instead: the partial occupancy is billed — and also counted in
+        ``wasted_ms``, since the phases never commit — and the caller is
+        responsible for requeueing the aborted phases.
         """
         if not phases:
             raise ValueError("cannot execute an empty batch")
         start = max(start_ms, self.free_at)
-        busy = self.batch_busy_ms(phases, merge_verify)
+        busy = self.batch_busy_ms(phases, merge_verify, at_ms=start)
         end = start + busy
+        if abort_ms is not None:
+            if abort_ms < start:
+                raise ValueError(
+                    f"abort at {abort_ms} precedes batch start {start} on "
+                    f"{self.device_id}"
+                )
+            if abort_ms < end:
+                end = abort_ms
+                self.wasted_ms += end - start
+                self.aborted_batches += 1
         self.free_at = end
-        self.busy_ms += busy
+        self.busy_ms += end - start
         self.batches += 1
         self.phases += len(phases)
         return end

@@ -2,9 +2,11 @@
 
 Collapses the per-request timelines of one scheduler run into the quantities
 a capacity planner asks for: client-latency percentiles (completion and
-time-to-first-token), goodput under a deadline, rejection rate, and device
-utilisation.  ``max_sustainable_qps`` is attached by the simulator's load
-search (:func:`repro.serving.simulator.max_sustainable_qps`).
+time-to-first-token), goodput under a deadline, rejection/shed rates,
+per-priority-class goodput, device utilisation, and — when a fault plan was
+injected — the chaos accounting (retries, requeues, preemptions, wasted
+work, time in degraded state).  ``max_sustainable_qps`` is attached by the
+simulator's load search (:func:`repro.serving.simulator.max_sustainable_qps`).
 """
 
 from __future__ import annotations
@@ -14,7 +16,14 @@ from typing import Sequence
 
 from repro.metrics.latency_report import PercentileSummary
 from repro.serving.devices import DeviceSpec, format_device_specs
-from repro.serving.request import STATUS_COMPLETED, STATUS_REJECTED, RequestRecord
+from repro.serving.request import (
+    PRIORITY_BATCH,
+    PRIORITY_CLASSES,
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    RequestRecord,
+)
 from repro.serving.scheduler import ScheduleStats
 
 
@@ -37,6 +46,9 @@ class ServeReport:
     decode: PercentileSummary | None  # scheduler-independent model time
     stats: ScheduleStats
     max_sustainable_qps: float | None = None
+    shed: int = 0  # dropped by the server (deadline / retries / capacity)
+    batch_deadline_ms: float | None = None  # batch-class SLO (None = shared)
+    per_class: dict | None = None  # per-priority-class goodput breakdown
 
     @classmethod
     def from_records(
@@ -46,10 +58,46 @@ class ServeReport:
         stats: ScheduleStats,
         deadline_ms: float,
         offered_qps: float,
+        batch_deadline_ms: float | None = None,
     ) -> "ServeReport":
         completed = [r for r in records if r.status == STATUS_COMPLETED]
         rejected = sum(1 for r in records if r.status == STATUS_REJECTED)
-        met = [r for r in completed if r.meets_deadline(deadline_ms)]
+        shed = sum(1 for r in records if r.status == STATUS_SHED)
+
+        def met_slo(record: RequestRecord) -> bool:
+            # Batch-class requests are judged against their own (usually
+            # looser) deadline when one is configured.
+            if (
+                record.request.priority == PRIORITY_BATCH
+                and batch_deadline_ms is not None
+            ):
+                return record.meets_deadline(batch_deadline_ms)
+            return record.meets_deadline(deadline_ms)
+
+        met = [r for r in completed if met_slo(r)]
+        per_class: dict[str, dict] = {}
+        for class_name in PRIORITY_CLASSES:
+            class_records = [
+                r for r in records if r.request.priority == class_name
+            ]
+            if not class_records:
+                continue
+            class_completed = [
+                r for r in class_records if r.status == STATUS_COMPLETED
+            ]
+            class_met = [r for r in class_completed if met_slo(r)]
+            per_class[class_name] = {
+                "arrived": len(class_records),
+                "completed": len(class_completed),
+                "rejected": sum(
+                    1 for r in class_records if r.status == STATUS_REJECTED
+                ),
+                "shed": sum(1 for r in class_records if r.status == STATUS_SHED),
+                "met_deadline": len(class_met),
+                "goodput_ratio": (
+                    round(len(class_met) / len(class_records), 4)
+                ),
+            }
         span_s = stats.sim_end_ms / 1000.0
         return cls(
             method=method,
@@ -68,7 +116,40 @@ class ServeReport:
             queue_wait=PercentileSummary.from_values(r.queue_ms for r in completed),
             decode=PercentileSummary.from_values(r.decode_ms for r in completed),
             stats=stats,
+            shed=shed,
+            batch_deadline_ms=batch_deadline_ms,
+            per_class=per_class,
         )
+
+    @property
+    def chaos_active(self) -> bool:
+        """True when the run saw faults or degradation events worth showing."""
+        stats = self.stats
+        return bool(
+            stats.fault_events
+            or stats.retries
+            or stats.requeues
+            or stats.preemptions
+            or stats.duplicates
+            or stats.displaced
+            or self.shed
+        )
+
+    def chaos_dict(self) -> dict:
+        """The failure/degradation accounting block of :meth:`to_dict`."""
+        stats = self.stats
+        return {
+            "fault_events": stats.fault_events,
+            "retries": stats.retries,
+            "requeues": stats.requeues,
+            "preemptions": stats.preemptions,
+            "shed": self.shed,
+            "duplicates": stats.duplicates,
+            "cancelled": stats.cancelled,
+            "displaced": stats.displaced,
+            "degraded_ms": round(stats.degraded_ms, 3),
+            "wasted_busy_ms": round(stats.wasted_busy_ms, 3),
+        }
 
     def with_max_qps(self, max_qps: float) -> "ServeReport":
         """A copy carrying the load search's max sustainable QPS."""
@@ -109,6 +190,7 @@ class ServeReport:
             "num_requests": self.num_requests,
             "completed": self.completed,
             "rejected": self.rejected,
+            "shed": self.shed,
             "met_deadline": self.met_deadline,
             "goodput_rps": round(self.goodput_rps, 3),
             "goodput_ratio": round(self.goodput_ratio, 4),
@@ -133,6 +215,12 @@ class ServeReport:
                 "decode": self.decode.to_dict() if self.decode else None,
             },
         }
+        if self.batch_deadline_ms is not None:
+            payload["batch_deadline_ms"] = self.batch_deadline_ms
+        if self.per_class and len(self.per_class) > 1:
+            payload["per_class"] = self.per_class
+        if self.chaos_active:
+            payload["chaos"] = self.chaos_dict()
         if self.max_sustainable_qps is not None:
             payload["max_sustainable_qps"] = round(self.max_sustainable_qps, 3)
         return payload
@@ -153,7 +241,8 @@ class ServeReport:
             f"offered {self.offered_qps:.2f} qps, "
             f"SLO deadline {self.deadline_ms:.0f} ms",
             f"  requests  : {self.num_requests} "
-            f"(completed {self.completed}, rejected {self.rejected})",
+            f"(completed {self.completed}, rejected {self.rejected}, "
+            f"shed {self.shed})",
             f"  goodput   : {self.goodput_rps:.2f} req/s within deadline "
             f"({self.goodput_ratio:.1%} of offered)",
             f"  cluster   : {self.cluster_label()}, "
@@ -166,6 +255,25 @@ class ServeReport:
                 f"  planner   : measured draft share "
                 f"{self.stats.draft_share:.1%} of decode cost"
             )
+        if self.chaos_active:
+            stats = self.stats
+            lines.append(
+                f"  chaos     : {stats.fault_events} fault event(s), "
+                f"{stats.retries} retries, {stats.requeues} requeues, "
+                f"{self.shed} shed, {stats.preemptions} preemptions"
+            )
+            lines.append(
+                f"  degraded  : {stats.degraded_ms:.0f} ms with impaired "
+                f"capacity, {stats.wasted_busy_ms:.1f} ms wasted on aborted "
+                f"batches, {stats.duplicates} straggler re-issue(s)"
+            )
+        if self.per_class and len(self.per_class) > 1:
+            for class_name, row in self.per_class.items():
+                lines.append(
+                    f"  class     : {class_name:11s} arrived {row['arrived']:4d} "
+                    f"met {row['met_deadline']:4d} "
+                    f"({row['goodput_ratio']:.1%} goodput)"
+                )
         for row in self.per_device_rows():
             lines.append(
                 f"    {row['device']:6s} speed {row['speed']:<4g} "

@@ -15,6 +15,19 @@ Two latency notions coexist and must not be conflated:
 * **completion_ms / ttft_ms** — wall latency experienced by the client,
   including queueing and time spent sharing the device with other requests.
   This is what the scheduler shapes and what SLOs are written against.
+
+Requests carry a **priority class**: ``interactive`` traffic (the default —
+live captioning, voice assistants) outranks ``batch`` transcription jobs in
+admission and dispatch order, and under pressure the scheduler preempts
+waiting batch sessions to make room for interactive arrivals.
+
+Beyond completion and queue rejection, a request can end **shed**: dropped
+by the server itself, either because its SLO was already unreachable when a
+slot opened (``"deadline"``), because a phase exhausted its bounded retries
+on a faulty cluster (``"retries"``), or because no device could ever serve
+it after a permanent capacity loss (``"capacity"``).  The conservation
+invariant the property suite enforces is
+``completed + rejected + shed == arrived``.
 """
 
 from __future__ import annotations
@@ -27,6 +40,28 @@ from repro.data.corpus import Utterance
 STATUS_PENDING = "pending"
 STATUS_REJECTED = "rejected"  # bounced by admission-queue backpressure
 STATUS_COMPLETED = "completed"
+STATUS_SHED = "shed"  # dropped by the server (deadline / retries / capacity)
+
+#: Priority classes, highest first.
+PRIORITY_INTERACTIVE = "interactive"
+PRIORITY_BATCH = "batch"
+PRIORITY_CLASSES = (PRIORITY_INTERACTIVE, PRIORITY_BATCH)
+
+#: Shed reasons recorded on :attr:`RequestRecord.shed_reason`.
+SHED_DEADLINE = "deadline"  # SLO already unreachable at admission
+SHED_RETRIES = "retries"  # a phase exhausted its bounded retries
+SHED_CAPACITY = "capacity"  # no device can ever serve the request
+
+
+def priority_rank(priority: str) -> int:
+    """Dispatch/admission ordering key: lower ranks first."""
+    try:
+        return PRIORITY_CLASSES.index(priority)
+    except ValueError:
+        raise ValueError(
+            f"unknown priority class {priority!r}; "
+            f"use one of {', '.join(PRIORITY_CLASSES)}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -37,10 +72,12 @@ class ServeRequest:
     index: int  # arrival sequence number (ties broken by this)
     utterance: Utterance
     arrival_ms: float
+    priority: str = PRIORITY_INTERACTIVE
 
     def __post_init__(self) -> None:
         if self.arrival_ms < 0:
             raise ValueError(f"{self.request_id}: negative arrival time")
+        priority_rank(self.priority)  # validates
 
 
 @dataclass
@@ -55,6 +92,12 @@ class RequestRecord:
     tokens: list[int] = field(default_factory=list)
     decode_ms: float = 0.0  # own simulated model time (SimClock total)
     rounds: int = 0  # scheduler steps this request consumed
+
+    # -- chaos accounting (failure-aware scheduling) -----------------------
+    retries: int = 0  # failed phase executions (crash aborts + transients)
+    requeues: int = 0  # phases returned to the waiting state after failure
+    preemptions: int = 0  # times this (batch) session was bumped from a slot
+    shed_reason: str | None = None  # deadline | retries | capacity
 
     # -- derived latencies (client-observed, scheduler-dependent) ----------
     @property

@@ -211,16 +211,44 @@ class ColocatedRouter:
         if not devices:
             raise ValueError("router needs at least one device")
         self.devices = devices
+        self._members = list(devices)
+        self._available: set[int] | None = None
 
-    def plan_round(self, now_ms: float) -> None:
-        """Per-dispatch hook; static sharding keeps no round state."""
+    def plan_round(
+        self,
+        now_ms: float,
+        available: Sequence[int] | None = None,
+        speeds: dict[int, float] | None = None,
+    ) -> None:
+        """Record which devices may take work this round (None = all)."""
+        self._available = None if available is None else set(available)
 
-    def route(self, request_index: int, phase: PhaseOutcome) -> Device:
-        return self.devices[request_index % len(self.devices)]
+    def route(self, request_index: int, phase: PhaseOutcome) -> Device | None:
+        """Home device of the request, or None while it is unavailable."""
+        if not self._members:
+            return None
+        device = self._members[request_index % len(self._members)]
+        if self._available is not None and device.index not in self._available:
+            return None
+        return device
+
+    def on_membership_change(self, alive_indices: Sequence[int]) -> None:
+        """Re-shard over the surviving devices after a crash or restart."""
+        alive = set(alive_indices)
+        self._members = [d for d in self.devices if d.index in alive]
+
+    def pool_devices(self, phase: PhaseOutcome) -> list[Device]:
+        """Devices eligible for ``phase`` this round (straggler peers)."""
+        if self._available is None:
+            return list(self._members)
+        return [d for d in self._members if d.index in self._available]
 
     def device_roles(self) -> tuple[str, ...]:
         """Per-device pool membership, index order (for reports)."""
-        return ("any",) * len(self.devices)
+        member_ids = {d.index for d in self._members}
+        return tuple(
+            "any" if d.index in member_ids else "down" for d in self.devices
+        )
 
 
 class DisaggregatedRouter:
@@ -237,38 +265,101 @@ class DisaggregatedRouter:
     ) -> None:
         if len(devices) < 2:
             raise ValueError("disaggregation needs at least 2 devices")
-        if split == SPLIT_FIXED:
-            # Verify is the heavier side (the target model is the big
-            # one), so an odd device goes to the target pool.
-            cut = len(devices) // 2
-            draft_ids = tuple(range(cut))
-            target_ids = tuple(range(cut, len(devices)))
-        elif split == SPLIT_BALANCED:
-            share = DEFAULT_DRAFT_SHARE if draft_share is None else draft_share
-            draft_ids, target_ids = plan_pool_split(
-                [device.speed for device in devices], share
-            )
-        else:
+        if split not in SPLIT_POLICIES:
             raise ValueError(
                 f"unknown split policy {split!r}; use one of "
                 f"{', '.join(SPLIT_POLICIES)}"
             )
-        self.draft_pool = [devices[i] for i in draft_ids]
-        self.target_pool = [devices[i] for i in target_ids]
-        self._roles = tuple(
-            "draft" if index in draft_ids else "target"
-            for index in range(len(devices))
-        )
+        self.devices = devices
+        self._split = split
+        self._draft_share = draft_share
+        self._available: set[int] | None = None
         self._projected: dict[int, float] = {}
         self._verify_peak: dict[int, float] = {}
+        self._speeds: dict[int, float] | None = None
+        self._plan_pools(list(devices))
 
-    def plan_round(self, now_ms: float) -> None:
-        """Reset per-round load projections to the devices' free times."""
+    def _plan_pools(self, members: list[Device]) -> None:
+        """(Re)compute the draft/target pools over ``members``.
+
+        With one survivor, both pools collapse onto it (degraded colocated
+        operation); with none, both pools empty and every route waits.
+        """
+        if len(members) >= 2:
+            if self._split == SPLIT_FIXED:
+                # Verify is the heavier side (the target model is the big
+                # one), so an odd device goes to the target pool.
+                cut = len(members) // 2
+                draft_pos = tuple(range(cut))
+                target_pos = tuple(range(cut, len(members)))
+            else:
+                share = (
+                    DEFAULT_DRAFT_SHARE
+                    if self._draft_share is None
+                    else self._draft_share
+                )
+                draft_pos, target_pos = plan_pool_split(
+                    [device.speed for device in members], share
+                )
+            self.draft_pool = [members[i] for i in draft_pos]
+            self.target_pool = [members[i] for i in target_pos]
+        else:
+            self.draft_pool = list(members)
+            self.target_pool = list(members)
+        draft_ids = {d.index for d in self.draft_pool}
+        target_ids = {d.index for d in self.target_pool}
+        roles = []
+        for device in self.devices:
+            in_draft = device.index in draft_ids
+            in_target = device.index in target_ids
+            if in_draft and in_target:
+                roles.append("any")
+            elif in_draft:
+                roles.append("draft")
+            elif in_target:
+                roles.append("target")
+            else:
+                roles.append("down")
+        self._roles = tuple(roles)
+
+    def on_membership_change(self, alive_indices: Sequence[int]) -> None:
+        """Re-plan both pools over the devices now alive."""
+        alive = set(alive_indices)
+        self._plan_pools([d for d in self.devices if d.index in alive])
+
+    def plan_round(
+        self,
+        now_ms: float,
+        available: Sequence[int] | None = None,
+        speeds: dict[int, float] | None = None,
+    ) -> None:
+        """Reset per-round load projections to the devices' free times.
+
+        ``available`` restricts routing to those device indices for this
+        round (transient stalls); ``speeds`` overrides per-device speeds in
+        the projections (slowdown faults), leaving nominal speeds in place
+        when omitted so fault-free routing is bit-identical to before.
+        """
+        self._available = None if available is None else set(available)
+        self._speeds = speeds
         self._projected = {
             device.index: max(now_ms, device.free_at)
-            for device in (*self.draft_pool, *self.target_pool)
+            for device in {
+                d.index: d for d in (*self.draft_pool, *self.target_pool)
+            }.values()
         }
         self._verify_peak = {}
+
+    def _speed(self, device: Device) -> float:
+        if self._speeds is not None:
+            return self._speeds.get(device.index, device.speed)
+        return device.speed
+
+    def _eligible(self, pool: list[Device]) -> list[Device]:
+        pool = [d for d in pool if self._speed(d) > 0]
+        if self._available is None:
+            return pool
+        return [d for d in pool if d.index in self._available]
 
     def _completion(self, device: Device, cost_ms: float, coalesce: bool) -> float:
         """Projected finish time of a ``cost_ms`` phase routed to ``device``.
@@ -287,8 +378,8 @@ class DisaggregatedRouter:
         peak = self._verify_peak.get(device.index, 0.0)
         return projected - peak + max(peak, cost_ms)
 
-    def route(self, request_index: int, phase: PhaseOutcome) -> Device:
-        """Least-loaded device of the phase's pool.
+    def route(self, request_index: int, phase: PhaseOutcome) -> Device | None:
+        """Least-loaded *available* device of the phase's pool (or None).
 
         Each waiting phase goes to the pool device where it would finish
         earliest (ties: higher speed, then device index — deterministic on
@@ -296,24 +387,35 @@ class DisaggregatedRouter:
         one dispatch round spreads phases across equally-free pool devices
         instead of stacking them on a single argmin — except coalescible
         merged-verify phases, which deliberately stack (see
-        :meth:`_completion`).
+        :meth:`_completion`).  Returns None when the whole pool is dead or
+        stalled this round; the phase stays queued.
         """
-        pool = self.draft_pool if phase.phase == PHASE_DRAFT else self.target_pool
+        pool = self._eligible(
+            self.draft_pool if phase.phase == PHASE_DRAFT else self.target_pool
+        )
+        if not pool:
+            return None
         coalesce = self.merge_verify and phase.phase != PHASE_DRAFT
         device = min(
             pool,
             key=lambda d: (
-                self._completion(d, phase.ms / d.speed, coalesce),
-                -d.speed,
+                self._completion(d, phase.ms / self._speed(d), coalesce),
+                -self._speed(d),
                 d.index,
             ),
         )
-        cost = phase.ms / device.speed
+        cost = phase.ms / self._speed(device)
         self._projected[device.index] = self._completion(device, cost, coalesce)
         if coalesce:
             peak = self._verify_peak.get(device.index, 0.0)
             self._verify_peak[device.index] = max(peak, cost)
         return device
+
+    def pool_devices(self, phase: PhaseOutcome) -> list[Device]:
+        """Devices eligible for ``phase`` this round (straggler peers)."""
+        return self._eligible(
+            self.draft_pool if phase.phase == PHASE_DRAFT else self.target_pool
+        )
 
     def device_roles(self) -> tuple[str, ...]:
         """Per-device pool membership, index order (for reports)."""

@@ -11,13 +11,15 @@ iteration-level (the Orca/vLLM "continuous batching" discipline): a device
 runs one micro-batch of up to ``max_batch`` ready phases, and arrivals are
 admitted at every simulation event instead of waiting for a batch to drain.
 
-The loop is a discrete-event simulation.  Its three event sources — request
-arrivals, batch completions, and the admissions/dispatches they enable — are
-processed in deterministic order (devices by index, waiting phases FIFO by
-``(ready time, request index)``), so one arrival trace schedules identically
-on every run, for every device count, device-spec mix, split policy and
-router policy.  Under ``split="balanced"`` the scheduler first measures the
-decoder's draft:verify cost ratio on the trace's leading utterances
+The loop is a discrete-event simulation.  Its event sources — request
+arrivals, batch completions, fault-plan wake-ups (crashes, restarts, stall
+boundaries) and the admissions/dispatches they enable — are processed in
+deterministic order (devices by index, waiting phases FIFO by
+``(class rank, ready time, request index)``), so one arrival trace
+schedules identically on every run, for every device count, device-spec
+mix, split policy, router policy and fault plan.  Under
+``split="balanced"`` the scheduler first measures the decoder's
+draft:verify cost ratio on the trace's leading utterances
 (:func:`~repro.serving.router.measure_draft_share` — a pure, deterministic
 simulation) and hands it to the workload-aware pool planner.
 
@@ -28,12 +30,40 @@ serialise (a draft-model pass and a target-model pass cannot share a
 kernel).  The ``merged`` policy coalesces each verify group into a single
 batched target pass.
 
-Determinism: given one arrival trace, every quantity here is a pure function
-of the trace, the decoders and the cluster shape — no wall clock, no RNG.
-Transcripts and per-request ``decode_ms`` are additionally *scheduler-
-independent* (they depend only on the method and the utterance), which the
-determinism suite asserts across batch sizes, device counts and router
-policies.
+**Failure awareness.**  A seeded :class:`~repro.serving.faults.FaultPlan`
+threads injected chaos through the loop:
+
+* A batch on a device that **crashes** mid-flight is aborted at the crash —
+  the partial occupancy is billed as wasted work and every phase in it
+  rolls back to the waiting state.  The phase object is pure data and the
+  stepper only advances on *commit*, so a re-dispatched phase resumes the
+  decode from its last committed trie cursor: transcripts stay
+  bit-identical to the fault-free run whenever the request completes.
+* Failed phases (crash aborts and transient phase errors) **retry with
+  exponential backoff**, bounded by ``max_retries``; exhaustion sheds the
+  request (reason ``"retries"``).
+* The router's projections **exclude dead and stalled devices**, and the
+  pool planner re-plans on every membership change (crash, warm restart).
+* A **straggler detector** re-issues a running phase whose projected
+  completion exceeds ``straggler_factor`` × its pool's median on the
+  fastest idle pool peer; the first copy to finish commits and the other
+  settles as cancelled (first-finisher-wins).
+
+**Graceful degradation.**  ``interactive`` requests dispatch ahead of
+``batch`` ones and may preempt idle batch sessions for in-flight slots
+(preempted sessions re-queue with their decode state intact); per-class
+admission deadlines shed requests whose SLO is already unreachable before
+they waste device time; and when capacity is permanently gone (all pool
+devices dead with no restart pending) the remaining work is shed (reason
+``"capacity"``) instead of hanging the loop.  The conservation invariant
+``completed + rejected + shed == arrived`` always holds.
+
+Determinism: given one arrival trace, every quantity here is a pure
+function of the trace, the decoders, the cluster shape and the fault plan —
+no wall clock, no RNG.  Transcripts and per-request ``decode_ms`` are
+additionally *scheduler-independent* (they depend only on the method and
+the utterance), which the determinism suite asserts across batch sizes,
+device counts, router policies and fault plans.
 
 Run-to-completion FIFO serving — the baseline continuous batching is usually
 compared against — is the ``max_batch=1, max_inflight=1`` corner of the same
@@ -52,11 +82,19 @@ from repro.data.corpus import Dataset
 from repro.decoding.base import DecodeStepper, PhaseOutcome, begin_decode
 from repro.serving.arrivals import Arrival
 from repro.serving.devices import Device
+from repro.serving.faults import FaultPlan, RetryPolicy
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    SHED_CAPACITY,
+    SHED_DEADLINE,
+    SHED_RETRIES,
     STATUS_COMPLETED,
+    STATUS_SHED,
     RequestRecord,
     ServeRequest,
+    priority_rank,
 )
 from repro.serving.router import (
     PLANNER_SAMPLE_UTTERANCES,
@@ -76,6 +114,12 @@ class SchedulerConfig:
     max_inflight: int = 8  # concurrent decode sessions held open
     queue_capacity: int = 32  # admission queue bound (backpressure)
     overlap: float = 0.8  # batching efficiency in [0, 1]
+    # -- failure handling / degradation (defaults keep all of it off) ------
+    max_retries: int = 3  # per-phase failure budget before shedding
+    retry_backoff_ms: float = 25.0  # base of the exponential backoff
+    straggler_factor: float = 0.0  # re-issue at k x pool median; 0 = off
+    admission_deadline_ms: float | None = None  # shed interactive overdue
+    batch_deadline_ms: float | None = None  # shed batch-class overdue
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
@@ -89,6 +133,26 @@ class SchedulerConfig:
             raise ValueError(f"queue_capacity must be >= 1, got {self.queue_capacity}")
         if not 0.0 <= self.overlap <= 1.0:
             raise ValueError(f"overlap must be in [0, 1], got {self.overlap}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_ms < 0:
+            raise ValueError(
+                f"retry_backoff_ms must be >= 0, got {self.retry_backoff_ms}"
+            )
+        if self.straggler_factor != 0.0 and self.straggler_factor < 1.0:
+            raise ValueError(
+                "straggler_factor must be 0 (off) or >= 1, got "
+                f"{self.straggler_factor}"
+            )
+        for name in ("admission_deadline_ms", "batch_deadline_ms"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be > 0 when set, got {value}")
+
+    def retry_policy(self) -> RetryPolicy:
+        return RetryPolicy(
+            max_retries=self.max_retries, backoff_ms=self.retry_backoff_ms
+        )
 
 
 @dataclass(frozen=True)
@@ -98,7 +162,7 @@ class ScheduleStats:
     sim_end_ms: float  # when the last request finished
     device_busy_ms: float  # total occupancy summed over devices
     batches: int  # device iterations executed (all devices)
-    rounds: int  # phases executed (sum of batch sizes)
+    rounds: int  # phases executed (sum of batch sizes, incl. re-executions)
     peak_queue_depth: int
     rejected: int
     devices: int = 1  # cluster size
@@ -106,6 +170,17 @@ class ScheduleStats:
     device_speeds: tuple[float, ...] = ()  # relative speed per device
     device_roles: tuple[str, ...] = ()  # pool membership per device
     draft_share: float | None = None  # measured ratio fed to the planner
+    # -- chaos accounting (all zero on a fault-free run) -------------------
+    retries: int = 0  # failed phase executions (crash aborts + transients)
+    requeues: int = 0  # phases rolled back to the waiting state
+    preemptions: int = 0  # batch sessions bumped for interactive arrivals
+    shed: int = 0  # requests dropped by the server itself
+    duplicates: int = 0  # straggler re-issues dispatched
+    cancelled: int = 0  # stale copies ignored (first-finisher-wins)
+    displaced: int = 0  # queued batch entries bumped by interactive
+    degraded_ms: float = 0.0  # sim time with >= 1 device dead or stalled
+    wasted_busy_ms: float = 0.0  # occupancy billed to crash-aborted batches
+    fault_events: int = 0  # events in the injected plan
 
     @property
     def device_utilisation(self) -> float:
@@ -123,9 +198,31 @@ class ScheduleStats:
 
 
 class _Active:
-    """One in-flight request: its record, resumable decode, and next phase."""
+    """One in-flight request: its record, resumable decode, and next phase.
 
-    __slots__ = ("record", "stepper", "phase", "ready_ms", "running")
+    ``gen`` is the phase generation: it bumps whenever the current phase
+    commits, requeues or the session ends, so any still-executing copy
+    dispatched under an older generation settles as *stale* and is ignored
+    — this is both crash rollback and first-finisher-wins straggler
+    cancellation.  ``live`` counts outstanding dispatched copies of the
+    current phase; ``attempts`` counts its failures so far (for the retry
+    budget and backoff), and ``phase_index`` counts committed phases (the
+    deterministic transient-error hash keys on it).
+    """
+
+    __slots__ = (
+        "record",
+        "stepper",
+        "phase",
+        "ready_ms",
+        "running",
+        "gen",
+        "live",
+        "attempts",
+        "phase_index",
+        "projected_end",
+        "device_index",
+    )
 
     def __init__(
         self, record: RequestRecord, stepper: DecodeStepper, ready_ms: float
@@ -135,21 +232,40 @@ class _Active:
         self.phase: PhaseOutcome = stepper.step_phase()  # next phase to place
         self.ready_ms = ready_ms  # when that phase became runnable
         self.running = False  # currently inside a device batch
+        self.gen = 0  # phase generation (stale-copy detection)
+        self.live = 0  # outstanding dispatched copies
+        self.attempts = 0  # failures of the current phase
+        self.phase_index = 0  # committed phases so far
+        self.projected_end = 0.0  # end of the latest dispatch
+        self.device_index = -1  # device of the latest dispatch
 
 
 class ContinuousBatchScheduler:
-    """Serve an arrival trace with one decoder on a simulated cluster."""
+    """Serve an arrival trace with one decoder on a simulated cluster.
+
+    ``faults`` threads a seeded :class:`~repro.serving.faults.FaultPlan`
+    through the run; omitted or empty, the loop is bit-identical to the
+    fault-free scheduler.  After :meth:`run`, ``last_dispatch_log`` holds
+    one ``(device_index, start_ms, end_ms, phases, aborted)`` tuple per
+    executed micro-batch — the audit trail the invariant suite checks
+    ("no phase starts on a dead device") against the plan.
+    """
 
     def __init__(
         self,
         decoder,
         config: SchedulerConfig | None = None,
         cluster: ClusterConfig | None = None,
+        faults: FaultPlan | None = None,
     ) -> None:
         self.decoder = decoder
         self.config = config or SchedulerConfig()
         self.cluster = cluster or ClusterConfig()
+        self.faults = faults if faults is not None and faults else None
+        if self.faults is not None:
+            self.faults.validate_for(self.cluster.devices)
         self.last_stats: ScheduleStats | None = None
+        self.last_dispatch_log: list[tuple[int, float, float, int, bool]] = []
 
     def run(
         self,
@@ -160,9 +276,12 @@ class ContinuousBatchScheduler:
         """Simulate serving ``trace`` over ``dataset``.
 
         Returns one :class:`RequestRecord` per arrival, in arrival order;
-        rejected requests keep ``STATUS_REJECTED`` with an empty timeline.
+        rejected requests keep ``STATUS_REJECTED`` with an empty timeline
+        and shed requests ``STATUS_SHED`` plus a ``shed_reason``.
         """
         config = self.config
+        plan = self.faults
+        retry = config.retry_policy()
         if self.cluster.router != ROUTER_COLOCATED and not hasattr(
             self.decoder, "begin"
         ):
@@ -198,6 +317,9 @@ class ContinuousBatchScheduler:
                 self.decoder, [dataset[i] for i in sample_indices]
             )
         devices, router = build_router(self.cluster, config.overlap, draft_share)
+        if plan is not None:
+            for device, profile in zip(devices, plan.profiles(len(devices))):
+                device.set_fault_profile(profile)
         records = []
         for arrival in arrivals:
             if arrival.utterance_index >= len(dataset):
@@ -213,78 +335,292 @@ class ContinuousBatchScheduler:
                 index=arrival.index,
                 utterance=utterance,
                 arrival_ms=arrival.arrival_ms,
+                priority=arrival.priority,
             )
             records.append(RequestRecord(request=request))
 
         pending = deque(records)
         queue = AdmissionQueue(config.queue_capacity)
         inflight: list[_Active] = []
-        # Batches in flight: (end_ms, tiebreak, device index, batch).  The
-        # counter keeps heap ordering total without comparing batches.
-        executing: list[tuple[float, int, int, list[_Active]]] = []
+        preempted: dict[int, _Active] = {}  # request index -> saved session
+        # Batches in flight: (end_ms, tiebreak, device index, entries,
+        # aborted).  Entries are (active, gen, attempt, transient-failure)
+        # tuples; the counter keeps heap ordering total without comparing
+        # them.
+        executing: list[
+            tuple[float, int, int, list[tuple[_Active, int, int, bool]], bool]
+        ] = []
         order = itertools.count()
+        wakeups = deque(plan.wakeup_times()) if plan is not None else deque()
         now = 0.0
+        last_alive: tuple[int, ...] | None = None
+        tally = {
+            "retries": 0,
+            "requeues": 0,
+            "preemptions": 0,
+            "shed": 0,
+            "duplicates": 0,
+            "cancelled": 0,
+        }
+        dispatch_log = self.last_dispatch_log = []
+
+        def deadline_for(record: RequestRecord) -> float | None:
+            if record.request.priority == PRIORITY_BATCH:
+                return config.batch_deadline_ms
+            return config.admission_deadline_ms
+
+        def shed_record(record: RequestRecord, reason: str) -> None:
+            record.status = STATUS_SHED
+            record.shed_reason = reason
+            tally["shed"] += 1
+
+        def shed_active(active: _Active, reason: str) -> None:
+            active.gen += 1  # any outstanding copy settles as stale
+            active.running = False
+            shed_record(active.record, reason)
+            inflight.remove(active)
+
+        def preempt_victim() -> _Active | None:
+            """Newest idle batch session, or None when nothing is bumpable."""
+            victims = [
+                active
+                for active in inflight
+                if active.record.request.priority == PRIORITY_BATCH
+                and not active.running
+                and active.live == 0
+            ]
+            if not victims:
+                return None
+            return max(victims, key=lambda a: a.record.request.index)
 
         def admit(now_ms: float) -> None:
             # Arrivals up to `now_ms` enter the queue (or bounce off it),
-            # then the queue drains into free in-flight slots, FIFO.
+            # then the queue drains into free in-flight slots in class-then-
+            # FIFO order.  A waiting interactive request may preempt the
+            # newest idle batch session for its slot; the victim re-queues
+            # with its decode state intact and resumes later.
             while pending and pending[0].request.arrival_ms <= now_ms:
                 queue.offer(pending.popleft())
-            while queue and len(inflight) < config.max_inflight:
+            while queue:
+                if len(inflight) >= config.max_inflight:
+                    if queue.next_priority() != PRIORITY_INTERACTIVE:
+                        break
+                    victim = preempt_victim()
+                    if victim is None:
+                        break
+                    victim.gen += 1
+                    inflight.remove(victim)
+                    victim.record.preemptions += 1
+                    tally["preemptions"] += 1
+                    if len(queue) >= queue.capacity:
+                        # Nowhere to park the session: give up on it rather
+                        # than deadlock the slot it was just bumped from.
+                        shed_record(victim.record, SHED_CAPACITY)
+                    else:
+                        preempted[victim.record.request.index] = victim
+                        queue.offer(victim.record)
+                    continue
                 record = queue.pop()
+                deadline = deadline_for(record)
+                if (
+                    deadline is not None
+                    and now_ms - record.request.arrival_ms > deadline
+                ):
+                    # The SLO is already blown while still queued: shed now
+                    # instead of burning device time on a lost cause.
+                    preempted.pop(record.request.index, None)
+                    shed_record(record, SHED_DEADLINE)
+                    continue
+                resumed = preempted.pop(record.request.index, None)
+                if resumed is not None:
+                    resumed.running = False
+                    resumed.ready_ms = now_ms
+                    inflight.append(resumed)
+                    continue
                 record.service_start_ms = now_ms
                 stepper = begin_decode(self.decoder, record.request.utterance)
                 inflight.append(_Active(record, stepper, now_ms))
 
+        def launch(device: Device, batch: list[_Active], now_ms: float) -> None:
+            """Execute ``batch`` on ``device``, folding in the fault plan."""
+            start = max(now_ms, device.free_at)
+            phases = [active.phase for active in batch]
+            crash = None
+            if plan is not None and device.faults.crash_ms is not None:
+                busy = device.batch_busy_ms(
+                    phases, merge_verify=router.merge_verify, at_ms=start
+                )
+                crash = device.faults.crash_during(start, start + busy)
+            end = device.execute(
+                now_ms,
+                phases,
+                merge_verify=router.merge_verify,
+                abort_ms=crash,
+            )
+            entries = []
+            for active in batch:
+                attempt = active.attempts + 1
+                failed = plan is not None and plan.phase_fails(
+                    active.record.request.index, active.phase_index, attempt
+                )
+                entries.append((active, active.gen, attempt, failed))
+                active.running = True
+                active.live += 1
+                active.projected_end = end
+                active.device_index = device.index
+            aborted = crash is not None
+            heapq.heappush(
+                executing, (end, next(order), device.index, entries, aborted)
+            )
+            dispatch_log.append((device.index, start, end, len(batch), aborted))
+
         def dispatch(now_ms: float) -> None:
-            # Waiting phases route in global FIFO order (ready time, then
-            # request index) so least-loaded routers see them in a
-            # deterministic sequence; each free device then takes up to
-            # max_batch of the phases routed to it, still FIFO.
-            waiting = [active for active in inflight if not active.running]
-            waiting.sort(key=lambda a: (a.ready_ms, a.record.request.index))
-            router.plan_round(now_ms)
+            # Waiting phases route in class-then-FIFO order (priority rank,
+            # ready time, request index) so least-loaded routers see them in
+            # a deterministic sequence; each free device then takes up to
+            # max_batch of the phases routed to it, still in that order.
+            if plan is not None:
+                nonlocal last_alive
+                alive = tuple(
+                    device.index for device in devices if not device.is_dead(now_ms)
+                )
+                if alive != last_alive:
+                    # Membership changed (crash or warm restart): the pool
+                    # planner re-plans over the survivors.
+                    router.on_membership_change(alive)
+                    last_alive = alive
+                router.plan_round(
+                    now_ms,
+                    available=[
+                        device.index
+                        for device in devices
+                        if device.available(now_ms)
+                    ],
+                    speeds={
+                        device.index: device.effective_speed(now_ms)
+                        for device in devices
+                    },
+                )
+            else:
+                router.plan_round(now_ms)
+            waiting = [
+                active
+                for active in inflight
+                if not active.running and active.ready_ms <= now_ms
+            ]
+            waiting.sort(
+                key=lambda a: (
+                    priority_rank(a.record.request.priority),
+                    a.ready_ms,
+                    a.record.request.index,
+                )
+            )
             waiting_at: dict[int, list[_Active]] = {}
             for active in waiting:
                 device = router.route(active.record.request.index, active.phase)
+                if device is None:
+                    continue  # whole pool dead/stalled; the phase waits
                 waiting_at.setdefault(device.index, []).append(active)
             for device in devices:
-                if device.free_at > now_ms:
+                if device.free_at > now_ms or not device.available(now_ms):
                     continue
                 routed = waiting_at.get(device.index)
                 if not routed:
                     continue
-                batch = routed[: config.max_batch]
-                for active in batch:
-                    active.running = True
-                end = device.execute(
-                    now_ms,
-                    [active.phase for active in batch],
-                    merge_verify=router.merge_verify,
-                )
-                heapq.heappush(executing, (end, next(order), device.index, batch))
+                launch(device, routed[: config.max_batch], now_ms)
+            if config.straggler_factor > 0:
+                reissue_stragglers(now_ms)
 
-        def complete(batch: list[_Active], end_ms: float) -> None:
-            for active in batch:
-                outcome = active.phase
-                record = active.record
-                active.running = False
-                active.ready_ms = end_ms
-                if outcome.round_done:
-                    record.rounds += 1
-                if outcome.new_tokens and record.first_token_ms is None:
-                    record.first_token_ms = end_ms
-                if outcome.done:
-                    result = active.stepper.result
-                    record.status = STATUS_COMPLETED
-                    record.finish_ms = end_ms
-                    record.tokens = list(result.tokens)
-                    record.decode_ms = result.total_ms
-                    if record.first_token_ms is None:
-                        record.first_token_ms = end_ms  # empty transcript
-                    inflight.remove(active)
-                else:
-                    active.phase = active.stepper.step_phase()
+        def reissue_stragglers(now_ms: float) -> None:
+            # A running phase whose projected completion exceeds k x its
+            # pool's median is duplicated on the fastest idle pool peer;
+            # whichever copy finishes first commits (the other settles as
+            # stale).  live == 1 keeps one hedge per execution.
+            running = [
+                active
+                for active in inflight
+                if active.running and active.live == 1 and active.projected_end > now_ms
+            ]
+            by_kind: dict[str, list[_Active]] = {}
+            for active in running:
+                by_kind.setdefault(active.phase.phase, []).append(active)
+            for kind in sorted(by_kind):
+                group = by_kind[kind]
+                ends = sorted(active.projected_end for active in group)
+                median = ends[len(ends) // 2]
+                threshold = config.straggler_factor * median
+                for active in sorted(group, key=lambda a: a.record.request.index):
+                    if active.projected_end <= threshold:
+                        continue
+                    peers = [
+                        device
+                        for device in router.pool_devices(active.phase)
+                        if device.free_at <= now_ms
+                        and device.available(now_ms)
+                        and device.index != active.device_index
+                    ]
+                    if not peers:
+                        continue
+                    peer = max(
+                        peers,
+                        key=lambda d: (d.effective_speed(now_ms), -d.index),
+                    )
+                    launch(peer, [active], now_ms)
+                    tally["duplicates"] += 1
+
+        def commit(active: _Active, end_ms: float) -> None:
+            outcome = active.phase
+            record = active.record
+            active.gen += 1  # sibling straggler copies settle as stale
+            active.running = False
+            active.ready_ms = end_ms
+            active.attempts = 0
+            active.phase_index += 1
+            if outcome.round_done:
+                record.rounds += 1
+            if outcome.new_tokens and record.first_token_ms is None:
+                record.first_token_ms = end_ms
+            if outcome.done:
+                result = active.stepper.result
+                record.status = STATUS_COMPLETED
+                record.finish_ms = end_ms
+                record.tokens = list(result.tokens)
+                record.decode_ms = result.total_ms
+                if record.first_token_ms is None:
+                    record.first_token_ms = end_ms  # empty transcript
+                inflight.remove(active)
+            else:
+                active.phase = active.stepper.step_phase()
+
+        def settle(
+            entry: tuple[_Active, int, int, bool], end_ms: float, aborted: bool
+        ) -> None:
+            active, gen, attempt, transient = entry
+            active.live -= 1
+            if active.gen != gen:
+                # A sibling copy already committed this phase, or the phase
+                # was requeued/shed after a crash: this copy is stale.
+                tally["cancelled"] += 1
+                return
+            if not aborted and not transient:
+                commit(active, end_ms)
+                return
+            # The copy failed (crash abort or transient phase error).  The
+            # stepper never advanced, so the same phase object re-dispatches
+            # and the decode resumes from its last committed state.
+            active.record.retries += 1
+            tally["retries"] += 1
+            if active.live > 0:
+                return  # a sibling copy is still in flight; let it decide
+            active.gen += 1
+            active.running = False
+            active.attempts = attempt
+            if retry.exhausted(attempt):
+                shed_active(active, SHED_RETRIES)
+                return
+            active.record.requeues += 1
+            tally["requeues"] += 1
+            active.ready_ms = end_ms + retry.backoff_for(attempt)
 
         while pending or queue or inflight or executing:
             admit(now)
@@ -294,12 +630,32 @@ class ContinuousBatchScheduler:
                 next_times.append(executing[0][0])
             if pending:
                 next_times.append(pending[0].request.arrival_ms)
+            backoffs = [
+                active.ready_ms
+                for active in inflight
+                if not active.running and active.ready_ms > now
+            ]
+            if backoffs:
+                next_times.append(min(backoffs))
+            while wakeups and wakeups[0] <= now:
+                wakeups.popleft()
+            if wakeups and (inflight or queue or pending):
+                next_times.append(wakeups[0])
             if not next_times:
-                break  # queue can't be non-empty with free slots
+                # Nothing will ever happen again.  Any remaining work is
+                # unservable (every device its phases could use is dead with
+                # no restart pending): shed it so the run terminates and
+                # conservation still holds.
+                for active in list(inflight):
+                    shed_active(active, SHED_CAPACITY)
+                while queue:
+                    shed_record(queue.pop(), SHED_CAPACITY)
+                break
             now = max(now, min(next_times))
             while executing and executing[0][0] <= now:
-                end, _, _, batch = heapq.heappop(executing)
-                complete(batch, end)
+                end, _, _, entries, aborted = heapq.heappop(executing)
+                for entry in entries:
+                    settle(entry, end, aborted)
 
         self.last_stats = ScheduleStats(
             sim_end_ms=now,
@@ -313,5 +669,17 @@ class ContinuousBatchScheduler:
             device_speeds=tuple(device.speed for device in devices),
             device_roles=router.device_roles(),
             draft_share=draft_share,
+            retries=tally["retries"],
+            requeues=tally["requeues"],
+            preemptions=tally["preemptions"],
+            shed=tally["shed"],
+            duplicates=tally["duplicates"],
+            cancelled=tally["cancelled"],
+            displaced=queue.displaced,
+            degraded_ms=(
+                plan.degraded_ms(len(devices), now) if plan is not None else 0.0
+            ),
+            wasted_busy_ms=sum(device.wasted_ms for device in devices),
+            fault_events=len(plan.events) if plan is not None else 0,
         )
         return records

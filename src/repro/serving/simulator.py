@@ -19,6 +19,7 @@ from repro.harness.runner import ExperimentConfig, load_split, shared_vocabulary
 from repro.models.registry import model_pair
 from repro.serving.arrivals import Arrival, make_trace, offered_qps
 from repro.serving.devices import parse_device_specs
+from repro.serving.faults import FaultPlan, parse_fault_spec
 from repro.serving.report import ServeReport
 from repro.serving.router import SPLIT_FIXED, ClusterConfig
 from repro.serving.scheduler import ContinuousBatchScheduler, SchedulerConfig
@@ -51,6 +52,15 @@ class ServeSimConfig:
     router: str = "colocated"  # placement policy (see serving.router)
     pool_split: str = SPLIT_FIXED  # draft/target pool sizing: fixed | balanced
     device_spec: str = ""  # heterogeneous cluster shorthand, e.g. "2x1.0,2x0.5"
+    # -- chaos / degradation (all off by default) --------------------------
+    faults: str = ""  # fault-spec grammar (see serving.faults)
+    fault_seed: int = 0  # seeds the transient phase-error hash
+    max_retries: int = 3
+    retry_backoff_ms: float = 25.0
+    straggler_k: float = 0.0  # re-issue at k x pool median; 0 = off
+    admission_deadline_ms: float | None = None  # shed overdue interactive
+    batch_deadline_ms: float | None = None  # batch-class SLO + shed bound
+    batch_fraction: float = 0.0  # share of arrivals tagged batch-class
 
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
@@ -58,7 +68,18 @@ class ServeSimConfig:
             max_inflight=self.max_inflight,
             queue_capacity=self.queue_capacity,
             overlap=self.overlap,
+            max_retries=self.max_retries,
+            retry_backoff_ms=self.retry_backoff_ms,
+            straggler_factor=self.straggler_k,
+            admission_deadline_ms=self.admission_deadline_ms,
+            batch_deadline_ms=self.batch_deadline_ms,
         )
+
+    def fault_plan(self) -> FaultPlan | None:
+        """The injected fault plan, or None when the spec is empty."""
+        if not self.faults.strip():
+            return None
+        return parse_fault_spec(self.faults, seed=self.fault_seed)
 
     def cluster_config(self) -> ClusterConfig:
         specs = parse_device_specs(self.device_spec) if self.device_spec else None
@@ -101,6 +122,7 @@ def simulate(
             config.qps,
             len(dataset),
             config.seed,
+            config.batch_fraction,
         )
         offered = config.qps
     else:
@@ -108,12 +130,20 @@ def simulate(
     if decoder is None:
         decoder = build_decoder(config)
     scheduler = ContinuousBatchScheduler(
-        decoder, config.scheduler_config(), config.cluster_config()
+        decoder,
+        config.scheduler_config(),
+        config.cluster_config(),
+        faults=config.fault_plan(),
     )
     records = scheduler.run(trace, dataset)
     assert scheduler.last_stats is not None
     return ServeReport.from_records(
-        config.method, records, scheduler.last_stats, config.deadline_ms, offered
+        config.method,
+        records,
+        scheduler.last_stats,
+        config.deadline_ms,
+        offered,
+        batch_deadline_ms=config.batch_deadline_ms,
     )
 
 

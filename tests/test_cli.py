@@ -127,6 +127,63 @@ class TestServeSimValidation:
         out = capsys.readouterr().out
         assert "2 device(s)" in out
 
+    def test_rejects_malformed_fault_spec(self, capsys):
+        with pytest.raises(SystemExit, match="serve-sim: error"):
+            main(["serve-sim", "--faults", "explode@100:dev0"])
+
+    def test_rejects_fault_plan_naming_missing_device(self, capsys):
+        with pytest.raises(SystemExit, match="dev0..dev1"):
+            main(
+                [
+                    "serve-sim",
+                    "--devices",
+                    "2",
+                    "--faults",
+                    "crash@100:dev7",
+                ]
+            )
+
+    def test_rejects_out_of_range_batch_fraction(self, capsys):
+        with pytest.raises(SystemExit, match=r"batch_fraction must be in \[0, 1\]"):
+            main(["serve-sim", "--batch-fraction", "1.5"])
+
+    def test_rejects_bad_straggler_factor(self, capsys):
+        with pytest.raises(SystemExit, match="straggler_factor"):
+            main(["serve-sim", "--straggler-k", "0.5"])
+
+    def test_serve_sim_chaos_runs(self, capsys):
+        assert (
+            main(
+                [
+                    "serve-sim",
+                    "--method",
+                    "spec(8,1)",
+                    "--qps",
+                    "6",
+                    "--requests",
+                    "8",
+                    "--utterances",
+                    "6",
+                    "--devices",
+                    "4",
+                    "--router",
+                    "disagg",
+                    "--faults",
+                    "crash@500:dev3:restart=800;perr:0.05",
+                    "--batch-fraction",
+                    "0.5",
+                    "--batch-deadline-ms",
+                    "9000",
+                    "--no-max-qps",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "chaos" in out
+        assert "degraded" in out
+        assert "class" in out
+
     def test_serve_sim_heterogeneous_balanced_runs(self, capsys):
         assert (
             main(

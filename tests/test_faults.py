@@ -1,0 +1,670 @@
+"""Chaos suite: fault plans, failure-aware scheduling, graceful degradation.
+
+The contracts under test, in rough order of appearance:
+
+* **Grammar** — ``parse_fault_spec`` and ``format_fault_plan`` round-trip,
+  and malformed specs fail with actionable messages.
+* **Fault math** — per-device profiles answer dead/stalled/slowed queries
+  consistently, and :class:`~repro.serving.devices.Device` bills aborted
+  batches as wasted work.
+* **Recovery** — a crash + warm restart mid-run requeues the aborted
+  phases and every surviving request's transcript stays bit-identical to
+  the fault-free run (the stepper only advances on commit).
+* **Degradation** — retry exhaustion, permanent capacity loss, admission
+  deadlines, displacement and preemption all shed *explicitly*, keeping
+  the conservation invariant ``completed + rejected + shed == arrived``.
+* **Determinism** — the same seed + plan reproduces identical reports
+  across reruns and across executor worker pools (satellite: requeue
+  determinism).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+
+import pytest
+
+from repro.decoding.base import PHASE_DRAFT, PhaseOutcome
+from repro.harness.executor import CorpusExecutor
+from repro.harness.methods import build_method
+from repro.serving import (
+    ClusterConfig,
+    ContinuousBatchScheduler,
+    Device,
+    DeviceCrash,
+    DeviceFaultProfile,
+    DeviceSlowdown,
+    DeviceStall,
+    FaultPlan,
+    PhaseErrorRate,
+    RetryPolicy,
+    SchedulerConfig,
+    ScheduleStats,
+    ServeSimConfig,
+    format_fault_plan,
+    parse_fault_spec,
+    simulate,
+    sweep_qps,
+)
+from repro.serving.arrivals import Arrival, make_trace
+from repro.serving.faults import HEALTHY_PROFILE
+from repro.serving.queue import AdmissionQueue
+from repro.serving.request import (
+    PRIORITY_BATCH,
+    PRIORITY_INTERACTIVE,
+    SHED_CAPACITY,
+    SHED_DEADLINE,
+    SHED_RETRIES,
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+    STATUS_SHED,
+    RequestRecord,
+    ServeRequest,
+)
+
+TERMINAL = (STATUS_COMPLETED, STATUS_REJECTED, STATUS_SHED)
+
+
+class TestFaultSpecGrammar:
+    def test_round_trip_every_kind(self):
+        spec = (
+            "crash@2000:dev3:restart=1500;stall@1000+500:dev0;"
+            "slow:dev2:x0.5;slow@3000+2000:dev1:x0.25;perr:0.02"
+        )
+        plan = parse_fault_spec(spec, seed=7)
+        assert format_fault_plan(plan) == spec
+        assert plan.describe() == spec
+        assert parse_fault_spec(format_fault_plan(plan), seed=7) == plan
+
+    def test_empty_spec_is_fault_free(self):
+        plan = parse_fault_spec("  ;  ; ")
+        assert not plan
+        assert plan.events == ()
+        assert plan.phase_error_rate == 0.0
+        assert plan.wakeup_times() == ()
+
+    def test_bare_device_index_accepted(self):
+        plan = parse_fault_spec("crash@100:2")
+        assert plan.events == (DeviceCrash(device=2, at_ms=100.0),)
+
+    def test_permanent_crash_has_no_restart(self):
+        (crash,) = parse_fault_spec("crash@50:dev0").events
+        assert crash.restart_ms is None
+        (warm,) = parse_fault_spec("crash@50:dev0:restart=25").events
+        assert warm.restart_ms == 75.0
+
+    @pytest.mark.parametrize(
+        "bad, fragment",
+        [
+            ("crash@100", "crash@TIME:devI"),
+            ("crash:dev0", "crash@TIME:devI"),
+            ("crash@100:dev0:reboot=5", "restart=MS"),
+            ("crash@oops:dev0", "crash time"),
+            ("stall@100:dev0", "stall@TIME+DURATION:devI"),
+            ("stall@100+50", "stall@TIME+DURATION:devI"),
+            ("slow:dev0", "xFACTOR"),
+            ("slow:dev0:0.5", "xFACTOR"),
+            ("slow@100:dev0:x0.5", "TIME+DURATION"),
+            ("perr", "perr:RATE"),
+            ("perr@100:0.5", "perr:RATE"),
+            ("fries:dev0", "unknown fault kind"),
+            ("crash@100:devX", "device reference"),
+            ("crash@100:dev-1", "device index must be >= 0"),
+        ],
+    )
+    def test_malformed_specs_fail_with_context(self, bad, fragment):
+        with pytest.raises(ValueError) as err:
+            parse_fault_spec(bad)
+        assert fragment in str(err.value)
+
+    def test_event_validation(self):
+        with pytest.raises(ValueError, match="crash time"):
+            DeviceCrash(device=0, at_ms=-1.0)
+        with pytest.raises(ValueError, match="restart delay"):
+            DeviceCrash(device=0, at_ms=1.0, restart_delay_ms=0.0)
+        with pytest.raises(ValueError, match="stall duration"):
+            DeviceStall(device=0, at_ms=0.0, duration_ms=0.0)
+        with pytest.raises(ValueError, match="slowdown factor"):
+            DeviceSlowdown(device=0, factor=0.0)
+        with pytest.raises(ValueError, match="rate"):
+            PhaseErrorRate(rate=1.0)
+
+    def test_one_crash_per_device(self):
+        with pytest.raises(ValueError, match="more than one crash"):
+            parse_fault_spec("crash@100:dev0;crash@200:dev0")
+
+    def test_validate_for_cluster_size(self):
+        plan = parse_fault_spec("crash@100:dev3")
+        plan.validate_for(4)
+        with pytest.raises(ValueError, match="dev0..dev1"):
+            plan.validate_for(2)
+
+
+class TestFaultPlanViews:
+    def test_profiles_slice_per_device(self):
+        plan = parse_fault_spec(
+            "crash@100:dev1:restart=50;stall@10+5:dev0;slow:dev0:x0.5"
+        )
+        healthy, crashed = plan.profiles(2)[0], plan.profiles(2)[1]
+        assert healthy.crash_ms is None
+        assert healthy.stalls == ((10.0, 15.0),)
+        assert healthy.slowdowns == ((0.0, math.inf, 0.5),)
+        assert crashed.crash_ms == 100.0 and crashed.restart_ms == 150.0
+
+    def test_wakeup_and_membership_times(self):
+        plan = parse_fault_spec(
+            "crash@100:dev0:restart=50;stall@10+5:dev1;slow@20+30:dev1:x0.5"
+        )
+        assert plan.wakeup_times() == (10.0, 15.0, 20.0, 50.0, 100.0, 150.0)
+        assert plan.membership_times() == (100.0, 150.0)
+        # an unbounded slowdown contributes only its start
+        assert parse_fault_spec("slow:dev0:x0.5").wakeup_times() == (0.0,)
+
+    def test_phase_error_rates_combine_independently(self):
+        plan = parse_fault_spec("perr:0.5;perr:0.5")
+        assert plan.phase_error_rate == pytest.approx(0.75)
+
+    def test_phase_fails_is_deterministic_per_attempt(self):
+        plan = parse_fault_spec("perr:0.4", seed=11)
+        verdicts = [plan.phase_fails(3, 5, attempt) for attempt in range(1, 30)]
+        assert verdicts == [
+            plan.phase_fails(3, 5, attempt) for attempt in range(1, 30)
+        ]
+        assert any(verdicts) and not all(verdicts)
+        # a different seed reshuffles the verdicts
+        other = parse_fault_spec("perr:0.4", seed=12)
+        assert verdicts != [
+            other.phase_fails(3, 5, attempt) for attempt in range(1, 30)
+        ]
+
+    def test_degraded_ms_merges_overlapping_windows(self):
+        plan = parse_fault_spec(
+            "stall@100+200:dev0;stall@200+300:dev1;crash@1000:dev0:restart=500"
+        )
+        # [100,500) merged from the stalls, [1000,1500) from the crash
+        assert plan.degraded_ms(2, 2000.0) == pytest.approx(900.0)
+        # the horizon clips the crash window
+        assert plan.degraded_ms(2, 1200.0) == pytest.approx(600.0)
+        assert plan.degraded_ms(2, 0.0) == 0.0
+        assert FaultPlan().degraded_ms(2, 1000.0) == 0.0
+        # a permanent crash degrades until the horizon
+        forever = parse_fault_spec("crash@500:dev0")
+        assert forever.degraded_ms(1, 2000.0) == pytest.approx(1500.0)
+
+
+class TestDeviceFaultProfile:
+    def test_dead_window_and_warm_restart(self):
+        profile = DeviceFaultProfile(crash_ms=100.0, restart_ms=150.0)
+        assert not profile.is_dead(99.0)
+        assert profile.is_dead(100.0) and profile.is_dead(149.0)
+        assert not profile.is_dead(150.0)  # back at the restart instant
+        permanent = DeviceFaultProfile(crash_ms=100.0)
+        assert permanent.is_dead(1e9)
+
+    def test_stall_gates_availability_not_death(self):
+        profile = DeviceFaultProfile(stalls=((10.0, 20.0),))
+        assert profile.is_stalled(10.0) and not profile.is_stalled(20.0)
+        assert not profile.is_dead(15.0)
+        assert not profile.available(15.0) and profile.available(20.0)
+
+    def test_slowdown_factors_stack(self):
+        profile = DeviceFaultProfile(
+            slowdowns=((0.0, 100.0, 0.5), (50.0, 100.0, 0.5))
+        )
+        assert profile.speed_factor(25.0) == pytest.approx(0.5)
+        assert profile.speed_factor(75.0) == pytest.approx(0.25)
+        assert profile.speed_factor(100.0) == 1.0
+
+    def test_crash_during_is_strictly_interior(self):
+        profile = DeviceFaultProfile(crash_ms=100.0)
+        assert profile.crash_during(50.0, 150.0) == 100.0
+        assert profile.crash_during(100.0, 150.0) is None  # starts at crash
+        assert profile.crash_during(50.0, 100.0) is None  # ends at crash
+        assert HEALTHY_PROFILE.crash_during(0.0, 1e9) is None
+
+
+def _phase(ms: float, model: str = "draft-model") -> PhaseOutcome:
+    return PhaseOutcome(PHASE_DRAFT, model, ms, (), True, False)
+
+
+class TestDeviceFaultMath:
+    def test_effective_speed_prices_batch_at_start(self):
+        device = Device(0, overlap=1.0, speed=2.0)
+        device.set_fault_profile(
+            DeviceFaultProfile(slowdowns=((100.0, 200.0, 0.5),))
+        )
+        assert device.effective_speed(50.0) == pytest.approx(2.0)
+        assert device.effective_speed(150.0) == pytest.approx(1.0)
+        batch = [_phase(100.0)]
+        assert device.batch_busy_ms(batch, at_ms=150.0) == pytest.approx(100.0)
+        assert device.batch_busy_ms(batch, at_ms=250.0) == pytest.approx(50.0)
+        # without at_ms the nominal speed applies (fault-free pricing)
+        assert device.batch_busy_ms(batch) == pytest.approx(50.0)
+
+    def test_execute_abort_bills_wasted_work(self):
+        device = Device(0, overlap=1.0)
+        end = device.execute(0.0, [_phase(100.0)], abort_ms=60.0)
+        assert end == 60.0
+        assert device.free_at == 60.0
+        assert device.wasted_ms == pytest.approx(60.0)
+        assert device.aborted_batches == 1
+        # an abort beyond the batch's natural end is a no-op
+        end = device.execute(60.0, [_phase(40.0)], abort_ms=500.0)
+        assert end == pytest.approx(100.0)
+        assert device.aborted_batches == 1
+
+    def test_execute_abort_before_start_raises(self):
+        device = Device(0, overlap=1.0)
+        with pytest.raises(ValueError, match="precedes batch start"):
+            device.execute(50.0, [_phase(10.0)], abort_ms=20.0)
+
+
+class TestRetryPolicy:
+    def test_backoff_doubles_per_attempt(self):
+        policy = RetryPolicy(max_retries=3, backoff_ms=25.0)
+        assert [policy.backoff_for(a) for a in (1, 2, 3)] == [25.0, 50.0, 100.0]
+        assert not policy.exhausted(3)
+        assert policy.exhausted(4)
+
+    def test_zero_retries_sheds_on_first_failure(self):
+        policy = RetryPolicy(max_retries=0)
+        assert policy.exhausted(1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_ms"):
+            RetryPolicy(backoff_ms=-1.0)
+
+
+class TestSchedulerConfigChaosKnobs:
+    @pytest.mark.parametrize(
+        "kwargs, fragment",
+        [
+            ({"max_retries": -1}, "max_retries"),
+            ({"retry_backoff_ms": -1.0}, "retry_backoff_ms"),
+            ({"straggler_factor": 0.5}, "straggler_factor"),
+            ({"admission_deadline_ms": 0.0}, "admission_deadline_ms"),
+            ({"batch_deadline_ms": -5.0}, "batch_deadline_ms"),
+        ],
+    )
+    def test_rejects_bad_chaos_knobs(self, kwargs, fragment):
+        with pytest.raises(ValueError, match=fragment):
+            SchedulerConfig(**kwargs)
+
+    def test_scheduler_rejects_plan_naming_missing_device(self):
+        plan = parse_fault_spec("crash@100:dev5")
+        with pytest.raises(ValueError, match="dev0..dev1"):
+            ContinuousBatchScheduler(
+                decoder=None, cluster=ClusterConfig(devices=2), faults=plan
+            )
+
+    def test_empty_plan_is_dropped(self):
+        scheduler = ContinuousBatchScheduler(decoder=None, faults=FaultPlan())
+        assert scheduler.faults is None
+
+
+class TestScheduleStatsZeroGuards:
+    def test_empty_run_yields_zero_not_nan(self):
+        stats = ScheduleStats(
+            sim_end_ms=0.0,
+            device_busy_ms=0.0,
+            batches=0,
+            rounds=0,
+            peak_queue_depth=0,
+            rejected=0,
+        )
+        assert stats.device_utilisation == 0.0
+        assert stats.mean_batch_occupancy == 0.0
+
+
+class TestQueuePriorities:
+    def _record(self, index: int, utterance, priority: str) -> RequestRecord:
+        request = ServeRequest(f"r-{index}", index, utterance, 0.0, priority)
+        return RequestRecord(request=request)
+
+    def test_interactive_lane_pops_first(self, utterance):
+        queue = AdmissionQueue(4)
+        batch = self._record(0, utterance, PRIORITY_BATCH)
+        inter = self._record(1, utterance, PRIORITY_INTERACTIVE)
+        queue.offer(batch)
+        queue.offer(inter)
+        assert queue.next_priority() == PRIORITY_INTERACTIVE
+        assert queue.pop() is inter
+        assert queue.pop() is batch
+        assert queue.next_priority() is None
+
+    def test_full_queue_displaces_newest_batch_entry(self, utterance):
+        queue = AdmissionQueue(2)
+        old_batch = self._record(0, utterance, PRIORITY_BATCH)
+        new_batch = self._record(1, utterance, PRIORITY_BATCH)
+        inter = self._record(2, utterance, PRIORITY_INTERACTIVE)
+        queue.offer(old_batch)
+        queue.offer(new_batch)
+        assert queue.offer(inter)
+        assert new_batch.status == STATUS_REJECTED  # newest batch yields
+        assert old_batch.status != STATUS_REJECTED
+        assert queue.displaced == 1 and queue.rejected == 1
+        assert len(queue) == 2
+
+    def test_full_queue_rejects_batch_arrival(self, utterance):
+        queue = AdmissionQueue(1)
+        queue.offer(self._record(0, utterance, PRIORITY_INTERACTIVE))
+        late = self._record(1, utterance, PRIORITY_BATCH)
+        assert not queue.offer(late)
+        assert late.status == STATUS_REJECTED
+        assert queue.displaced == 0
+
+
+@pytest.fixture(scope="module")
+def chaos_decoder(whisper_pair):
+    draft, target = whisper_pair
+    return build_method("spec(8,1)", draft, target)
+
+
+def _trace(specs) -> list[Arrival]:
+    """Arrivals from (utterance_index, arrival_ms[, priority]) tuples."""
+    return [
+        Arrival(index, spec[0], spec[1], *spec[2:])
+        for index, spec in enumerate(specs)
+    ]
+
+
+def _run(decoder, dataset, trace, config=None, cluster=None, faults=None):
+    scheduler = ContinuousBatchScheduler(decoder, config, cluster, faults=faults)
+    records = scheduler.run(trace, dataset)
+    return records, scheduler
+
+
+def _assert_conservation(records, stats):
+    assert all(r.status in TERMINAL for r in records)
+    completed = sum(1 for r in records if r.status == STATUS_COMPLETED)
+    rejected = sum(1 for r in records if r.status == STATUS_REJECTED)
+    shed = sum(1 for r in records if r.status == STATUS_SHED)
+    assert completed + rejected + shed == len(records)
+    assert stats.shed == shed
+
+
+class TestCrashRecovery:
+    CLUSTER = ClusterConfig(devices=4, router="disaggregated")
+    TRACE = [(i % 6, 100.0 * i) for i in range(12)]
+
+    def test_warm_restart_preserves_transcripts(self, chaos_decoder, clean_dataset):
+        trace = _trace(self.TRACE)
+        baseline, _ = _run(
+            chaos_decoder, clean_dataset, trace, cluster=self.CLUSTER
+        )
+        plan = parse_fault_spec("crash@800:dev3:restart=1200;perr:0.05", seed=3)
+        records, scheduler = _run(
+            chaos_decoder, clean_dataset, trace, cluster=self.CLUSTER, faults=plan
+        )
+        stats = scheduler.last_stats
+        _assert_conservation(records, stats)
+        # the chaos actually bit: failures happened and were recovered
+        assert stats.retries > 0 and stats.requeues > 0
+        assert stats.fault_events == 2
+        # the dead window [800, 2000) degrades the run, clipped at its end
+        assert 0.0 < stats.degraded_ms <= 1200.0
+        # every request survived, and survivors are bit-identical to the
+        # fault-free run — recovery resumes, it does not re-decode
+        for record, reference in zip(records, baseline):
+            assert record.status == STATUS_COMPLETED
+            assert record.tokens == reference.tokens
+            assert record.decode_ms == reference.decode_ms
+            assert record.retries == record.requeues  # none exhausted
+
+    def test_no_dispatch_starts_on_unavailable_device(
+        self, chaos_decoder, clean_dataset
+    ):
+        trace = _trace(self.TRACE)
+        plan = parse_fault_spec(
+            "crash@800:dev3:restart=1200;stall@300+400:dev1", seed=3
+        )
+        _, scheduler = _run(
+            chaos_decoder, clean_dataset, trace, cluster=self.CLUSTER, faults=plan
+        )
+        profiles = plan.profiles(4)
+        assert scheduler.last_dispatch_log, "expected dispatches"
+        for device_index, start, end, phases, aborted in scheduler.last_dispatch_log:
+            assert profiles[device_index].available(start)
+            assert end >= start and phases >= 1
+        # the crash aborted at least one in-flight batch on dev3
+        aborted_on = {
+            entry[0] for entry in scheduler.last_dispatch_log if entry[4]
+        }
+        assert aborted_on <= {3}
+
+    def test_crash_rerun_is_bit_identical(self, chaos_decoder, clean_dataset):
+        trace = _trace(self.TRACE)
+        plan = parse_fault_spec("crash@800:dev3:restart=1200;perr:0.05", seed=3)
+        first, first_sched = _run(
+            chaos_decoder, clean_dataset, trace, cluster=self.CLUSTER, faults=plan
+        )
+        second, second_sched = _run(
+            chaos_decoder, clean_dataset, trace, cluster=self.CLUSTER, faults=plan
+        )
+        assert [
+            (r.status, r.tokens, r.finish_ms, r.retries, r.requeues)
+            for r in first
+        ] == [
+            (r.status, r.tokens, r.finish_ms, r.retries, r.requeues)
+            for r in second
+        ]
+        assert first_sched.last_stats == second_sched.last_stats
+        assert first_sched.last_dispatch_log == second_sched.last_dispatch_log
+
+
+class TestDegradation:
+    def test_permanent_capacity_loss_sheds_remaining_work(
+        self, chaos_decoder, clean_dataset
+    ):
+        trace = _trace([(0, 0.0), (1, 10.0), (2, 20.0)])
+        plan = parse_fault_spec("crash@0:dev0")
+        records, scheduler = _run(chaos_decoder, clean_dataset, trace, faults=plan)
+        _assert_conservation(records, scheduler.last_stats)
+        assert all(r.status == STATUS_SHED for r in records)
+        assert all(r.shed_reason == SHED_CAPACITY for r in records)
+
+    def test_retry_exhaustion_sheds_with_reason(self, chaos_decoder, clean_dataset):
+        trace = _trace([(0, 0.0), (1, 50.0), (2, 100.0)])
+        plan = parse_fault_spec("perr:0.9", seed=1)
+        config = SchedulerConfig(max_retries=0, retry_backoff_ms=0.0)
+        records, scheduler = _run(
+            chaos_decoder, clean_dataset, trace, config=config, faults=plan
+        )
+        stats = scheduler.last_stats
+        _assert_conservation(records, stats)
+        shed = [r for r in records if r.status == STATUS_SHED]
+        assert shed, "a 90% phase-error rate with no retries must shed"
+        assert all(r.shed_reason == SHED_RETRIES for r in shed)
+        assert stats.retries >= len(shed)
+
+    def test_admission_deadline_sheds_stale_queue_entries(
+        self, chaos_decoder, clean_dataset
+    ):
+        trace = _trace([(0, 0.0), (1, 1.0)])
+        config = SchedulerConfig(
+            max_batch=1,
+            max_inflight=1,
+            queue_capacity=4,
+            admission_deadline_ms=5.0,
+        )
+        records, scheduler = _run(chaos_decoder, clean_dataset, trace, config=config)
+        _assert_conservation(records, scheduler.last_stats)
+        assert records[0].status == STATUS_COMPLETED
+        assert records[1].status == STATUS_SHED
+        assert records[1].shed_reason == SHED_DEADLINE
+        assert records[1].service_start_ms is None  # no device time wasted
+
+    def test_interactive_preempts_idle_batch_session(
+        self, chaos_decoder, clean_dataset
+    ):
+        trace = _trace(
+            [(0, 0.0, PRIORITY_BATCH), (1, 1.0, PRIORITY_INTERACTIVE)]
+        )
+        config = SchedulerConfig(max_batch=1, max_inflight=1, queue_capacity=4)
+        baseline, _ = _run(
+            chaos_decoder,
+            clean_dataset,
+            _trace([(0, 0.0), (1, 1.0)]),
+            config=config,
+        )
+        records, scheduler = _run(chaos_decoder, clean_dataset, trace, config=config)
+        stats = scheduler.last_stats
+        _assert_conservation(records, stats)
+        batch, interactive = records
+        assert batch.status == interactive.status == STATUS_COMPLETED
+        assert stats.preemptions >= 1 and batch.preemptions >= 1
+        # the bumped session resumed rather than restarting: transcripts
+        # stay scheduler-independent
+        assert batch.tokens == baseline[0].tokens
+        assert interactive.tokens == baseline[1].tokens
+        # the interactive request finished first despite arriving second
+        assert interactive.finish_ms < batch.finish_ms
+
+    def test_interactive_displaces_queued_batch_work(
+        self, chaos_decoder, clean_dataset
+    ):
+        trace = _trace(
+            [
+                (0, 0.0, PRIORITY_INTERACTIVE),
+                (1, 1.0, PRIORITY_BATCH),
+                (2, 2.0, PRIORITY_INTERACTIVE),
+            ]
+        )
+        config = SchedulerConfig(max_batch=1, max_inflight=1, queue_capacity=1)
+        records, scheduler = _run(chaos_decoder, clean_dataset, trace, config=config)
+        stats = scheduler.last_stats
+        _assert_conservation(records, stats)
+        assert records[1].status == STATUS_REJECTED  # bumped out of the queue
+        assert records[0].status == records[2].status == STATUS_COMPLETED
+        assert stats.displaced == 1
+
+    def test_straggler_reissue_first_finisher_wins(
+        self, chaos_decoder, clean_dataset
+    ):
+        # Hedging only ever uses *spare* capacity (an idle pool peer with
+        # nothing routed to it), so it needs a workload that leaves gaps:
+        # this trace deterministically produces a dispatch round where a
+        # healthy device sits idle while a phase on the 20x-slow dev3
+        # projects past 1.5x the running median.
+        trace = _trace([(i % 6, 5.0 * i) for i in range(24)])
+        cluster = ClusterConfig(devices=4)
+        plan = parse_fault_spec("slow:dev3:x0.05")
+        config = SchedulerConfig(straggler_factor=1.5)
+        baseline, _ = _run(chaos_decoder, clean_dataset, trace, cluster=cluster)
+        records, scheduler = _run(
+            chaos_decoder,
+            clean_dataset,
+            trace,
+            config=config,
+            cluster=cluster,
+            faults=plan,
+        )
+        stats = scheduler.last_stats
+        _assert_conservation(records, stats)
+        assert stats.duplicates > 0, "the 20x straggler must trigger re-issues"
+        assert stats.cancelled > 0, "losing copies must settle as stale"
+        for record, reference in zip(records, baseline):
+            assert record.status == STATUS_COMPLETED
+            assert record.tokens == reference.tokens
+            assert record.decode_ms == reference.decode_ms
+
+
+class TestRequeueDeterminism:
+    CONFIG = ServeSimConfig(
+        qps=8.0,
+        num_requests=12,
+        utterances=6,
+        devices=4,
+        router="disaggregated",
+        faults="crash@600:dev3:restart=800;perr:0.05",
+        fault_seed=3,
+        batch_fraction=0.25,
+    )
+
+    def test_same_plan_reproduces_identical_reports(self):
+        first = simulate(self.CONFIG)
+        second = simulate(self.CONFIG)
+        assert first.to_dict() == second.to_dict()
+        assert first.chaos_active
+        chaos = first.chaos_dict()
+        assert chaos["fault_events"] == 2
+        assert chaos["retries"] >= chaos["requeues"] >= 0
+
+    def test_worker_pool_matches_serial_sweep(self):
+        qps_values = (4.0, 8.0)
+        serial = sweep_qps(self.CONFIG, qps_values)
+        executor = CorpusExecutor(workers=2, backend="thread")
+        pooled = sweep_qps(self.CONFIG, qps_values, executor=executor)
+        assert {q: r.to_dict() for q, r in serial.items()} == {
+            q: r.to_dict() for q, r in pooled.items()
+        }
+
+    def test_fault_seed_changes_transient_errors(self):
+        base = simulate(self.CONFIG)
+        reseeded = simulate(replace(self.CONFIG, fault_seed=99))
+        # same offered work, different transient-error draws
+        assert base.num_requests == reseeded.num_requests
+        assert (
+            base.stats.retries != reseeded.stats.retries
+            or base.to_dict() != reseeded.to_dict()
+        )
+
+
+class TestChaosReport:
+    def test_report_surfaces_chaos_and_classes(self):
+        config = ServeSimConfig(
+            qps=8.0,
+            num_requests=12,
+            utterances=6,
+            devices=4,
+            router="disaggregated",
+            faults="crash@600:dev3:restart=800",
+            batch_fraction=0.5,
+            batch_deadline_ms=9000.0,
+        )
+        report = simulate(config)
+        payload = report.to_dict()
+        assert payload["batch_deadline_ms"] == 9000.0
+        assert set(payload["per_class"]) == {
+            PRIORITY_INTERACTIVE,
+            PRIORITY_BATCH,
+        }
+        for row in payload["per_class"].values():
+            assert (
+                row["completed"] + row["rejected"] + row["shed"]
+                <= row["arrived"]
+            )
+        assert payload["chaos"]["fault_events"] == 1
+        rendered = report.render()
+        assert "chaos" in rendered and "degraded" in rendered
+        assert "class" in rendered
+
+    def test_fault_free_report_omits_chaos_block(self):
+        config = ServeSimConfig(qps=2.0, num_requests=6, utterances=6)
+        report = simulate(config)
+        assert not report.chaos_active
+        payload = report.to_dict()
+        assert "chaos" not in payload
+        assert "per_class" not in payload
+        assert payload["shed"] == 0
+
+
+class TestMakeTracePriorities:
+    def test_zero_fraction_matches_legacy_trace(self):
+        legacy = make_trace("poisson", 16, 4.0, 8, seed=5)
+        tagged = make_trace("poisson", 16, 4.0, 8, seed=5, batch_fraction=0.0)
+        assert legacy == tagged
+        assert all(a.priority == PRIORITY_INTERACTIVE for a in legacy)
+
+    def test_fraction_tags_batch_arrivals_deterministically(self):
+        a = make_trace("poisson", 40, 4.0, 8, seed=5, batch_fraction=0.5)
+        b = make_trace("poisson", 40, 4.0, 8, seed=5, batch_fraction=0.5)
+        assert a == b
+        classes = {arrival.priority for arrival in a}
+        assert classes == {PRIORITY_INTERACTIVE, PRIORITY_BATCH}
+        # arrival times are untouched by the class tagging
+        untagged = make_trace("poisson", 40, 4.0, 8, seed=5)
+        assert [x.arrival_ms for x in a] == [x.arrival_ms for x in untagged]

@@ -59,6 +59,26 @@ class TestDeviceSpecs:
         with pytest.raises(ValueError):
             parse_device_specs(bad)
 
+    def test_zero_count_group_names_the_offender(self):
+        # "0x1.0" parses as count=0 — not a malformed token, a nonsensical
+        # cluster — so the message must say the count is the problem
+        with pytest.raises(ValueError, match="count >= 1") as err:
+            parse_device_specs("0x1.0")
+        assert "0x1.0" in str(err.value)
+        with pytest.raises(ValueError, match="count >= 1"):
+            parse_device_specs("2x1.0,0x0.5")
+
+    @pytest.mark.parametrize("bad", ("", "   ", "2x1.0,,1.0", "1.0,", ",0.5"))
+    def test_empty_segments_are_called_out(self, bad):
+        with pytest.raises(ValueError, match="empty device group"):
+            parse_device_specs(bad)
+
+    @pytest.mark.parametrize("bad", ("2x", "x1.0", "2x1x0.5"))
+    def test_malformed_groups_show_expected_shape(self, bad):
+        with pytest.raises(ValueError, match="COUNTxSPEED") as err:
+            parse_device_specs(bad)
+        assert repr(bad) in str(err.value)
+
     @pytest.mark.parametrize("bad", ("2xnan", "1xinf", "nan", "-inf"))
     def test_parse_rejects_non_finite_speeds(self, bad):
         # NaN compares False against every bound; without an explicit

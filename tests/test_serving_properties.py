@@ -14,6 +14,14 @@ and cluster shape, not just the hand-picked fixtures of the unit suites:
   ``inflation`` is the residency-interference multiplier, and busy time
   is monotonically non-increasing in ``overlap``.
 
+* **Chaos invariants** — for *any* seeded fault plan (crashes with or
+  without warm restart, stall windows, slowdowns, transient phase
+  errors) and any priority mix: conservation extends to
+  ``completed + rejected + shed == arrived``, no micro-batch ever starts
+  on a dead or stalled device, per-device dispatch timelines stay
+  monotone across failure gaps, and every request that completes does so
+  with a transcript bit-identical to the fault-free decode.
+
 All examples are bounded and deadline-free (``deadline=None``,
 ``derandomize=True``) so the suite is CI-stable by construction.
 """
@@ -30,10 +38,20 @@ from repro.serving import (
     ClusterConfig,
     ContinuousBatchScheduler,
     Device,
+    DeviceCrash,
+    DeviceSlowdown,
+    DeviceStall,
+    FaultPlan,
+    PhaseErrorRate,
     SchedulerConfig,
 )
 from repro.serving.arrivals import Arrival
-from repro.serving.request import STATUS_COMPLETED, STATUS_REJECTED
+from repro.serving.request import (
+    PRIORITY_CLASSES,
+    STATUS_COMPLETED,
+    STATUS_REJECTED,
+    STATUS_SHED,
+)
 
 STABLE = settings(max_examples=30, deadline=None, derandomize=True)
 STABLE_SMALL = settings(max_examples=15, deadline=None, derandomize=True)
@@ -224,3 +242,126 @@ class TestRequestConservation:
         assert len(stats.per_device_busy_ms) == cluster.devices
         assert sum(stats.per_device_busy_ms) == pytest.approx(stats.device_busy_ms)
         assert all(busy >= 0.0 for busy in stats.per_device_busy_ms)
+
+
+CHAOS_DEVICES = 4
+event_times = st.floats(min_value=0.0, max_value=2500.0, allow_nan=False)
+chaos_device_indices = st.integers(min_value=0, max_value=CHAOS_DEVICES - 1)
+
+
+@st.composite
+def fault_plans(draw):
+    """Any composition of the four fault kinds on a 4-device cluster."""
+    events = []
+    if draw(st.booleans()):  # at most one crash keeps the plan valid
+        events.append(
+            DeviceCrash(
+                device=draw(chaos_device_indices),
+                at_ms=draw(event_times),
+                restart_delay_ms=draw(
+                    st.one_of(
+                        st.none(),
+                        st.floats(min_value=50.0, max_value=1500.0),
+                    )
+                ),
+            )
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        events.append(
+            DeviceStall(
+                device=draw(chaos_device_indices),
+                at_ms=draw(event_times),
+                duration_ms=draw(st.floats(min_value=10.0, max_value=800.0)),
+            )
+        )
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        events.append(
+            DeviceSlowdown(
+                device=draw(chaos_device_indices),
+                factor=draw(st.floats(min_value=0.1, max_value=2.0)),
+                at_ms=draw(event_times),
+                duration_ms=draw(st.floats(min_value=50.0, max_value=1500.0)),
+            )
+        )
+    if draw(st.booleans()):
+        events.append(
+            PhaseErrorRate(rate=draw(st.floats(min_value=0.0, max_value=0.25)))
+        )
+    return FaultPlan(events=tuple(events), seed=draw(st.integers(0, 3)))
+
+
+class TestChaosInvariants:
+    @given(
+        plan=fault_plans(),
+        arrival_gaps=st.lists(
+            st.floats(min_value=0.0, max_value=400.0, allow_nan=False),
+            min_size=2,
+            max_size=10,
+        ),
+        priorities=st.lists(
+            st.sampled_from(PRIORITY_CLASSES), min_size=10, max_size=10
+        ),
+        max_batch=st.integers(min_value=1, max_value=3),
+    )
+    @STABLE_SMALL
+    def test_conservation_and_timelines_hold_under_any_plan(
+        self,
+        serving_decoder,
+        clean_dataset,
+        plan,
+        arrival_gaps,
+        priorities,
+        max_batch,
+    ):
+        trace = []
+        now = 0.0
+        for index, gap in enumerate(arrival_gaps):
+            now += gap
+            trace.append(
+                Arrival(index, index % len(clean_dataset), now, priorities[index])
+            )
+        scheduler = ContinuousBatchScheduler(
+            serving_decoder,
+            SchedulerConfig(max_batch=max_batch, max_inflight=max_batch + 2),
+            ClusterConfig(devices=CHAOS_DEVICES, router="disaggregated"),
+            faults=plan,
+        )
+        records = scheduler.run(trace, clean_dataset)
+        stats = scheduler.last_stats
+
+        # conservation now includes shedding: every arrival is accounted for
+        by_status = {
+            status: sum(1 for r in records if r.status == status)
+            for status in (STATUS_COMPLETED, STATUS_REJECTED, STATUS_SHED)
+        }
+        assert sum(by_status.values()) == len(records)
+        assert stats.shed == by_status[STATUS_SHED]
+        for record in records:
+            if record.status == STATUS_SHED:
+                assert record.shed_reason in ("deadline", "retries", "capacity")
+
+        # no micro-batch ever starts on a dead or stalled device, and each
+        # device's dispatch timeline stays monotone across failure gaps
+        profiles = plan.profiles(CHAOS_DEVICES)
+        per_device_end = [0.0] * CHAOS_DEVICES
+        for device_index, start, end, phases, _aborted in scheduler.last_dispatch_log:
+            assert profiles[device_index].available(start)
+            assert phases >= 1
+            assert start >= per_device_end[device_index] - 1e-9
+            assert end >= start
+            per_device_end[device_index] = end
+
+        # completers' transcripts are bit-identical to the fault-free decode
+        for record in records:
+            if record.status != STATUS_COMPLETED:
+                continue
+            reference = serving_decoder.decode(record.request.utterance)
+            assert record.tokens == list(reference.tokens)
+            assert record.decode_ms == reference.total_ms
+            assert record.finish_ms <= stats.sim_end_ms + 1e-9
+
+        # wasted work only exists when batches were actually aborted
+        aborted = sum(1 for entry in scheduler.last_dispatch_log if entry[4])
+        if aborted == 0:
+            assert stats.wasted_busy_ms == 0.0
+        assert stats.fault_events == len(plan.events)

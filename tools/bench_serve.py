@@ -86,6 +86,21 @@ CLUSTER_POINTS = (
 #: Speculative methods the cluster grid is evaluated for.
 CLUSTER_METHODS = ("spec(8,1)", "specasr-asp")
 
+#: Chaos grid: sustained QPS at the SLO with 0/1/2 injected device failures
+#: on the 4-device disaggregated cluster (crashes are permanent — the
+#: harshest case; warm restarts are covered by the determinism check).
+CHAOS_METHOD = "specasr-asp"
+CHAOS_CLUSTER = (4, "disaggregated", "fixed", "")
+CHAOS_POINTS = (
+    ("0-failures", ""),
+    ("1-failure", "crash@500:dev3"),
+    ("2-failures", "crash@500:dev3;crash@1000:dev1"),
+)
+
+#: Fault plan exercised by the chaos determinism check (crash + warm
+#: restart + transient errors, the acceptance scenario).
+CHAOS_DETERMINISM_FAULTS = "crash@2000:dev3:restart=1500;perr:0.02"
+
 
 def _point_key(devices: int, router: str, split: str, device_spec: str) -> str:
     """Stable grid-entry key; legacy points keep their PR-3 names."""
@@ -163,6 +178,45 @@ def _check_determinism(config: ServeSimConfig) -> None:
                 f"{_point_key(devices, router, split, device_spec)} "
                 "— cluster determinism contract violated"
             )
+    # Chaos contract: a seeded fault plan (crash + warm restart + transient
+    # errors) is fully deterministic, conserves requests, and every request
+    # that still completes has a transcript bit-identical to the fault-free
+    # run.
+    from repro.serving import parse_fault_spec
+
+    devices, router, split, device_spec = CHAOS_CLUSTER
+    point = _point_config(config, devices, router, split, device_spec)
+    plan = parse_fault_spec(CHAOS_DETERMINISM_FAULTS)
+    runs = []
+    for _ in range(2):
+        scheduler = ContinuousBatchScheduler(
+            decoder, config.scheduler_config(), point.cluster_config(), faults=plan
+        )
+        records = scheduler.run(trace, dataset)
+        runs.append(
+            [
+                (r.status, tuple(r.tokens), r.decode_ms, r.finish_ms, r.retries)
+                for r in records
+            ]
+        )
+        terminal = sum(
+            1 for r in records if r.status in ("completed", "rejected", "shed")
+        )
+        if terminal != len(records):
+            raise AssertionError(
+                "request conservation violated under the chaos fault plan"
+            )
+        assert reference is not None
+        for record, (ref_tokens, ref_decode) in zip(records, reference):
+            if record.status == "completed" and (
+                record.tokens != ref_tokens or record.decode_ms != ref_decode
+            ):
+                raise AssertionError(
+                    f"{record.request.request_id}: transcript diverged from "
+                    "the fault-free run under the chaos fault plan"
+                )
+    if runs[0] != runs[1]:
+        raise AssertionError("re-running the chaos simulation diverged")
 
 
 def _cluster_entry(
@@ -209,6 +263,37 @@ def _method_entry(args, method: str, num_requests: int) -> dict:
     }
 
 
+def _chaos_entry(args, num_requests: int) -> dict:
+    """Sustained QPS at the SLO with 0/1/2 injected failures (K=4 disagg)."""
+    devices, router, split, device_spec = CHAOS_CLUSTER
+    base = _point_config(
+        replace(_base_config(args, num_requests), method=CHAOS_METHOD),
+        devices,
+        router,
+        split,
+        device_spec,
+    )
+    decoder = build_decoder(base)
+    grid = {}
+    for label, faults in CHAOS_POINTS:
+        config = replace(base, faults=faults)
+        max_qps, _ = max_sustainable_qps(
+            config, target_ratio=args.slo_target, decoder=decoder
+        )
+        grid[label] = round(max_qps, 3)
+    fault_free = grid["0-failures"]
+    return {
+        "method": CHAOS_METHOD,
+        "cluster": _point_key(devices, router, split, device_spec),
+        "faults": dict(CHAOS_POINTS),
+        "max_sustainable_qps": grid,
+        "retention_vs_fault_free": {
+            label: round(qps / fault_free, 3) if fault_free > 0 else None
+            for label, qps in grid.items()
+        },
+    }
+
+
 def run_bench(args) -> dict:
     config = _base_config(args, args.requests)
     _check_determinism(replace(config, method="specasr-asp"))
@@ -227,6 +312,8 @@ def run_bench(args) -> dict:
             args.requests,
             colocated_1x=methods[method]["max_sustainable_qps"],
         )
+    clear_acoustic_caches()
+    chaos = _chaos_entry(args, args.requests)
     wall_s = time.perf_counter() - start
 
     baseline_qps = methods["autoregressive"]["max_sustainable_qps"]
@@ -258,10 +345,14 @@ def run_bench(args) -> dict:
         "methods": methods,
         "capacity_vs_autoregressive": capacity_vs_ar,
         "cluster_max_sustainable_qps": cluster,
+        "chaos": chaos,
         "determinism": {
             "serial_vs_batched_decode_identical": True,
             "batched_rerun_identical": True,
             "cluster_transcripts_and_decode_identical": True,
+            "chaos_rerun_identical": True,
+            "chaos_surviving_transcripts_identical": True,
+            "chaos_request_conservation": True,
         },
         "wall": {
             "wall_s": round(wall_s, 4),
@@ -326,7 +417,73 @@ def _smoke_measure(args) -> dict:
     }
 
 
+def _chaos_smoke(args) -> int:
+    """Chaos guard: capacity retention and determinism under one failure.
+
+    Asserts that one injected device failure on the 4-device disaggregated
+    cluster retains >= 0.5x the fault-free sustained QPS, that the chaos
+    simulation is rerun-identical, and that requests are conserved.
+    """
+    chaos = _chaos_entry(args, args.smoke_requests)
+    grid = chaos["max_sustainable_qps"]
+    print(
+        f"chaos [{chaos['method']} @ {chaos['cluster']}]: "
+        + ", ".join(f"{label} {qps} qps" for label, qps in grid.items())
+    )
+    if args.smoke_output:
+        out = Path(args.smoke_output)
+        path = out.with_name(out.stem + "_chaos" + out.suffix)
+        path.write_text(json.dumps(chaos, indent=2) + "\n")
+        print(f"wrote {path}")
+    fault_free = grid["0-failures"]
+    one_failure = grid["1-failure"]
+    if fault_free <= 0:
+        print("FAIL: fault-free chaos baseline sustains no load", file=sys.stderr)
+        return 1
+    if one_failure < 0.5 * fault_free:
+        print(
+            f"FAIL: one injected failure drops sustained QPS to "
+            f"{one_failure} (< 0.5x the fault-free {fault_free})",
+            file=sys.stderr,
+        )
+        return 1
+    devices, router, split, device_spec = CHAOS_CLUSTER
+    point = _point_config(
+        replace(
+            _base_config(args, args.smoke_requests),
+            method=CHAOS_METHOD,
+            faults=CHAOS_DETERMINISM_FAULTS,
+        ),
+        devices,
+        router,
+        split,
+        device_spec,
+    )
+    decoder = build_decoder(point)
+    first = simulate(point, decoder=decoder)
+    second = simulate(point, decoder=decoder)
+    if first.to_dict() != second.to_dict():
+        print("FAIL: re-running the chaos simulation diverged", file=sys.stderr)
+        return 1
+    if first.completed + first.rejected + first.shed != first.num_requests:
+        print(
+            "FAIL: request conservation violated under the chaos fault plan",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"chaos determinism: rerun identical, conservation holds "
+        f"({first.completed} completed / {first.rejected} rejected / "
+        f"{first.shed} shed of {first.num_requests})"
+    )
+    return 0
+
+
 def run_smoke(args) -> int:
+    if args.chaos:
+        status = _chaos_smoke(args)
+        if status != 0:
+            return status
     smoke = _smoke_measure(args)
     print(
         f"smoke: {smoke['sim_requests_per_s']} simulated requests/s "
@@ -432,6 +589,12 @@ def main(argv=None) -> int:
         "--smoke",
         action="store_true",
         help="reduced run; fail on >tolerance regression",
+    )
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="with --smoke: also assert fault-injection capacity retention "
+        "(1 failure >= 0.5x fault-free) and chaos determinism",
     )
     parser.add_argument("--smoke-requests", type=int, default=24)
     parser.add_argument(
