@@ -159,8 +159,10 @@ def _build_parser() -> argparse.ArgumentParser:
         "--device-spec",
         default="",
         help="heterogeneous cluster shorthand, comma-separated COUNTxSPEED "
-        "groups (e.g. 2x1.0,2x0.5 = two full-speed + two half-speed "
-        "accelerators); sets the device count, so --devices may be omitted",
+        "groups with an optional @BLOCKS KV capacity (e.g. "
+        "2x1.0@64,2x0.5 = two full-speed devices with 64 KV blocks each "
+        "+ two half-speed ones); sets the device count, so --devices may "
+        "be omitted",
     )
     serve_parser.add_argument(
         "--split",
@@ -219,6 +221,31 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="fraction of synthetic arrivals tagged batch-class (seeded)",
+    )
+    serve_parser.add_argument(
+        "--memory-blocks",
+        type=int,
+        default=None,
+        help="KV-cache capacity per device, in blocks (default: memory is "
+        "unconstrained; per-device @BLOCKS in --device-spec overrides)",
+    )
+    serve_parser.add_argument(
+        "--block-size",
+        type=int,
+        default=16,
+        help="tokens per KV block",
+    )
+    serve_parser.add_argument(
+        "--no-prefix-sharing",
+        action="store_true",
+        help="disable copy-on-write prefix sharing across requests that "
+        "decode the same utterance",
+    )
+    serve_parser.add_argument(
+        "--reprefill-ms-per-block",
+        type=float,
+        default=2.0,
+        help="device-time cost of rebuilding one evicted KV block on resume",
     )
     serve_parser.add_argument(
         "--no-max-qps", action="store_true", help="skip the max-sustainable-QPS search"
@@ -292,36 +319,41 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
         simulate,
     )
 
-    config = ServeSimConfig(
-        method=args.method,
-        pairing=args.pairing,
-        qps=args.qps,
-        num_requests=args.requests,
-        seed=args.seed,
-        utterances=args.utterances,
-        arrival=args.arrival,
-        deadline_ms=args.deadline_ms,
-        max_batch=args.batch,
-        max_inflight=args.inflight,
-        queue_capacity=args.queue_capacity,
-        overlap=args.overlap,
-        devices=args.devices,
-        router=args.router,
-        pool_split=args.split,
-        device_spec=args.device_spec,
-        faults=args.faults,
-        fault_seed=args.fault_seed,
-        max_retries=args.max_retries,
-        retry_backoff_ms=args.retry_backoff_ms,
-        straggler_k=args.straggler_k,
-        admission_deadline_ms=args.admission_deadline_ms,
-        batch_deadline_ms=args.batch_deadline_ms,
-        batch_fraction=args.batch_fraction,
-    )
     try:
-        # Cross-argument validation (e.g. disaggregation needs >= 2 devices,
+        # Construction validates the memory spec; the calls below do the
+        # cross-argument validation (e.g. disaggregation needs >= 2 devices,
         # max_inflight >= max_batch, fault events naming absent devices) —
         # fail with a clean message, not a traceback.
+        config = ServeSimConfig(
+            method=args.method,
+            pairing=args.pairing,
+            qps=args.qps,
+            num_requests=args.requests,
+            seed=args.seed,
+            utterances=args.utterances,
+            arrival=args.arrival,
+            deadline_ms=args.deadline_ms,
+            max_batch=args.batch,
+            max_inflight=args.inflight,
+            queue_capacity=args.queue_capacity,
+            overlap=args.overlap,
+            devices=args.devices,
+            router=args.router,
+            pool_split=args.split,
+            device_spec=args.device_spec,
+            faults=args.faults,
+            fault_seed=args.fault_seed,
+            max_retries=args.max_retries,
+            retry_backoff_ms=args.retry_backoff_ms,
+            straggler_k=args.straggler_k,
+            admission_deadline_ms=args.admission_deadline_ms,
+            batch_deadline_ms=args.batch_deadline_ms,
+            batch_fraction=args.batch_fraction,
+            memory_blocks=args.memory_blocks,
+            block_size=args.block_size,
+            prefix_sharing=not args.no_prefix_sharing,
+            reprefill_ms_per_block=args.reprefill_ms_per_block,
+        )
         config.scheduler_config()
         cluster = config.cluster_config()
         plan = config.fault_plan()

@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Generator, Protocol, Sequence
 
-from repro.models.latency import SimClock
+from repro.models.latency import KIND_ENCODE, SimClock
 
 
 @dataclass
@@ -156,6 +156,24 @@ class PhaseOutcome:
     new_tokens: tuple[int, ...]
     round_done: bool  # this phase completes a draft→verify round
     done: bool  # the whole decode finished
+    kv_peak: int = 0  # peak KV extent (cached + new positions) of the phase
+
+
+def _phase_kv_peak(events) -> int:
+    """Peak cache extent one phase's forward passes reach.
+
+    ``cached + new`` of a pass is the KV length after it; the maximum over
+    the phase's events is the block demand the serving memory gate
+    reserves.  Encoder passes don't occupy decoder KV and are skipped.
+    """
+    peak = 0
+    for event in events:
+        if event.kind == KIND_ENCODE:
+            continue
+        extent = event.cached_tokens + event.new_tokens
+        if extent > peak:
+            peak = extent
+    return peak
 
 
 #: A round generator yields ``(newly_committed_tokens, done)`` once per
@@ -232,6 +250,7 @@ class DecodeStepper:
         device regardless of routing policy).  Phase-split decoders override
         this with true draft/verify stepping (:class:`PhasedDecodeStepper`).
         """
+        events_before = len(self.clock.events)
         outcome = self.step()
         return PhaseOutcome(
             phase=PHASE_VERIFY,
@@ -240,6 +259,7 @@ class DecodeStepper:
             new_tokens=outcome.new_tokens,
             round_done=True,
             done=outcome.done,
+            kv_peak=_phase_kv_peak(self.clock.events[events_before:]),
         )
 
     def drain(self) -> DecodeResult:
@@ -279,14 +299,15 @@ class PhasedDecodeStepper(DecodeStepper):
                     self._finish(stop)
                 else:
                     raise RuntimeError("phase generator yielded past done=True")
-        ms = sum(event.ms for event in self.clock.events[events_before:])
+        events = self.clock.events[events_before:]
         return PhaseOutcome(
             phase=phase,
             model=model,
-            ms=ms,
+            ms=sum(event.ms for event in events),
             new_tokens=tuple(tokens),
             round_done=round_done or done,
             done=done,
+            kv_peak=_phase_kv_peak(events),
         )
 
     def step(self) -> StepOutcome:

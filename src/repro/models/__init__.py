@@ -1,7 +1,6 @@
 """Simulated model substrate: vocabulary, latency, emission oracle, models."""
 
 from repro.models.acoustic import EmissionOracle, OracleParams, OracleStep
-from repro.models.kv_cache import KVCacheTracker
 from repro.models.latency import LatencyEvent, LatencyProfile, SimClock, forward_ms
 from repro.models.registry import (
     ModelSpec,
@@ -18,6 +17,18 @@ from repro.models.simulated import (
 )
 from repro.models.textlm import SimulatedTextLM, TextSession
 from repro.models.vocab import Vocabulary, build_default_vocabulary
+
+
+def __getattr__(name: str):
+    # KVCacheTracker's home is now repro.serving.memory (one public surface
+    # for session- and cluster-level KV accounting).  Resolved lazily: an
+    # eager import here would cycle through repro.serving while this
+    # package is still initialising.
+    if name == "KVCacheTracker":
+        from repro.serving.memory import KVCacheTracker
+
+        return KVCacheTracker
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "DecodeSession",

@@ -1,54 +1,23 @@
-"""KV-cache accounting for simulated decoder sessions.
+"""Deprecated shim: KV-cache accounting moved to :mod:`repro.serving.memory`.
 
-Tracks the number of cached key/value positions per session, including
-rollbacks when speculative tokens are rejected.  The cache length feeds the
-attention term of the latency model, and the counters let benches report how
-much cache churn each decoding strategy causes.
+The per-session tracker grew into the serving layer's paged block
+allocator (:class:`~repro.serving.memory.ClusterKVMemory`), so the whole
+public surface now lives there — one place exports both the session-level
+tracker and the cluster-level allocator.  This module re-exports
+:class:`KVCacheTracker` for old imports and will be removed.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
+from repro.serving.memory import KVCacheTracker
 
-@dataclass
-class KVCacheTracker:
-    """Current cache length plus lifetime append/rollback counters."""
+__all__ = ["KVCacheTracker"]
 
-    length: int = 0
-    peak: int = 0
-    appended_total: int = 0
-    rolled_back_total: int = 0
-    rollback_events: int = 0
-    _history: list[int] = field(default_factory=list, repr=False)
-
-    def append(self, count: int) -> None:
-        """Cache ``count`` new positions."""
-        if count < 0:
-            raise ValueError(f"cannot append negative count {count}")
-        self.length += count
-        self.appended_total += count
-        self.peak = max(self.peak, self.length)
-        self._history.append(self.length)
-
-    def rollback_to(self, length: int) -> None:
-        """Discard cached positions beyond ``length`` (rejected tokens)."""
-        if length < 0:
-            raise ValueError(f"cannot rollback to negative length {length}")
-        if length > self.length:
-            raise ValueError(
-                f"rollback target {length} exceeds current length {self.length}"
-            )
-        dropped = self.length - length
-        if dropped:
-            self.rolled_back_total += dropped
-            self.rollback_events += 1
-        self.length = length
-        self._history.append(self.length)
-
-    @property
-    def waste_ratio(self) -> float:
-        """Fraction of appended positions that were later rolled back."""
-        if self.appended_total == 0:
-            return 0.0
-        return self.rolled_back_total / self.appended_total
+warnings.warn(
+    "repro.models.kv_cache is deprecated; import KVCacheTracker from "
+    "repro.serving.memory (or repro.serving) instead",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -31,7 +31,6 @@ from typing import Iterator, NamedTuple, Sequence
 
 from repro.data.corpus import Utterance
 from repro.models.acoustic import EmissionOracle, OracleFactory, OracleParams
-from repro.models.kv_cache import KVCacheTracker
 from repro.models.latency import (
     KIND_DECODE,
     KIND_DRAFT,
@@ -51,6 +50,17 @@ EMBEDDINGS_PER_SECOND = 5.0
 
 #: Fixed text-prompt length prepended during prefill ("transcribe:" etc.).
 TEXT_PROMPT_TOKENS = 8
+
+
+def prompt_token_count(utterance) -> int:
+    """Prompt positions one session prefills for ``utterance``.
+
+    Audio embeddings (encoder output after downsampling) plus the fixed
+    text prompt.  The serving memory gate uses the same arithmetic to bill
+    a session's resident prompt blocks without building a session.
+    """
+    duration = getattr(utterance, "duration_s", 0.0)
+    return max(1, int(duration * EMBEDDINGS_PER_SECOND)) + TEXT_PROMPT_TOKENS
 
 #: Default bound on the per-model oracle cache (distinct utterances held).
 DEFAULT_ORACLE_CACHE = 64
@@ -248,6 +258,11 @@ class DecodeSession:
         self.model = model
         self.utterance = utterance
         self.clock = clock
+        # Deferred import: the tracker lives with the serving-layer block
+        # allocator, and a module-level import here would cycle through
+        # repro.serving.__init__ while repro.models is still initialising.
+        from repro.serving.memory import KVCacheTracker
+
         self.kv = KVCacheTracker()
         self._oracle = model.oracle(utterance)
         results = _RESULT_CACHES.get(self._oracle)
@@ -273,7 +288,7 @@ class DecodeSession:
         self._prefilled = True
         duration = self.utterance.duration_s
         audio_embeddings = max(1, int(duration * EMBEDDINGS_PER_SECOND))
-        self._prompt_tokens = audio_embeddings + TEXT_PROMPT_TOKENS
+        self._prompt_tokens = prompt_token_count(self.utterance)
         if self.model.encoder_latency_ms_per_10s > 0:
             encoder_ms = self.model.encoder_latency_ms_per_10s * duration / 10.0
             self.clock.record(
@@ -281,7 +296,7 @@ class DecodeSession:
             )
         ms = prefill_ms(self.model.latency, self._prompt_tokens)
         self.clock.record(self.model.name, KIND_PREFILL, self._prompt_tokens, 0, ms)
-        self.kv.append(self._prompt_tokens)
+        self.kv.prefill(self._prompt_tokens)
 
     @property
     def prompt_tokens(self) -> int:
@@ -370,7 +385,7 @@ class DecodeSession:
         """One single-token forward pass."""
         self._require_prefill()
         node = self._resolve(prefix)
-        cached = self._prompt_tokens + node.depth
+        cached = self.kv.context_length(node.depth)
         ms = forward_ms(self.model.latency, 1, cached)
         self.clock.record(self.model.name, kind, 1, cached, ms)
         self.kv.append(1)
@@ -387,7 +402,7 @@ class DecodeSession:
         nodes = [self._resolve(p) for p in prefixes]
         if not nodes:
             raise ValueError("step_frontier needs at least one prefix")
-        cached = self._prompt_tokens + max(node.depth for node in nodes)
+        cached = self.kv.context_length(max(node.depth for node in nodes))
         ms = forward_ms(self.model.latency, len(nodes), cached)
         self.clock.record(self.model.name, kind, len(nodes), cached, ms)
         self.kv.append(len(nodes))
@@ -410,7 +425,7 @@ class DecodeSession:
         billed = billed_tokens if billed_tokens is not None else len(nodes)
         if billed < 1:
             raise ValueError(f"billed_tokens must be >= 1, got {billed}")
-        cached = self._prompt_tokens + min(node.depth for node in nodes)
+        cached = self.kv.context_length(min(node.depth for node in nodes))
         ms = forward_ms(self.model.latency, billed, cached)
         self.clock.record(self.model.name, KIND_VERIFY, billed, cached, ms)
         self.kv.append(billed)
@@ -425,7 +440,7 @@ class DecodeSession:
         divergence-state entries.  The subtree *below* the committed node is
         retained — it is the live speculation cache for the next round.
         """
-        target = self._prompt_tokens + kept_prefix_len
+        target = self.kv.context_length(kept_prefix_len)
         if target <= self.kv.length:
             self.kv.rollback_to(target)
         if keep is not None and keep.session is self:

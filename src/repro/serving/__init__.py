@@ -15,8 +15,22 @@ phase errors — and the scheduler recovers deterministically: failed phases
 requeue with bounded exponential backoff, pools re-plan on membership
 change, stragglers are duplicated first-finisher-wins, and overload sheds
 work by priority class instead of blowing every SLO at once.
+
+Memory is a first-class scheduling constraint: a paged KV-block allocator
+(:mod:`repro.serving.memory`) bills draft- and target-model cache residency
+per session, gates dispatch on free blocks, LRU-evicts idle sessions under
+pressure (resume pays a simulated re-prefill), and shares committed prefix
+blocks copy-on-write across requests decoding the same utterance.
 """
 
+# memory is a stdlib-only leaf; importing it first keeps these names
+# resolvable even while the heavier simulator imports below initialise.
+from repro.serving.memory import (
+    DEFAULT_BLOCK_SIZE,
+    ClusterKVMemory,
+    KVCacheTracker,
+    MemorySpec,
+)
 from repro.serving.arrivals import (
     Arrival,
     load_trace,
@@ -51,6 +65,10 @@ from repro.serving.request import (
     PRIORITY_BATCH,
     PRIORITY_CLASSES,
     PRIORITY_INTERACTIVE,
+    SHED_CAPACITY,
+    SHED_DEADLINE,
+    SHED_MEMORY,
+    SHED_RETRIES,
     STATUS_COMPLETED,
     STATUS_PENDING,
     STATUS_REJECTED,
@@ -80,6 +98,8 @@ from repro.serving.scheduler import (
     ScheduleStats,
 )
 from repro.serving.simulator import (
+    ChaosSpec,
+    ClusterSpec,
     ServeSimConfig,
     build_decoder,
     max_sustainable_qps,
@@ -90,8 +110,12 @@ from repro.serving.simulator import (
 __all__ = [
     "AdmissionQueue",
     "Arrival",
+    "ChaosSpec",
     "ClusterConfig",
+    "ClusterKVMemory",
+    "ClusterSpec",
     "ContinuousBatchScheduler",
+    "DEFAULT_BLOCK_SIZE",
     "Device",
     "DeviceCrash",
     "DeviceFaultProfile",
@@ -99,7 +123,9 @@ __all__ = [
     "DeviceSpec",
     "DeviceStall",
     "FaultPlan",
+    "KVCacheTracker",
     "MODEL_SWITCH_COST",
+    "MemorySpec",
     "PRIORITY_BATCH",
     "PRIORITY_CLASSES",
     "PRIORITY_INTERACTIVE",
@@ -111,6 +137,10 @@ __all__ = [
     "ROUTER_REGISTRY",
     "RequestRecord",
     "RetryPolicy",
+    "SHED_CAPACITY",
+    "SHED_DEADLINE",
+    "SHED_MEMORY",
+    "SHED_RETRIES",
     "SPLIT_BALANCED",
     "SPLIT_FIXED",
     "SPLIT_POLICIES",

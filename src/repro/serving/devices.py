@@ -71,13 +71,21 @@ class DeviceSpec:
     ``switch_cost`` override the cluster-wide defaults when set (``None``
     inherits them), so a cluster can mix well-batching parts with ones
     whose batching efficiency or residency-interference penalty differs.
+    ``memory_blocks`` is the device's KV-cache capacity in blocks (see
+    :mod:`repro.serving.memory`); ``None`` inherits the cluster-wide
+    default from :class:`~repro.serving.memory.MemorySpec`.
     """
 
     speed: float = 1.0
     overlap: float | None = None
     switch_cost: float | None = None
+    memory_blocks: int | None = None
 
     def __post_init__(self) -> None:
+        if self.memory_blocks is not None and self.memory_blocks < 1:
+            raise ValueError(
+                f"memory_blocks must be >= 1 when set, got {self.memory_blocks}"
+            )
         # NaN compares False against every bound, so an explicit finiteness
         # check is required — a NaN speed would otherwise poison `free_at`
         # and hang the scheduler's event loop.
@@ -99,6 +107,8 @@ def parse_device_specs(text: str) -> tuple[DeviceSpec, ...]:
     The grammar is comma-separated groups of ``COUNTxSPEED`` (or a bare
     ``SPEED`` for a single device): ``"2x1.0,2x0.5"`` is two full-speed
     plus two half-speed accelerators, ``"1.0,0.25"`` a fast/slow pair.
+    A group may append ``@BLOCKS`` to give its devices a KV-memory
+    capacity (``"2x1.0@64,2x0.5@32"`` — see :mod:`repro.serving.memory`).
     Order matters — it fixes device indices, which the deterministic
     tie-breaks key on.
     """
@@ -110,9 +120,25 @@ def parse_device_specs(text: str) -> tuple[DeviceSpec, ...]:
                 f"empty device group in spec {text!r}; every comma-separated "
                 "segment must be COUNTxSPEED (e.g. 2x1.0) or a bare SPEED"
             )
-        count_text, sep, speed_text = item.partition("x")
+        body, at, blocks_text = item.partition("@")
+        blocks: int | None = None
+        if at:
+            try:
+                blocks = int(blocks_text)
+            except ValueError:
+                raise ValueError(
+                    f"bad memory capacity {blocks_text!r} in device group "
+                    f"{item!r} of spec {text!r}; @BLOCKS needs an integer "
+                    "block count (e.g. 2x1.0@64)"
+                ) from None
+            if blocks < 1:
+                raise ValueError(
+                    f"device group {item!r} in spec {text!r} asks for "
+                    f"{blocks} memory block(s); @BLOCKS needs a count >= 1"
+                )
+        count_text, sep, speed_text = body.partition("x")
         if not sep:
-            count_text, speed_text = "1", item
+            count_text, speed_text = "1", body
         try:
             count = int(count_text)
             speed = float(speed_text)
@@ -126,25 +152,31 @@ def parse_device_specs(text: str) -> tuple[DeviceSpec, ...]:
                 f"device group {item!r} in spec {text!r} asks for {count} "
                 "device(s); each COUNTxSPEED group needs a count >= 1"
             )
-        specs.extend(DeviceSpec(speed=speed) for _ in range(count))
+        specs.extend(
+            DeviceSpec(speed=speed, memory_blocks=blocks) for _ in range(count)
+        )
     return tuple(specs)
 
 
 def format_device_specs(specs: Sequence[DeviceSpec]) -> str:
     """Canonical ``COUNTxSPEED`` rendering of the spec list's *speeds*.
 
-    The parser's inverse for speed-only specs; per-spec ``overlap``/
+    The parser's inverse for speed/memory specs; per-spec ``overlap``/
     ``switch_cost`` overrides are display-irrelevant here and not encoded.
-    Adjacent equal speeds group (``"2x1,2x0.5"``); non-adjacent runs stay
+    Adjacent equal specs group (``"2x1,2x0.5@32"``); non-adjacent runs stay
     separate so device order — which tie-breaks key on — remains visible.
     """
-    groups: list[tuple[float, int]] = []
+    groups: list[tuple[float, int | None, int]] = []
     for spec in specs:
-        if groups and groups[-1][0] == spec.speed:
-            groups[-1] = (spec.speed, groups[-1][1] + 1)
+        key = (spec.speed, spec.memory_blocks)
+        if groups and groups[-1][:2] == key:
+            groups[-1] = (*key, groups[-1][2] + 1)
         else:
-            groups.append((spec.speed, 1))
-    return ",".join(f"{count}x{speed:g}" for speed, count in groups)
+            groups.append((*key, 1))
+    return ",".join(
+        f"{count}x{speed:g}" + (f"@{blocks}" if blocks is not None else "")
+        for speed, blocks, count in groups
+    )
 
 
 class Device:
@@ -166,6 +198,7 @@ class Device:
         "speed",
         "overlap",
         "switch_cost",
+        "memory_blocks",
         "free_at",
         "busy_ms",
         "batches",
@@ -181,6 +214,7 @@ class Device:
         overlap: float,
         switch_cost: float = MODEL_SWITCH_COST,
         speed: float = 1.0,
+        memory_blocks: int | None = None,
     ) -> None:
         if not 0.0 <= overlap <= 1.0:
             raise ValueError(f"overlap must be in [0, 1], got {overlap}")
@@ -188,11 +222,16 @@ class Device:
             raise ValueError(f"switch_cost must be finite and >= 0, got {switch_cost}")
         if not math.isfinite(speed) or speed <= 0:
             raise ValueError(f"speed must be finite and > 0, got {speed}")
+        if memory_blocks is not None and memory_blocks < 1:
+            raise ValueError(
+                f"memory_blocks must be >= 1 when set, got {memory_blocks}"
+            )
         self.index = index
         self.device_id = f"dev{index}"
         self.speed = speed
         self.overlap = overlap
         self.switch_cost = switch_cost
+        self.memory_blocks = memory_blocks  # KV capacity; None = no override
         self.free_at = 0.0  # sim time the device next goes idle
         self.busy_ms = 0.0  # total occupancy
         self.batches = 0  # device iterations executed
@@ -329,6 +368,7 @@ def make_devices(
             overlap if spec.overlap is None else spec.overlap,
             switch_cost if spec.switch_cost is None else spec.switch_cost,
             speed=spec.speed,
+            memory_blocks=spec.memory_blocks,
         )
         for index, spec in enumerate(specs)
     ]

@@ -151,6 +151,25 @@ class ServeReport:
             "wasted_busy_ms": round(stats.wasted_busy_ms, 3),
         }
 
+    @property
+    def memory_active(self) -> bool:
+        """True when the run billed KV blocks (memory accounting was on)."""
+        return self.stats.block_size > 0
+
+    def memory_dict(self) -> dict:
+        """The KV-block accounting block of :meth:`to_dict`."""
+        stats = self.stats
+        return {
+            "device_blocks": list(stats.memory_blocks),
+            "peak_blocks": list(stats.peak_memory_blocks),
+            "block_size": stats.block_size,
+            "evictions": stats.evictions,
+            "evicted_blocks": stats.evicted_blocks,
+            "prefix_reuse_hits": stats.prefix_reuse_hits,
+            "reprefill_ms": round(stats.reprefill_ms, 3),
+            "memory_stalls": stats.memory_stalls,
+        }
+
     def with_max_qps(self, max_qps: float) -> "ServeReport":
         """A copy carrying the load search's max sustainable QPS."""
         return replace(self, max_sustainable_qps=max_qps)
@@ -165,20 +184,26 @@ class ServeReport:
         stats = self.stats
         speeds = stats.device_speeds
         roles = stats.device_roles
+        capacities = stats.memory_blocks
+        peaks = stats.peak_memory_blocks
         rows = []
         for index, busy in enumerate(stats.per_device_busy_ms):
             speed = speeds[index] if index < len(speeds) else 1.0
             role = roles[index] if index < len(roles) else "any"
             utilisation = busy / stats.sim_end_ms if stats.sim_end_ms > 0 else 0.0
-            rows.append(
-                {
-                    "device": f"dev{index}",
-                    "speed": speed,
-                    "role": role,
-                    "busy_ms": round(busy, 3),
-                    "utilisation": round(utilisation, 4),
-                }
-            )
+            row = {
+                "device": f"dev{index}",
+                "speed": speed,
+                "role": role,
+                "busy_ms": round(busy, 3),
+                "utilisation": round(utilisation, 4),
+            }
+            if self.memory_active:
+                row["memory_blocks"] = (
+                    capacities[index] if index < len(capacities) else None
+                )
+                row["peak_blocks"] = peaks[index] if index < len(peaks) else 0
+            rows.append(row)
         return rows
 
     # -- output ------------------------------------------------------------
@@ -221,6 +246,8 @@ class ServeReport:
             payload["per_class"] = self.per_class
         if self.chaos_active:
             payload["chaos"] = self.chaos_dict()
+        if self.memory_active:
+            payload["memory"] = self.memory_dict()
         if self.max_sustainable_qps is not None:
             payload["max_sustainable_qps"] = round(self.max_sustainable_qps, 3)
         return payload
@@ -266,6 +293,17 @@ class ServeReport:
                 f"  degraded  : {stats.degraded_ms:.0f} ms with impaired "
                 f"capacity, {stats.wasted_busy_ms:.1f} ms wasted on aborted "
                 f"batches, {stats.duplicates} straggler re-issue(s)"
+            )
+        if self.memory_active:
+            stats = self.stats
+            peak = max(stats.peak_memory_blocks, default=0)
+            lines.append(
+                f"  memory    : peak {peak} blocks "
+                f"({stats.block_size} tok/block), "
+                f"{stats.evictions} eviction(s), "
+                f"{stats.prefix_reuse_hits} prefix reuse hit(s), "
+                f"{stats.reprefill_ms:.1f} ms re-prefill, "
+                f"{stats.memory_stalls} stall(s)"
             )
         if self.per_class and len(self.per_class) > 1:
             for class_name, row in self.per_class.items():

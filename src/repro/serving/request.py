@@ -51,6 +51,7 @@ PRIORITY_CLASSES = (PRIORITY_INTERACTIVE, PRIORITY_BATCH)
 SHED_DEADLINE = "deadline"  # SLO already unreachable at admission
 SHED_RETRIES = "retries"  # a phase exhausted its bounded retries
 SHED_CAPACITY = "capacity"  # no device can ever serve the request
+SHED_MEMORY = "memory"  # KV blocks can never fit on any pool device
 
 
 def priority_rank(priority: str) -> int:
@@ -97,7 +98,7 @@ class RequestRecord:
     retries: int = 0  # failed phase executions (crash aborts + transients)
     requeues: int = 0  # phases returned to the waiting state after failure
     preemptions: int = 0  # times this (batch) session was bumped from a slot
-    shed_reason: str | None = None  # deadline | retries | capacity
+    shed_reason: str | None = None  # deadline | retries | capacity | memory
 
     # -- derived latencies (client-observed, scheduler-dependent) ----------
     @property

@@ -137,34 +137,59 @@ class ClusterConfig:
 
 
 def plan_pool_split(
-    speeds: Sequence[float], draft_share: float
+    speeds: Sequence[float],
+    draft_share: float,
+    memory_blocks: Sequence[int | None] | None = None,
 ) -> tuple[tuple[int, ...], tuple[int, ...]]:
     """Partition device indices into ``(draft_pool, target_pool)``.
 
     ``draft_share`` is the fraction of total decode cost spent in draft
     phases (0 = all verify, 1 = all draft).  Candidate draft pools are
-    prefixes of the devices ordered slowest-first (ties by index), so fast
-    parts default to the heavy verify side; the chosen prefix is the one
-    whose share of total cluster speed is closest to ``draft_share``.
-    Ties prefer the smaller draft pool (verify is the heavy side), which
-    also makes the choice deterministic on all-equal-speed clusters.
-    Both pools always keep at least one device; degenerate shares clamp to
-    the 1-device / (K-1)-device extremes.  Returned index tuples are
-    sorted, so pool iteration order never depends on the planner's
-    internal ordering.
+    prefixes of the devices ordered lightest-first (ties by index), so
+    heavyweight parts default to the heavy verify side; the chosen prefix
+    is the one whose share of total cluster capability is closest to
+    ``draft_share``.  Ties prefer the smaller draft pool (verify is the
+    heavy side), which also makes the choice deterministic on all-equal
+    clusters.  Both pools always keep at least one device; degenerate
+    shares clamp to the 1-device / (K-1)-device extremes.  Returned index
+    tuples are sorted, so pool iteration order never depends on the
+    planner's internal ordering.
+
+    **Memory-aware placement.**  With ``memory_blocks`` (per-device KV
+    capacities) on a non-uniform cluster, a device's capability is the
+    mean of its speed share and its block share — a draft pool must hold
+    the draft-model KV of every in-flight session, so its block budget
+    sizes it as much as its speed.  Uniform or absent capacities reduce to
+    the pure speed planner, which keeps memory-disabled (and ample-uniform)
+    runs bit-identical to the legacy split.
     """
     if len(speeds) < 2:
         raise ValueError("pool planning needs at least 2 devices")
     if not 0.0 <= draft_share <= 1.0:
         raise ValueError(f"draft_share must be in [0, 1], got {draft_share}")
-    order = sorted(range(len(speeds)), key=lambda i: (speeds[i], i))
-    total = sum(speeds)
+    weights = list(speeds)
+    if memory_blocks is not None:
+        if len(memory_blocks) != len(speeds):
+            raise ValueError(
+                f"memory_blocks has {len(memory_blocks)} entries for "
+                f"{len(speeds)} devices"
+            )
+        blocks = [b for b in memory_blocks if b is not None]
+        if len(blocks) == len(speeds) and len(set(blocks)) > 1:
+            total_speed = sum(speeds)
+            total_blocks = sum(blocks)
+            weights = [
+                0.5 * (speed / total_speed) + 0.5 * (cap / total_blocks)
+                for speed, cap in zip(speeds, blocks)
+            ]
+    order = sorted(range(len(weights)), key=lambda i: (weights[i], i))
+    total = sum(weights)
     best_k = 1
     best_error = None
-    prefix_speed = 0.0
-    for k in range(1, len(speeds)):
-        prefix_speed += speeds[order[k - 1]]
-        error = abs(prefix_speed / total - draft_share)
+    prefix_weight = 0.0
+    for k in range(1, len(weights)):
+        prefix_weight += weights[order[k - 1]]
+        error = abs(prefix_weight / total - draft_share)
         if best_error is None or error < best_error:
             best_error = error
             best_k = k
@@ -207,6 +232,7 @@ class ColocatedRouter:
         devices: list[Device],
         split: str = SPLIT_FIXED,
         draft_share: float | None = None,
+        memory_blocks: Sequence[int | None] | None = None,
     ) -> None:
         if not devices:
             raise ValueError("router needs at least one device")
@@ -262,6 +288,7 @@ class DisaggregatedRouter:
         devices: list[Device],
         split: str = SPLIT_FIXED,
         draft_share: float | None = None,
+        memory_blocks: Sequence[int | None] | None = None,
     ) -> None:
         if len(devices) < 2:
             raise ValueError("disaggregation needs at least 2 devices")
@@ -273,6 +300,11 @@ class DisaggregatedRouter:
         self.devices = devices
         self._split = split
         self._draft_share = draft_share
+        self._memory_blocks = (
+            None
+            if memory_blocks is None
+            else {d.index: b for d, b in zip(devices, memory_blocks)}
+        )
         self._available: set[int] | None = None
         self._projected: dict[int, float] = {}
         self._verify_peak: dict[int, float] = {}
@@ -299,7 +331,13 @@ class DisaggregatedRouter:
                     else self._draft_share
                 )
                 draft_pos, target_pos = plan_pool_split(
-                    [device.speed for device in members], share
+                    [device.speed for device in members],
+                    share,
+                    memory_blocks=(
+                        None
+                        if self._memory_blocks is None
+                        else [self._memory_blocks[d.index] for d in members]
+                    ),
                 )
             self.draft_pool = [members[i] for i in draft_pos]
             self.target_pool = [members[i] for i in target_pos]
@@ -443,17 +481,28 @@ ROUTER_POLICIES = tuple(ROUTER_REGISTRY)
 
 
 def build_router(
-    config: ClusterConfig, overlap: float, draft_share: float | None = None
+    config: ClusterConfig,
+    overlap: float,
+    draft_share: float | None = None,
+    memory_blocks: Sequence[int | None] | None = None,
 ):
     """Devices + router for one scheduler run.
 
     Returns ``(devices, router)``; the devices are freshly timed (state is
     per-run, never shared between simulations).  ``draft_share`` feeds the
     balanced pool planner (measured by the scheduler from the decoder; see
-    :func:`measure_draft_share`).
+    :func:`measure_draft_share`), and ``memory_blocks`` — the resolved
+    per-device KV capacities when memory accounting is on — makes the
+    balanced planner weigh block budgets alongside speed.
     """
     devices = make_devices(config.devices, overlap, specs=config.device_specs)
     router_cls = ROUTER_REGISTRY.get(config.router)
     if router_cls is None:
         raise ValueError(f"unknown router policy {config.router!r}")
-    return devices, router_cls(devices, split=config.split, draft_share=draft_share)
+    router = router_cls(
+        devices,
+        split=config.split,
+        draft_share=draft_share,
+        memory_blocks=memory_blocks,
+    )
+    return devices, router

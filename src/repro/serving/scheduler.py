@@ -49,6 +49,26 @@ threads injected chaos through the loop:
   fastest idle pool peer; the first copy to finish commits and the other
   settles as cancelled (first-finisher-wins).
 
+**Memory awareness.**  With a :class:`~repro.serving.memory.MemorySpec`
+(or per-device ``@BLOCKS`` capacities) the scheduler bills KV residency
+per in-flight session — draft and target model separately — through a
+paged block allocator (:class:`~repro.serving.memory.ClusterKVMemory`):
+
+* A phase only dispatches on a device if its blocks fit (**admission
+  gate**), so the effective batch size *emerges* from free blocks;
+  ``max_batch`` remains an upper bound, which keeps ample-capacity runs
+  bit-identical to memory-disabled ones (the parity contract).
+* Under pressure the allocator LRU-evicts idle sessions' blocks — never a
+  session with a copy executing.  The decode state survives in its
+  stepper (PR 5's state-intact resume path), and the next dispatch pays a
+  simulated **re-prefill penalty** billed to device time only (transcripts
+  and ``decode_ms`` stay scheduler-independent).
+* Full committed-prefix blocks are shared copy-on-write across requests
+  decoding the same utterance; queue preemption releases the victim's
+  blocks (resume re-prefills them).
+* A phase whose demand exceeds every pool device's total capacity is
+  unservable and sheds with reason ``"memory"``.
+
 **Graceful degradation.**  ``interactive`` requests dispatch ahead of
 ``batch`` ones and may preempt idle batch sessions for in-flight slots
 (preempted sessions re-queue with their decode state intact); per-class
@@ -75,7 +95,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.data.corpus import Dataset
@@ -83,12 +103,14 @@ from repro.decoding.base import DecodeStepper, PhaseOutcome, begin_decode
 from repro.serving.arrivals import Arrival
 from repro.serving.devices import Device
 from repro.serving.faults import FaultPlan, RetryPolicy
+from repro.serving.memory import ClusterKVMemory, MemorySpec
 from repro.serving.queue import AdmissionQueue
 from repro.serving.request import (
     PRIORITY_BATCH,
     PRIORITY_INTERACTIVE,
     SHED_CAPACITY,
     SHED_DEADLINE,
+    SHED_MEMORY,
     SHED_RETRIES,
     STATUS_COMPLETED,
     STATUS_SHED,
@@ -181,6 +203,15 @@ class ScheduleStats:
     degraded_ms: float = 0.0  # sim time with >= 1 device dead or stalled
     wasted_busy_ms: float = 0.0  # occupancy billed to crash-aborted batches
     fault_events: int = 0  # events in the injected plan
+    # -- memory accounting (empty/zero when memory is unconstrained) -------
+    memory_blocks: tuple[int | None, ...] = ()  # KV capacity per device
+    peak_memory_blocks: tuple[int, ...] = ()  # high-water blocks per device
+    block_size: int = 0  # tokens per KV block (0 = memory off)
+    evictions: int = 0  # idle sessions whose blocks were reclaimed
+    evicted_blocks: int = 0  # blocks freed by those evictions
+    prefix_reuse_hits: int = 0  # shared prefix blocks reused copy-on-write
+    reprefill_ms: float = 0.0  # device time spent rebuilding evicted KV
+    memory_stalls: int = 0  # dispatch attempts deferred for want of blocks
 
     @property
     def device_utilisation(self) -> float:
@@ -208,6 +239,13 @@ class _Active:
     current phase; ``attempts`` counts its failures so far (for the retry
     budget and backoff), and ``phase_index`` counts committed phases (the
     deterministic transient-error hash keys on it).
+
+    When memory accounting is on, ``prompt``/``committed`` track the
+    session's resident KV extent per the billing model (prompt tokens plus
+    tokens committed so far), ``prefilled`` records which models have run
+    their first phase (a model's KV is only resident after its prefill),
+    and ``prompt_key`` identifies the utterance for cross-request prefix
+    sharing.
     """
 
     __slots__ = (
@@ -222,6 +260,10 @@ class _Active:
         "phase_index",
         "projected_end",
         "device_index",
+        "prompt",
+        "committed",
+        "prefilled",
+        "prompt_key",
     )
 
     def __init__(
@@ -238,6 +280,10 @@ class _Active:
         self.phase_index = 0  # committed phases so far
         self.projected_end = 0.0  # end of the latest dispatch
         self.device_index = -1  # device of the latest dispatch
+        self.prompt = 0  # prompt tokens (memory billing)
+        self.committed = 0  # committed tokens (memory billing)
+        self.prefilled: set[str] = set()  # models with resident KV
+        self.prompt_key = ""  # prefix-sharing identity
 
 
 class ContinuousBatchScheduler:
@@ -245,8 +291,12 @@ class ContinuousBatchScheduler:
 
     ``faults`` threads a seeded :class:`~repro.serving.faults.FaultPlan`
     through the run; omitted or empty, the loop is bit-identical to the
-    fault-free scheduler.  After :meth:`run`, ``last_dispatch_log`` holds
-    one ``(device_index, start_ms, end_ms, phases, aborted)`` tuple per
+    fault-free scheduler.  ``memory`` enables KV-block accounting
+    (:class:`~repro.serving.memory.MemorySpec`); it activates when the spec
+    sets ``device_blocks`` or any device spec carries an ``@BLOCKS``
+    capacity, and per-device capacities override the spec default.  After
+    :meth:`run`, ``last_dispatch_log`` holds one
+    ``(device_index, start_ms, end_ms, phases, aborted)`` tuple per
     executed micro-batch — the audit trail the invariant suite checks
     ("no phase starts on a dead device") against the plan.
     """
@@ -257,6 +307,7 @@ class ContinuousBatchScheduler:
         config: SchedulerConfig | None = None,
         cluster: ClusterConfig | None = None,
         faults: FaultPlan | None = None,
+        memory: MemorySpec | None = None,
     ) -> None:
         self.decoder = decoder
         self.config = config or SchedulerConfig()
@@ -264,6 +315,7 @@ class ContinuousBatchScheduler:
         self.faults = faults if faults is not None and faults else None
         if self.faults is not None:
             self.faults.validate_for(self.cluster.devices)
+        self.memory = memory
         self.last_stats: ScheduleStats | None = None
         self.last_dispatch_log: list[tuple[int, float, float, int, bool]] = []
 
@@ -316,7 +368,31 @@ class ContinuousBatchScheduler:
             draft_share = measure_draft_share(
                 self.decoder, [dataset[i] for i in sample_indices]
             )
-        devices, router = build_router(self.cluster, config.overlap, draft_share)
+        memspec = self.memory if self.memory is not None else MemorySpec()
+        if self.cluster.device_specs is not None:
+            capacities = [
+                spec.memory_blocks
+                if spec.memory_blocks is not None
+                else memspec.device_blocks
+                for spec in self.cluster.device_specs
+            ]
+        else:
+            capacities = [memspec.device_blocks] * (self.cluster.devices or 1)
+        memory = (
+            ClusterKVMemory(memspec, capacities)
+            if any(cap is not None for cap in capacities)
+            else None
+        )
+        devices, router = build_router(
+            self.cluster,
+            config.overlap,
+            draft_share,
+            memory_blocks=capacities if memory is not None else None,
+        )
+        if memory is not None:
+            # Lazy: the serving package must stay importable from a partially
+            # initialised repro.models (see repro.models.__getattr__).
+            from repro.models.simulated import prompt_token_count
         if plan is not None:
             for device, profile in zip(devices, plan.profiles(len(devices))):
                 device.set_fault_profile(profile)
@@ -344,11 +420,19 @@ class ContinuousBatchScheduler:
         inflight: list[_Active] = []
         preempted: dict[int, _Active] = {}  # request index -> saved session
         # Batches in flight: (end_ms, tiebreak, device index, entries,
-        # aborted).  Entries are (active, gen, attempt, transient-failure)
-        # tuples; the counter keeps heap ordering total without comparing
-        # them.
+        # aborted).  Entries are (active, gen, attempt, transient-failure,
+        # dispatched phase) tuples — the phase is kept because a stale
+        # copy's KV must be released under the *dispatched* model, which
+        # the active may have moved past.  The counter keeps heap ordering
+        # total without comparing entries.
         executing: list[
-            tuple[float, int, int, list[tuple[_Active, int, int, bool]], bool]
+            tuple[
+                float,
+                int,
+                int,
+                list[tuple[_Active, int, int, bool, PhaseOutcome]],
+                bool,
+            ]
         ] = []
         order = itertools.count()
         wakeups = deque(plan.wakeup_times()) if plan is not None else deque()
@@ -379,6 +463,45 @@ class ContinuousBatchScheduler:
             active.running = False
             shed_record(active.record, reason)
             inflight.remove(active)
+            if memory is not None:
+                # Idle KV frees now; still-executing copies release theirs
+                # when they settle as stale.
+                memory.release_request(active.record.request.index)
+
+        def resident_tokens(active: _Active, model: str) -> int:
+            # A model's KV is resident only once its first phase committed
+            # (the prefill); from then on it holds prompt + committed tokens.
+            if model in active.prefilled:
+                return active.prompt + active.committed
+            return 0
+
+        def admit_blocks(
+            device_index: int, active: _Active
+        ) -> float | None:
+            """Reserve KV blocks for the next phase; None = does not fit."""
+            phase = active.phase
+            return memory.admit(
+                device_index,
+                active.record.request.index,
+                phase.model,
+                active.prompt_key,
+                phase.kv_peak,
+                resident_tokens(active, phase.model),
+            )
+
+        def maybe_shed_memory(active: _Active) -> None:
+            # Deferred-for-blocks is normal; shed only when the phase's
+            # demand exceeds every pool device's *total* capacity — no
+            # amount of eviction will ever make it fit.
+            demand = memory.phase_demand(
+                active.phase.kv_peak,
+                resident_tokens(active, active.phase.model),
+            )
+            pool = router.pool_devices(active.phase)
+            if pool and not memory.fits_anywhere(
+                demand, (device.index for device in pool)
+            ):
+                shed_active(active, SHED_MEMORY)
 
         def preempt_victim() -> _Active | None:
             """Newest idle batch session, or None when nothing is bumpable."""
@@ -412,6 +535,12 @@ class ContinuousBatchScheduler:
                     inflight.remove(victim)
                     victim.record.preemptions += 1
                     tally["preemptions"] += 1
+                    if memory is not None:
+                        # The bumped session's KV leaves the cluster; resume
+                        # pays a re-prefill like any evicted session.
+                        memory.release_request(
+                            victim.record.request.index, evicted=True
+                        )
                     if len(queue) >= queue.capacity:
                         # Nowhere to park the session: give up on it rather
                         # than deadlock the slot it was just bumped from.
@@ -439,12 +568,33 @@ class ContinuousBatchScheduler:
                     continue
                 record.service_start_ms = now_ms
                 stepper = begin_decode(self.decoder, record.request.utterance)
-                inflight.append(_Active(record, stepper, now_ms))
+                active = _Active(record, stepper, now_ms)
+                if memory is not None:
+                    utterance = record.request.utterance
+                    active.prompt = prompt_token_count(utterance)
+                    active.prompt_key = (
+                        getattr(utterance, "utterance_id", None)
+                        or record.request.request_id
+                    )
+                inflight.append(active)
 
-        def launch(device: Device, batch: list[_Active], now_ms: float) -> None:
+        def launch(
+            device: Device,
+            batch: list[_Active],
+            now_ms: float,
+            penalties: Sequence[float] | None = None,
+        ) -> None:
             """Execute ``batch`` on ``device``, folding in the fault plan."""
             start = max(now_ms, device.free_at)
             phases = [active.phase for active in batch]
+            if penalties is not None:
+                # Re-prefill after an eviction inflates *device* time for
+                # this execution only; the phase object on the active stays
+                # pristine, so transcripts and decode_ms never see it.
+                phases = [
+                    replace(phase, ms=phase.ms + penalty) if penalty else phase
+                    for phase, penalty in zip(phases, penalties)
+                ]
             crash = None
             if plan is not None and device.faults.crash_ms is not None:
                 busy = device.batch_busy_ms(
@@ -463,7 +613,7 @@ class ContinuousBatchScheduler:
                 failed = plan is not None and plan.phase_fails(
                     active.record.request.index, active.phase_index, attempt
                 )
-                entries.append((active, active.gen, attempt, failed))
+                entries.append((active, active.gen, attempt, failed, active.phase))
                 active.running = True
                 active.live += 1
                 active.projected_end = end
@@ -527,7 +677,25 @@ class ContinuousBatchScheduler:
                 routed = waiting_at.get(device.index)
                 if not routed:
                     continue
-                launch(device, routed[: config.max_batch], now_ms)
+                if memory is None:
+                    launch(device, routed[: config.max_batch], now_ms)
+                    continue
+                # Memory gate: the batch is built phase by phase through the
+                # block allocator, so its size emerges from free blocks
+                # (max_batch stays the upper bound — the parity contract).
+                batch: list[_Active] = []
+                penalties: list[float] = []
+                for active in routed:
+                    if len(batch) >= config.max_batch:
+                        break
+                    grant = admit_blocks(device.index, active)
+                    if grant is None:
+                        maybe_shed_memory(active)
+                        continue
+                    batch.append(active)
+                    penalties.append(grant)
+                if batch:
+                    launch(device, batch, now_ms, penalties)
             if config.straggler_factor > 0:
                 reissue_stragglers(now_ms)
 
@@ -565,10 +733,16 @@ class ContinuousBatchScheduler:
                         peers,
                         key=lambda d: (d.effective_speed(now_ms), -d.index),
                     )
-                    launch(peer, [active], now_ms)
+                    if memory is not None:
+                        grant = admit_blocks(peer.index, active)
+                        if grant is None:
+                            continue  # no blocks for a hedge copy
+                        launch(peer, [active], now_ms, [grant])
+                    else:
+                        launch(peer, [active], now_ms)
                     tally["duplicates"] += 1
 
-        def commit(active: _Active, end_ms: float) -> None:
+        def commit(active: _Active, end_ms: float, device_index: int) -> None:
             outcome = active.phase
             record = active.record
             active.gen += 1  # sibling straggler copies settle as stale
@@ -576,6 +750,17 @@ class ContinuousBatchScheduler:
             active.ready_ms = end_ms
             active.attempts = 0
             active.phase_index += 1
+            if memory is not None:
+                active.committed += len(outcome.new_tokens)
+                active.prefilled.add(outcome.model)
+                memory.settle(
+                    device_index,
+                    record.request.index,
+                    outcome.model,
+                    active.prompt_key,
+                    active.prompt + active.committed,
+                    committed=True,
+                )
             if outcome.round_done:
                 record.rounds += 1
             if outcome.new_tokens and record.first_token_ms is None:
@@ -589,25 +774,50 @@ class ContinuousBatchScheduler:
                 if record.first_token_ms is None:
                     record.first_token_ms = end_ms  # empty transcript
                 inflight.remove(active)
+                if memory is not None:
+                    memory.release_request(record.request.index)
             else:
                 active.phase = active.stepper.step_phase()
 
         def settle(
-            entry: tuple[_Active, int, int, bool], end_ms: float, aborted: bool
+            entry: tuple[_Active, int, int, bool, PhaseOutcome],
+            end_ms: float,
+            aborted: bool,
+            device_index: int,
         ) -> None:
-            active, gen, attempt, transient = entry
+            active, gen, attempt, transient, phase = entry
             active.live -= 1
             if active.gen != gen:
                 # A sibling copy already committed this phase, or the phase
                 # was requeued/shed after a crash: this copy is stale.
                 tally["cancelled"] += 1
+                if memory is not None:
+                    memory.settle(
+                        device_index,
+                        active.record.request.index,
+                        phase.model,
+                        active.prompt_key,
+                        0,
+                        committed=False,
+                    )
                 return
             if not aborted and not transient:
-                commit(active, end_ms)
+                commit(active, end_ms, device_index)
                 return
             # The copy failed (crash abort or transient phase error).  The
             # stepper never advanced, so the same phase object re-dispatches
             # and the decode resumes from its last committed state.
+            if memory is not None:
+                # Its KV is gone with the failure; if no sibling copy holds
+                # one elsewhere, the retry pays a re-prefill on admission.
+                memory.settle(
+                    device_index,
+                    active.record.request.index,
+                    phase.model,
+                    active.prompt_key,
+                    0,
+                    committed=False,
+                )
             active.record.retries += 1
             tally["retries"] += 1
             if active.live > 0:
@@ -653,9 +863,9 @@ class ContinuousBatchScheduler:
                 break
             now = max(now, min(next_times))
             while executing and executing[0][0] <= now:
-                end, _, _, entries, aborted = heapq.heappop(executing)
+                end, _, device_index, entries, aborted = heapq.heappop(executing)
                 for entry in entries:
-                    settle(entry, end, aborted)
+                    settle(entry, end, aborted, device_index)
 
         self.last_stats = ScheduleStats(
             sim_end_ms=now,
@@ -681,5 +891,15 @@ class ContinuousBatchScheduler:
             ),
             wasted_busy_ms=sum(device.wasted_ms for device in devices),
             fault_events=len(plan.events) if plan is not None else 0,
+            memory_blocks=tuple(capacities) if memory is not None else (),
+            peak_memory_blocks=memory.peaks if memory is not None else (),
+            block_size=memspec.block_size if memory is not None else 0,
+            evictions=memory.evictions if memory is not None else 0,
+            evicted_blocks=memory.evicted_blocks if memory is not None else 0,
+            prefix_reuse_hits=memory.reuse_hits if memory is not None else 0,
+            reprefill_ms=memory.reprefill_ms if memory is not None else 0.0,
+            memory_stalls=memory.stalls if memory is not None else 0,
         )
+        if memory is not None:
+            memory.audit()  # block conservation on every run
         return records

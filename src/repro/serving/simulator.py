@@ -20,14 +20,72 @@ from repro.models.registry import model_pair
 from repro.serving.arrivals import Arrival, make_trace, offered_qps
 from repro.serving.devices import parse_device_specs
 from repro.serving.faults import FaultPlan, parse_fault_spec
+from repro.serving.memory import MemorySpec
 from repro.serving.report import ServeReport
 from repro.serving.router import SPLIT_FIXED, ClusterConfig
 from repro.serving.scheduler import ContinuousBatchScheduler, SchedulerConfig
 
 
 @dataclass(frozen=True)
+class ClusterSpec:
+    """Shape and placement policy of the simulated accelerator cluster."""
+
+    devices: int | None = None  # accelerator count; None = 1 or len(device_spec)
+    router: str = "colocated"  # placement policy (see serving.router)
+    pool_split: str = SPLIT_FIXED  # draft/target pool sizing: fixed | balanced
+    device_spec: str = ""  # heterogeneous shorthand, e.g. "2x1.0,2x0.5@64"
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """Fault injection and degradation handling (all off by default)."""
+
+    faults: str = ""  # fault-spec grammar (see serving.faults)
+    fault_seed: int = 0  # seeds the transient phase-error hash
+    max_retries: int = 3
+    retry_backoff_ms: float = 25.0
+    straggler_k: float = 0.0  # re-issue at k x pool median; 0 = off
+    admission_deadline_ms: float | None = None  # shed overdue interactive
+    batch_deadline_ms: float | None = None  # batch-class SLO + shed bound
+
+
+# Legacy flat kwargs -> (sub-config field, sub-config attribute).  Kept so
+# seed-era call sites (and pickles) keep working against the composed shape.
+_CLUSTER_KWARGS = {
+    name: name for name in ("devices", "router", "pool_split", "device_spec")
+}
+_CHAOS_KWARGS = {
+    name: name
+    for name in (
+        "faults",
+        "fault_seed",
+        "max_retries",
+        "retry_backoff_ms",
+        "straggler_k",
+        "admission_deadline_ms",
+        "batch_deadline_ms",
+    )
+}
+_MEMORY_KWARGS = {
+    "memory_blocks": "device_blocks",
+    "block_size": "block_size",
+    "prefix_sharing": "prefix_sharing",
+    "reprefill_ms_per_block": "reprefill_ms_per_block",
+}
+
+
+@dataclass(frozen=True, init=False)
 class ServeSimConfig:
     """Everything one serve simulation depends on (picklable, replayable).
+
+    Composed from three sub-configs — ``cluster`` (:class:`ClusterSpec`),
+    ``chaos`` (:class:`ChaosSpec`) and ``memory``
+    (:class:`~repro.serving.memory.MemorySpec`) — plus the flat workload
+    knobs.  The seed-era flat surface still works both ways: legacy kwargs
+    (``ServeSimConfig(devices=4, faults="...", memory_blocks=64)``) merge
+    into the sub-configs, and every legacy field name reads back through a
+    property (``config.devices``), so ``dataclasses.replace`` and old
+    pickles keep working.
 
     The default deadline is a *completion* SLO of 3 s, calibrated against
     the default corpus: autoregressive decoding meets it with modest
@@ -48,20 +106,150 @@ class ServeSimConfig:
     max_inflight: int = 8
     queue_capacity: int = 32
     overlap: float = 0.8
-    devices: int | None = None  # accelerator count; None = 1 or len(device_spec)
-    router: str = "colocated"  # placement policy (see serving.router)
-    pool_split: str = SPLIT_FIXED  # draft/target pool sizing: fixed | balanced
-    device_spec: str = ""  # heterogeneous cluster shorthand, e.g. "2x1.0,2x0.5"
-    # -- chaos / degradation (all off by default) --------------------------
-    faults: str = ""  # fault-spec grammar (see serving.faults)
-    fault_seed: int = 0  # seeds the transient phase-error hash
-    max_retries: int = 3
-    retry_backoff_ms: float = 25.0
-    straggler_k: float = 0.0  # re-issue at k x pool median; 0 = off
-    admission_deadline_ms: float | None = None  # shed overdue interactive
-    batch_deadline_ms: float | None = None  # batch-class SLO + shed bound
     batch_fraction: float = 0.0  # share of arrivals tagged batch-class
+    cluster: ClusterSpec = ClusterSpec()
+    chaos: ChaosSpec = ChaosSpec()
+    memory: MemorySpec = MemorySpec()
 
+    def __init__(
+        self,
+        method: str = "specasr-asp",
+        pairing: str = "whisper",
+        qps: float = 2.0,
+        num_requests: int = 48,
+        seed: int = 2025,
+        utterances: int = 32,
+        split: str = "test-clean",
+        arrival: str = "poisson",
+        deadline_ms: float = 3000.0,
+        max_batch: int = 4,
+        max_inflight: int = 8,
+        queue_capacity: int = 32,
+        overlap: float = 0.8,
+        batch_fraction: float = 0.0,
+        cluster: ClusterSpec | None = None,
+        chaos: ChaosSpec | None = None,
+        memory: MemorySpec | None = None,
+        **legacy,
+    ) -> None:
+        cluster = cluster if cluster is not None else ClusterSpec()
+        chaos = chaos if chaos is not None else ChaosSpec()
+        memory = memory if memory is not None else MemorySpec()
+        cluster_kw = {
+            _CLUSTER_KWARGS[k]: legacy.pop(k)
+            for k in list(legacy)
+            if k in _CLUSTER_KWARGS
+        }
+        chaos_kw = {
+            _CHAOS_KWARGS[k]: legacy.pop(k) for k in list(legacy) if k in _CHAOS_KWARGS
+        }
+        memory_kw = {
+            _MEMORY_KWARGS[k]: legacy.pop(k)
+            for k in list(legacy)
+            if k in _MEMORY_KWARGS
+        }
+        if legacy:
+            raise TypeError(
+                "ServeSimConfig got unexpected keyword arguments: "
+                f"{sorted(legacy)}"
+            )
+        if cluster_kw:
+            cluster = replace(cluster, **cluster_kw)
+        if chaos_kw:
+            chaos = replace(chaos, **chaos_kw)
+        if memory_kw:
+            memory = replace(memory, **memory_kw)
+        for name, value in (
+            ("method", method),
+            ("pairing", pairing),
+            ("qps", qps),
+            ("num_requests", num_requests),
+            ("seed", seed),
+            ("utterances", utterances),
+            ("split", split),
+            ("arrival", arrival),
+            ("deadline_ms", deadline_ms),
+            ("max_batch", max_batch),
+            ("max_inflight", max_inflight),
+            ("queue_capacity", queue_capacity),
+            ("overlap", overlap),
+            ("batch_fraction", batch_fraction),
+            ("cluster", cluster),
+            ("chaos", chaos),
+            ("memory", memory),
+        ):
+            object.__setattr__(self, name, value)
+
+    def __setstate__(self, state: dict) -> None:
+        if "cluster" not in state:
+            # A pickle from the flat seed-era layout: rebuild through
+            # __init__, which folds the flat names into the sub-configs.
+            rebuilt = ServeSimConfig(**state)
+            state = dict(rebuilt.__dict__)
+        self.__dict__.update(state)
+
+    # -- flat read surface (legacy field names) ----------------------------
+    @property
+    def devices(self) -> int | None:
+        return self.cluster.devices
+
+    @property
+    def router(self) -> str:
+        return self.cluster.router
+
+    @property
+    def pool_split(self) -> str:
+        return self.cluster.pool_split
+
+    @property
+    def device_spec(self) -> str:
+        return self.cluster.device_spec
+
+    @property
+    def faults(self) -> str:
+        return self.chaos.faults
+
+    @property
+    def fault_seed(self) -> int:
+        return self.chaos.fault_seed
+
+    @property
+    def max_retries(self) -> int:
+        return self.chaos.max_retries
+
+    @property
+    def retry_backoff_ms(self) -> float:
+        return self.chaos.retry_backoff_ms
+
+    @property
+    def straggler_k(self) -> float:
+        return self.chaos.straggler_k
+
+    @property
+    def admission_deadline_ms(self) -> float | None:
+        return self.chaos.admission_deadline_ms
+
+    @property
+    def batch_deadline_ms(self) -> float | None:
+        return self.chaos.batch_deadline_ms
+
+    @property
+    def memory_blocks(self) -> int | None:
+        return self.memory.device_blocks
+
+    @property
+    def block_size(self) -> int:
+        return self.memory.block_size
+
+    @property
+    def prefix_sharing(self) -> bool:
+        return self.memory.prefix_sharing
+
+    @property
+    def reprefill_ms_per_block(self) -> float:
+        return self.memory.reprefill_ms_per_block
+
+    # -- derived configs ---------------------------------------------------
     def scheduler_config(self) -> SchedulerConfig:
         return SchedulerConfig(
             max_batch=self.max_batch,
@@ -89,6 +277,9 @@ class ServeSimConfig:
             split=self.pool_split,
             device_specs=specs,
         )
+
+    def memory_spec(self) -> MemorySpec:
+        return self.memory
 
     def experiment_config(self) -> ExperimentConfig:
         return ExperimentConfig(seed=self.seed, utterances=self.utterances)
@@ -134,6 +325,7 @@ def simulate(
         config.scheduler_config(),
         config.cluster_config(),
         faults=config.fault_plan(),
+        memory=config.memory_spec(),
     )
     records = scheduler.run(trace, dataset)
     assert scheduler.last_stats is not None

@@ -101,6 +101,17 @@ CHAOS_POINTS = (
 #: restart + transient errors, the acceptance scenario).
 CHAOS_DETERMINISM_FAULTS = "crash@2000:dev3:restart=1500;perr:0.02"
 
+#: Memory grid: per-device KV capacities (blocks) probed per router point;
+#: None = unconstrained (the legacy time-only cluster).
+MEMORY_METHOD = "specasr-asp"
+MEMORY_CAPACITIES = (None, 256, 96, 48)
+MEMORY_CLUSTERS = ((2, "colocated"), (2, "disaggregated"))
+#: Shared-prompt workload for the prefix-reuse comparison: a tiny corpus
+#: maximises cross-request prompt overlap, so copy-on-write sharing is the
+#: difference between fitting and thrashing at a tight capacity.
+MEMORY_SHARED_UTTERANCES = 4
+MEMORY_REUSE_CAPACITY = 48
+
 
 def _point_key(devices: int, router: str, split: str, device_spec: str) -> str:
     """Stable grid-entry key; legacy points keep their PR-3 names."""
@@ -178,6 +189,22 @@ def _check_determinism(config: ServeSimConfig) -> None:
                 f"{_point_key(devices, router, split, device_spec)} "
                 "— cluster determinism contract violated"
             )
+    # Memory parity contract: ample capacity admits every phase, so the
+    # memory-enabled run is bit-identical to the memory-disabled scheduler.
+    from repro.serving import MemorySpec
+
+    ample = ContinuousBatchScheduler(
+        decoder,
+        config.scheduler_config(),
+        config.cluster_config(),
+        memory=MemorySpec(device_blocks=1_000_000),
+    )
+    outputs = [(r.tokens, r.decode_ms) for r in ample.run(trace, dataset)]
+    if outputs != reference:
+        raise AssertionError(
+            "ample-capacity memory accounting changed transcripts or decode "
+            "times — memory parity contract violated"
+        )
     # Chaos contract: a seeded fault plan (crash + warm restart + transient
     # errors) is fully deterministic, conserves requests, and every request
     # that still completes has a transcript bit-identical to the fault-free
@@ -294,6 +321,53 @@ def _chaos_entry(args, num_requests: int) -> dict:
     }
 
 
+def _memory_entry(args, num_requests: int) -> dict:
+    """Max sustainable QPS across the KV-capacity × router memory grid.
+
+    Includes the shared-prompt prefix-reuse comparison: every request
+    decodes one of ``MEMORY_SHARED_UTTERANCES`` prompts at a capacity tight
+    enough that copy-on-write sharing decides how many sessions fit.
+    """
+    base = replace(_base_config(args, num_requests), method=MEMORY_METHOD)
+    decoder = build_decoder(base)
+    grid = {}
+    for devices, router in MEMORY_CLUSTERS:
+        for capacity in MEMORY_CAPACITIES:
+            label = "unbounded" if capacity is None else str(capacity)
+            config = replace(
+                base, devices=devices, router=router, memory_blocks=capacity
+            )
+            max_qps, _ = max_sustainable_qps(
+                config, target_ratio=args.slo_target, decoder=decoder
+            )
+            grid[f"{devices}x-{router}@{label}"] = round(max_qps, 3)
+    shared = replace(
+        base,
+        utterances=MEMORY_SHARED_UTTERANCES,
+        devices=2,
+        memory_blocks=MEMORY_REUSE_CAPACITY,
+    )
+    reuse = {}
+    for label, sharing in (("prefix-reuse", True), ("no-reuse", False)):
+        config = replace(shared, prefix_sharing=sharing)
+        max_qps, _ = max_sustainable_qps(
+            config, target_ratio=args.slo_target, decoder=decoder
+        )
+        reuse[label] = round(max_qps, 3)
+    return {
+        "method": MEMORY_METHOD,
+        "capacities_blocks": [
+            c if c is not None else "unbounded" for c in MEMORY_CAPACITIES
+        ],
+        "capacity_grid_max_sustainable_qps": grid,
+        "shared_prompt": {
+            "utterances": MEMORY_SHARED_UTTERANCES,
+            "memory_blocks": MEMORY_REUSE_CAPACITY,
+            "max_sustainable_qps": reuse,
+        },
+    }
+
+
 def run_bench(args) -> dict:
     config = _base_config(args, args.requests)
     _check_determinism(replace(config, method="specasr-asp"))
@@ -314,6 +388,8 @@ def run_bench(args) -> dict:
         )
     clear_acoustic_caches()
     chaos = _chaos_entry(args, args.requests)
+    clear_acoustic_caches()
+    memory = _memory_entry(args, args.requests)
     wall_s = time.perf_counter() - start
 
     baseline_qps = methods["autoregressive"]["max_sustainable_qps"]
@@ -346,10 +422,12 @@ def run_bench(args) -> dict:
         "capacity_vs_autoregressive": capacity_vs_ar,
         "cluster_max_sustainable_qps": cluster,
         "chaos": chaos,
+        "memory": memory,
         "determinism": {
             "serial_vs_batched_decode_identical": True,
             "batched_rerun_identical": True,
             "cluster_transcripts_and_decode_identical": True,
+            "memory_ample_capacity_parity": True,
             "chaos_rerun_identical": True,
             "chaos_surviving_transcripts_identical": True,
             "chaos_request_conservation": True,
@@ -372,10 +450,29 @@ SMOKE_CLUSTER_POINTS = (
 )
 SMOKE_CLUSTER_METHOD = "specasr-asp"
 
+#: Cold repetitions of the smoke measurement; the best wall time is kept
+#: (the bench_decode idiom — QPS numbers are deterministic, reps only
+#: de-noise the machine-dependent throughput reading).
+SMOKE_MEASURE_REPS = 2
+
 
 def _smoke_measure(args) -> dict:
     """Small deterministic workload timed for the regression guard."""
-    start = time.perf_counter()
+    best_wall = float("inf")
+    for _ in range(SMOKE_MEASURE_REPS):
+        start = time.perf_counter()
+        entries, cluster, simulated = _smoke_measure_once(args)
+        best_wall = min(best_wall, time.perf_counter() - start)
+    return {
+        "requests": args.smoke_requests,
+        "max_sustainable_qps": entries,
+        "cluster_max_sustainable_qps": {SMOKE_CLUSTER_METHOD: cluster},
+        "wall_s": round(best_wall, 4),
+        "sim_requests_per_s": round(simulated / best_wall, 2),
+    }
+
+
+def _smoke_measure_once(args) -> tuple[dict, dict, int]:
     entries = {}
     cluster = {}
     simulated = 0
@@ -407,14 +504,7 @@ def _smoke_measure(args) -> dict:
                 )
                 cluster[key] = round(point_qps, 3)
                 simulated += args.smoke_requests * len(point_probes)
-    wall_s = time.perf_counter() - start
-    return {
-        "requests": args.smoke_requests,
-        "max_sustainable_qps": entries,
-        "cluster_max_sustainable_qps": {SMOKE_CLUSTER_METHOD: cluster},
-        "wall_s": round(wall_s, 4),
-        "sim_requests_per_s": round(simulated / wall_s, 2),
-    }
+    return entries, cluster, simulated
 
 
 def _chaos_smoke(args) -> int:
@@ -479,11 +569,62 @@ def _chaos_smoke(args) -> int:
     return 0
 
 
+def _memory_smoke(args) -> int:
+    """Memory guard: bounded degradation under pressure, reuse helps.
+
+    Asserts that the tightest KV capacity on the 2-device colocated cluster
+    still sustains >= 0.3x the unconstrained QPS, and that copy-on-write
+    prefix sharing sustains at least as much load as disabling it on the
+    shared-prompt workload.
+    """
+    memory = _memory_entry(args, args.smoke_requests)
+    grid = memory["capacity_grid_max_sustainable_qps"]
+    reuse = memory["shared_prompt"]["max_sustainable_qps"]
+    print(
+        f"memory [{memory['method']}]: "
+        + ", ".join(f"{label} {qps} qps" for label, qps in grid.items())
+    )
+    print(
+        f"memory shared-prompt @ {memory['shared_prompt']['memory_blocks']} "
+        f"blocks: prefix-reuse {reuse['prefix-reuse']} qps, "
+        f"no-reuse {reuse['no-reuse']} qps"
+    )
+    if args.smoke_output:
+        out = Path(args.smoke_output)
+        path = out.with_name(out.stem + "_memory" + out.suffix)
+        path.write_text(json.dumps(memory, indent=2) + "\n")
+        print(f"wrote {path}")
+    unbounded = grid["2x-colocated@unbounded"]
+    tight = grid[f"2x-colocated@{min(c for c in MEMORY_CAPACITIES if c)}"]
+    if unbounded <= 0:
+        print("FAIL: unconstrained memory baseline sustains no load", file=sys.stderr)
+        return 1
+    if tight < 0.3 * unbounded:
+        print(
+            f"FAIL: tight KV capacity drops sustained QPS to {tight} "
+            f"(< 0.3x the unconstrained {unbounded})",
+            file=sys.stderr,
+        )
+        return 1
+    if reuse["prefix-reuse"] < reuse["no-reuse"]:
+        print(
+            f"FAIL: prefix reuse ({reuse['prefix-reuse']}) sustains less "
+            f"load than no sharing ({reuse['no-reuse']}) on the "
+            "shared-prompt workload",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def run_smoke(args) -> int:
     if args.chaos:
         status = _chaos_smoke(args)
         if status != 0:
             return status
+    status = _memory_smoke(args)
+    if status != 0:
+        return status
     smoke = _smoke_measure(args)
     print(
         f"smoke: {smoke['sim_requests_per_s']} simulated requests/s "
