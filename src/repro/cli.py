@@ -78,6 +78,14 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also save each report as JSON under this directory",
     )
+    run_parser.add_argument(
+        "--profile",
+        default=None,
+        metavar="PATH",
+        help="profile the run under cProfile and write pstats data to PATH "
+        "(inspect with `python -m pstats PATH` or snakeviz); results are "
+        "unchanged — profiling only observes the run",
+    )
 
     decode_parser = sub.add_parser("decode", help="decode a sample utterance")
     decode_parser.add_argument("--pairing", choices=sorted(PAIRINGS), default="whisper")
@@ -274,6 +282,21 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        try:
+            return _run_experiments(args)
+        finally:
+            profiler.disable()
+            profiler.dump_stats(args.profile)
+            print(f"profile written to {args.profile}", file=sys.stderr)
+    return _run_experiments(args)
+
+
+def _run_experiments(args: argparse.Namespace) -> int:
     config = ExperimentConfig(
         seed=args.seed, utterances=args.utterances, workers=args.workers
     )

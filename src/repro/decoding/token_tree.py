@@ -17,7 +17,7 @@ import numpy as np
 ROOT_PARENT = -1
 
 
-@dataclass
+@dataclass(slots=True)
 class TreeNode:
     """One drafted token in the tree."""
 

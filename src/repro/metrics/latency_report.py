@@ -109,15 +109,18 @@ def aggregate_latency(
     if len(results) != len(units):
         raise ValueError(f"{len(results)} results vs {len(units)} units")
     breakdown = LatencyBreakdown(method=method)
+    by_model = breakdown.by_model_ms
+    by_kind = breakdown.by_kind_ms
+    total_ms = 0.0
     for result, unit in zip(results, units):
         breakdown.num_units += 1
         breakdown.total_duration_s += getattr(unit, "duration_s", 10.0)
         for event in result.clock.events:
-            breakdown.total_ms += event.ms
-            breakdown.by_model_ms[event.model] = (
-                breakdown.by_model_ms.get(event.model, 0.0) + event.ms
-            )
-            breakdown.by_kind_ms[event.kind] = (
-                breakdown.by_kind_ms.get(event.kind, 0.0) + event.ms
-            )
+            ms = event.ms
+            total_ms += ms
+            model = event.model
+            by_model[model] = by_model.get(model, 0.0) + ms
+            kind = event.kind
+            by_kind[kind] = by_kind.get(kind, 0.0) + ms
+    breakdown.total_ms = total_ms
     return breakdown

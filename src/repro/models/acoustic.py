@@ -41,9 +41,20 @@ import numpy as np
 from repro.data.corpus import Utterance
 from repro.models.vocab import Vocabulary
 from repro.utils.cache import LRUCache
-from repro.utils.hashing import hash_prefix, stable_hash_with
-from repro.utils.mathutil import softmax_array
+from repro.utils.hashing import hash_prefix, stable_hash_ints, stable_hash_with
+from repro.utils.mathutil import softmax_array, softmax_block
+from repro.utils.rng import batched_generators as _batched_rngs
 from repro.utils.rng import fast_generator as _fast_rng
+
+#: Default width of one vectorised base block (positions scored per numpy
+#: pass).  ``block_size <= 1`` on the oracle selects the scalar reference
+#: path; both paths are bit-identical (see ``tests/test_acoustic_parity.py``).
+BASE_BLOCK_SIZE = 32
+
+#: Bound on the per-oracle ``_base`` cache: blocks held when vectorised,
+#: positions held on the scalar path (same worst-case position budget).
+BASE_CACHE_BLOCKS = 64
+BASE_CACHE_POSITIONS = BASE_CACHE_BLOCKS * BASE_BLOCK_SIZE
 
 
 @dataclass(frozen=True)
@@ -172,6 +183,7 @@ class EmissionOracle:
         utterance: Utterance,
         vocab: Vocabulary,
         params: OracleParams | None = None,
+        block_size: int = BASE_BLOCK_SIZE,
     ) -> None:
         if not 0.0 < capacity <= 1.0:
             raise ValueError(f"capacity must be in (0, 1], got {capacity}")
@@ -181,13 +193,25 @@ class EmissionOracle:
         self.utterance = utterance
         self.vocab = vocab
         self.params = params or OracleParams()
+        self.block_size = int(block_size)
         self._cache: dict[tuple[int, int, int], OracleStep] = {}
         # Per-position pre-perturbation state: (candidates, candidate array,
         # base scores).  Perturbed variants of a position share it, so
         # re-anchoring after a correction costs one noise draw + softmax,
-        # not a full rebuild.
-        self._base: dict[int, tuple[list[int], np.ndarray, np.ndarray]] = {}
+        # not a full rebuild.  LRU-bounded: on the vectorised path entries
+        # are whole blocks keyed by block start; on the scalar path single
+        # positions keyed by position (overflow positions past the EOS
+        # region use ("ovf", position) keys on either path).
+        if self.block_size > 1:
+            self._base: LRUCache = LRUCache(maxsize=BASE_CACHE_BLOCKS)
+        else:
+            self._base = LRUCache(maxsize=BASE_CACHE_POSITIONS)
         self._greedy: list[int] | None = None
+        # Per-oracle scalars of the grouped block pass (identical floats to
+        # the expressions in _compute_base, precomputed once).
+        self._effective_capacity = self.capacity**self.params.capacity_power
+        self._own_noise = self.params.model_noise(self.capacity)
+        self._drop_scale = max(1.1 - self.capacity, 0.0)
         # Precomputed stable_hash payload prefixes for the per-position
         # seeds (bit-identical to hashing the full argument lists).
         useed = self.utterance.seed
@@ -245,34 +269,45 @@ class EmissionOracle:
             cache.put(key, cached)
         return cached
 
-    def _build_candidates(self, position: int) -> list[int]:
+    def _build_candidates(self, position: int, rng=None, drng=None) -> list[int]:
+        """Candidate set at ``position``; ``rng``/``drng`` inject pre-built
+        confusion/distractor generators (the batched prewarm path) and must
+        be seeded exactly as the lazy constructions below."""
         p = self.params
         utt_seed = self.utterance.seed
         if position >= self.utterance.num_tokens:
             # EOS region: EOS plus a couple of distractors.
-            distractors = self._distractors(position, 2, exclude=(self.vocab.eos_id,))
+            distractors = self._distractors(
+                position, 2, exclude=(self.vocab.eos_id,), rng=drng
+            )
             return [self.vocab.eos_id, *distractors]
         ref = self.utterance.tokens[position]
         pool = self.vocab.confusion_pool(ref)
         confusions: list[int] = []
         if pool:
-            rng = _fast_rng(stable_hash_with(self._h_confusions, position))
-            order = rng.permutation(len(pool))
+            if rng is None:
+                rng = _fast_rng(stable_hash_ints(self._h_confusions, position))
+            # tolist() up front: indexing python ints beats boxing one
+            # np.int64 per pool element on this hot path.
+            order = rng.permutation(len(pool)).tolist()
             for idx in order:
-                candidate = pool[int(idx)]
+                candidate = pool[idx]
                 if candidate != ref and candidate not in confusions:
                     confusions.append(candidate)
                 if len(confusions) == len(p.confusion_gains):
                     break
         exclude = (ref, *confusions)
-        distractors = self._distractors(position, p.distractor_count, exclude)
+        distractors = self._distractors(
+            position, p.distractor_count, exclude, rng=drng
+        )
         return [ref, *confusions, *distractors]
 
     def _distractors(
-        self, position: int, count: int, exclude: tuple[int, ...]
+        self, position: int, count: int, exclude: tuple[int, ...], rng=None
     ) -> list[int]:
         regular = self.vocab.regular_ids()
-        rng = _fast_rng(stable_hash_with(self._h_distractors, position))
+        if rng is None:
+            rng = _fast_rng(stable_hash_ints(self._h_distractors, position))
         picked: list[int] = []
         excluded = set(exclude)
         pool_size = len(regular)
@@ -280,8 +315,8 @@ class EmissionOracle:
         # the same generator, so over-drawing a block and consuming it in
         # order picks exactly the tokens the one-at-a-time loop would.
         while len(picked) < count:
-            for index in rng.integers(0, pool_size, size=count + 4):
-                candidate = regular[int(index)]
+            for index in rng.integers(0, pool_size, size=count + 4).tolist():
+                candidate = regular[index]
                 if candidate not in excluded:
                     picked.append(candidate)
                     excluded.add(candidate)
@@ -289,23 +324,129 @@ class EmissionOracle:
                         break
         return picked
 
+    def step_many(
+        self, queries: "list[tuple[int, int, int]]"
+    ) -> list[OracleStep]:
+        """Batched :meth:`step` over ``(position, perturb_level, context_key)``
+        triples.
+
+        On the vectorised path this materialises every touched base block
+        (one grouped numpy pass per block, anchored distributions included)
+        and then scores all remaining cache misses — perturbed variants and
+        positions past the EOS region — in one grouped softmax/lexsort pass
+        (:meth:`_compute_steps_batch`).  Results are bit-identical to
+        calling :meth:`step` per query, in order.  ``block_size <= 1``
+        falls back to the scalar reference loop.
+        """
+        if self.block_size <= 1 or len(queries) == 1:
+            # Scalar reference path, and the common single-miss call from a
+            # mostly-cached frontier: per-query step() is cheaper than the
+            # batch setup (blocks still materialise lazily via _base_for).
+            return [
+                self.step(position, level, ctx) for position, level, ctx in queries
+            ]
+        cache = self._cache
+        block_size = self.block_size
+        ceiling = self.max_positions
+        keys: list[tuple[int, int, int]] = []
+        for position, level, ctx in queries:
+            if position < 0:
+                raise ValueError(f"negative position {position}")
+            keys.append((position, 0, 0) if level == 0 else (position, level, ctx))
+        touched = {
+            key[0] - key[0] % block_size for key in keys if key[0] < ceiling
+        }
+        for start in sorted(touched):
+            self._block_for(start)
+        misses = [key for key in dict.fromkeys(keys) if key not in cache]
+        if len(misses) > 1:
+            self._compute_steps_batch(misses)
+        elif misses:
+            key = misses[0]
+            cache[key] = self._compute_step(*key)
+        return [cache[key] for key in keys]
+
+    def _compute_steps_batch(self, keys: "list[tuple[int, int, int]]") -> None:
+        """Score several missing step queries in one grouped numpy pass.
+
+        Each row's scores are produced by the exact scalar arithmetic of
+        :meth:`_compute_step` — per-query RNG streams, same operand order —
+        and only the softmax, the lexsort and the top-k extraction are
+        batched across rows of equal candidate count (both are row-wise
+        independent, so every row keeps the scalar reduction tree).
+        Results land in the step cache.
+        """
+        p = self.params
+        window = max(p.perturb_window, 1)
+        perturb_noise = p.perturb_noise
+        rows: list[tuple[tuple[int, int, int], list[int], np.ndarray, np.ndarray]]
+        rows = []
+        for key in keys:
+            position, level, ctx = key
+            candidates, cand_arr, scores = self._base_for(position)
+            if level > 0:
+                level_frac = level / window
+                # Model-specific seed: these draws are never shared across
+                # models, so skip the cross-model memo and draw directly.
+                perturb = perturb_noise * level_frac * _fast_rng(
+                    stable_hash_ints(self._h_perturb, position, level, ctx)
+                ).standard_normal(len(candidates))
+                scores = scores + perturb
+            rows.append((key, candidates, cand_arr, scores))
+        groups: dict[int, list] = {}
+        for row in rows:
+            groups.setdefault(len(row[1]), []).append(row)
+        cache = self._cache
+        topk_n = p.topk
+        for group in groups.values():
+            scores2 = np.stack([scores for _k, _c, _a, scores in group])
+            cand2 = np.stack([cand_arr for _k, _c, cand_arr, _s in group])
+            prob2 = softmax_block(scores2, temperature=p.temperature)
+            order2 = np.lexsort((cand2, -prob2), axis=-1)
+            for row_index, (key, candidates, _arr, _scores) in enumerate(group):
+                probs = prob2[row_index].tolist()
+                top = order2[row_index, :topk_n].tolist()
+                topk = tuple((candidates[i], probs[i]) for i in top)
+                cache[key] = OracleStep(
+                    position=key[0],
+                    token=topk[0][0],
+                    top_prob=topk[0][1],
+                    topk=topk,
+                )
+
+    def _base_for(self, position: int) -> tuple[list[int], np.ndarray, np.ndarray]:
+        """Base state for one position, via the block or scalar cache."""
+        block_size = self.block_size
+        if block_size > 1 and position < self.max_positions:
+            start = position - position % block_size
+            return self._block_for(start)[position - start]
+        key = ("ovf", position) if block_size > 1 else position
+        base = self._base.get(key)
+        if base is None:
+            base = self._compute_base(position)
+            self._base.put(key, base)
+        return base
+
+    def _block_for(self, start: int) -> list[tuple[list[int], np.ndarray, np.ndarray]]:
+        block = self._base.get(start)
+        if block is None:
+            block = self._compute_base_block(start)
+            self._base.put(start, block)
+        return block
+
     def _compute_step(
         self, position: int, perturb_level: int, context_key: int
     ) -> OracleStep:
         p = self.params
-        base = self._base.get(position)
-        if base is None:
-            base = self._compute_base(position)
-            self._base[position] = base
-        candidates, cand_arr, scores = base
+        candidates, cand_arr, scores = self._base_for(position)
         n = len(candidates)
 
         if perturb_level > 0:
             level_frac = perturb_level / max(p.perturb_window, 1)
-            perturb = p.perturb_noise * level_frac * _normals(
-                stable_hash_with(self._h_perturb, position, perturb_level, context_key),
-                n,
-            )
+            # Model-specific seed (see _compute_steps_batch): no memo.
+            perturb = p.perturb_noise * level_frac * _fast_rng(
+                stable_hash_ints(self._h_perturb, position, perturb_level, context_key)
+            ).standard_normal(n)
             scores = scores + perturb
 
         # Passing the array through is bit-identical to scores.tolist():
@@ -357,11 +498,11 @@ class EmissionOracle:
 
         scale = p.noise_scale(difficulty)
         shared = p.shared_noise * scale * _normals(
-            stable_hash_with(self._h_shared, position), n
+            stable_hash_ints(self._h_shared, position), n
         )
-        own = p.model_noise(self.capacity) * scale * _normals(
-            stable_hash_with(self._h_own, position), n
-        )
+        own = p.model_noise(self.capacity) * scale * _fast_rng(
+            stable_hash_ints(self._h_own, position)
+        ).standard_normal(n)
         noise = shared + own
         if position < utt.num_tokens:
             # Distractors crowd the distribution (they carry probability
@@ -382,12 +523,251 @@ class EmissionOracle:
         # Occasional "attention drop" on the reference evidence: when the
         # model errs, the reference sometimes falls below rank 2 (Fig. 13b's
         # rank >= 3 tail).  Larger models are less prone to it.
-        drop_draw = _fast_rng(stable_hash_with(self._h_drop, position)).uniform()
+        drop_draw = _fast_rng(stable_hash_ints(self._h_drop, position)).uniform()
         drop_prob = p.rank_drop_prob * difficulty * max(1.1 - self.capacity, 0.0)
         if position < utt.num_tokens and drop_draw < drop_prob:
             scores[0] -= p.rank_drop_penalty
 
         return candidates, np.asarray(candidates), scores
+
+    def _compute_base_block(
+        self, start: int
+    ) -> list[tuple[list[int], np.ndarray, np.ndarray]]:
+        """Base state for positions ``[start, stop)`` in grouped numpy passes."""
+        return _compute_base_blocks([(self, start)])[0]
+
+
+def _prewarm_candidates(requests: "list[tuple[EmissionOracle, int]]") -> None:
+    """Materialise every uncached candidate set touched by ``requests``,
+    constructing all confusion/distractor generators in batched vectorised
+    passes.  Candidate sets are utterance-level (model-independent), so
+    duplicate keys across a pairing's oracles build once."""
+    jobs: dict[tuple, tuple] = {}
+    for oracle, start in requests:
+        stop = min(start + oracle.block_size, oracle.max_positions)
+        cache = _candidate_cache(oracle.vocab)
+        p = oracle.params
+        utt = oracle.utterance
+        num_tokens = utt.num_tokens
+        for pos in range(start, stop):
+            key = (utt.content_key, pos, len(p.confusion_gains), p.distractor_count)
+            if key in jobs or key in cache:
+                continue
+            need_conf = pos < num_tokens and bool(
+                oracle.vocab.confusion_pool(utt.tokens[pos])
+            )
+            jobs[key] = (oracle, pos, cache, need_conf)
+    if not jobs:
+        return
+    job_list = list(jobs.items())
+    conf_jobs = [job for job in job_list if job[1][3]]
+    conf_rngs = iter(
+        _batched_rngs(
+            [
+                stable_hash_ints(oracle._h_confusions, pos)
+                for _key, (oracle, pos, _cache, _nc) in conf_jobs
+            ]
+        )
+    )
+    conf_by_key = {key: rng for (key, _job), rng in zip(conf_jobs, conf_rngs)}
+    dist_rngs = _batched_rngs(
+        [
+            stable_hash_ints(oracle._h_distractors, pos)
+            for _key, (oracle, pos, _cache, _nc) in job_list
+        ]
+    )
+    for (key, (oracle, pos, cache, _need_conf)), drng in zip(job_list, dist_rngs):
+        cache.put(
+            key, oracle._build_candidates(pos, rng=conf_by_key.get(key), drng=drng)
+        )
+
+
+def _compute_base_blocks(
+    requests: "list[tuple[EmissionOracle, int]]",
+) -> list[list[tuple[list[int], np.ndarray, np.ndarray]]]:
+    """Base state for several ``(oracle, block_start)`` requests in grouped
+    numpy passes — one stacked array pass per (params, candidate count,
+    word/EOS region) group, across *all* requested oracles at once.
+
+    Bit-identity contract with :meth:`EmissionOracle._compute_base`: rows
+    are grouped so every row keeps the exact shape — and therefore the
+    exact numpy reduction tree — of its scalar counterpart (every op along
+    the stacked axis is row-wise independent); per-position RNG streams are
+    drawn from the same seeds; all arithmetic keeps the scalar path's
+    operand order (per-oracle scalars become per-row factors, which is the
+    same elementwise float64 product).  Only result-irrelevant work is
+    skipped (e.g. the attention-drop draw at EOS positions, which the
+    scalar path draws but never applies).
+
+    Returns one base-block list per request, in request order.  Anchored
+    next-token distributions are eagerly written to each oracle's step
+    cache as a side effect.
+    """
+    _prewarm_candidates(requests)
+    row_oracle: list[EmissionOracle] = []
+    row_pos: list[int] = []
+    row_cands: list[list[int]] = []
+    row_out: list[tuple[list, int]] = []
+    results: list[list] = []
+    groups: dict[tuple, list[int]] = {}
+    for oracle, start in requests:
+        stop = min(start + oracle.block_size, oracle.max_positions)
+        bases: list = [None] * (stop - start)
+        results.append(bases)
+        num_tokens = oracle.utterance.num_tokens
+        params = oracle.params
+        for offset, pos in enumerate(range(start, stop)):
+            cands = oracle._candidate_tokens(pos)
+            index = len(row_oracle)
+            row_oracle.append(oracle)
+            row_pos.append(pos)
+            row_cands.append(cands)
+            row_out.append((bases, offset))
+            key = (params, len(cands), pos >= num_tokens)
+            groups.setdefault(key, []).append(index)
+
+    for (p, n, is_eos), indices in groups.items():
+        rows = len(indices)
+        # Shared-noise draws recur across models (the memo hits for the
+        # second model of a pairing); misses expand their PCG64 states in
+        # one vectorised pass.
+        shared_rows: list = [None] * rows
+        miss_rows: list[int] = []
+        miss_keys: list[tuple[int, int]] = []
+        for row, i in enumerate(indices):
+            key = (stable_hash_ints(row_oracle[i]._h_shared, row_pos[i]), n)
+            draws = _NORMALS_CACHE.get(key)
+            if draws is None:
+                miss_rows.append(row)
+                miss_keys.append(key)
+            else:
+                shared_rows[row] = draws
+        for row, key, rng in zip(
+            miss_rows, miss_keys, _batched_rngs([key[0] for key in miss_keys])
+        ):
+            draws = rng.standard_normal(n)
+            draws.setflags(write=False)
+            _NORMALS_CACHE.put(key, draws)
+            shared_rows[row] = draws
+        shared2 = np.stack(shared_rows)
+        # Own-noise seeds are model-specific (never shared across models),
+        # so the draws bypass the cross-model memo.
+        own2 = np.stack(
+            [
+                rng.standard_normal(n)
+                for rng in _batched_rngs(
+                    [
+                        stable_hash_ints(row_oracle[i]._h_own, row_pos[i])
+                        for i in indices
+                    ]
+                )
+            ]
+        )
+        if is_eos:
+            scale = p.noise_scale(0.05)
+            gains2 = np.empty((rows, n))
+            gains2[:, 0] = p.eos_gain
+            gains2[:, 1:] = p.distractor_score
+            own_scale = np.array([row_oracle[i]._own_noise for i in indices]) * scale
+            noise2 = p.shared_noise * scale * shared2 + own_scale[:, None] * own2
+            scores2 = gains2 + noise2
+        else:
+            diff = np.array(
+                [row_oracle[i].utterance.difficulty[row_pos[i]] for i in indices]
+            )
+            effcap = np.array([row_oracle[i]._effective_capacity for i in indices])
+            own_arr = np.array([row_oracle[i]._own_noise for i in indices])
+            drop_arr = np.array([row_oracle[i]._drop_scale for i in indices])
+            gains2 = np.empty((rows, n))
+            gains2[:, 0] = p.ref_gain * (1.0 - diff) * effcap
+            n_conf = min(len(p.confusion_gains), n - 1 - p.distractor_count)
+            n_conf = max(n_conf, 0)
+            for idx in range(n_conf):
+                gains2[:, 1 + idx] = p.confusion_gains[idx] * diff
+            gains2[:, 1 + n_conf:] = np.minimum(
+                p.distractor_score + p.distractor_slope * diff,
+                p.distractor_cap,
+            )[:, None]
+            scale = p.noise_scale(diff)
+            noise2 = (p.shared_noise * scale)[:, None] * shared2
+            noise2 += (own_arr * scale)[:, None] * own2
+            first_distractor = 1 + n_conf
+            if first_distractor < n:
+                crowd = p.distractor_noise_factor * noise2[
+                    :, first_distractor:
+                ].mean(axis=1)
+                noise2[:, first_distractor:] = crowd[:, None]
+            scores2 = gains2 + noise2
+            # tolist(): the row loop compares python floats, and the
+            # float64 round-trip is exact (same comparison the scalar
+            # path makes).
+            drop_probs = (p.rank_drop_prob * diff * drop_arr).tolist()
+            drop_rows = [
+                (row, i) for row, i in enumerate(indices) if drop_probs[row] > 0.0
+            ]
+            drop_rngs = _batched_rngs(
+                [
+                    stable_hash_ints(row_oracle[i]._h_drop, row_pos[i])
+                    for _row, i in drop_rows
+                ]
+            )
+            for (row, _i), rng in zip(drop_rows, drop_rngs):
+                if rng.uniform() < drop_probs[row]:
+                    scores2[row, 0] -= p.rank_drop_penalty
+
+        # Anchored next-token distributions for the whole group in one
+        # softmax + lexsort pass (axis=-1 keeps rows independent and
+        # bit-identical to the per-row scalar calls).  cand2 is built
+        # once and its rows double as the per-position candidate arrays
+        # (read-only downstream, so shared views are safe).
+        prob2 = softmax_block(scores2, temperature=p.temperature)
+        cand2 = np.array([row_cands[i] for i in indices])
+        order2 = np.lexsort((cand2, -prob2), axis=-1)
+        topk_n = p.topk
+        for row, i in enumerate(indices):
+            candidates = row_cands[i]
+            bases, offset = row_out[i]
+            bases[offset] = (candidates, cand2[row], scores2[row])
+            pos = row_pos[i]
+            cache = row_oracle[i]._cache
+            key = (pos, 0, 0)
+            if key not in cache:
+                probs = prob2[row].tolist()
+                top = order2[row, :topk_n].tolist()
+                topk = tuple((candidates[c], probs[c]) for c in top)
+                cache[key] = OracleStep(
+                    position=pos,
+                    token=topk[0][0],
+                    top_prob=topk[0][1],
+                    topk=topk,
+                )
+    return results
+
+
+def prewarm_oracles(oracles: "list[EmissionOracle]") -> None:
+    """Materialise every uncached base block of ``oracles`` in one grouped
+    cross-oracle array pass (the corpus-grid form of the vectorised scoring
+    path; see :func:`_compute_base_blocks` for the bit-identity contract).
+
+    Scalar-path oracles (``block_size <= 1``) are left untouched — the
+    scalar path is the per-position reference and computes lazily.
+    """
+    requests: list[tuple[EmissionOracle, int]] = []
+    seen: set[tuple[int, int]] = set()
+    for oracle in oracles:
+        block_size = oracle.block_size
+        if block_size <= 1:
+            continue
+        for start in range(0, oracle.max_positions, block_size):
+            if (id(oracle), start) in seen:
+                continue
+            seen.add((id(oracle), start))
+            if oracle._base.get(start) is None:
+                requests.append((oracle, start))
+    if not requests:
+        return
+    for (oracle, start), block in zip(requests, _compute_base_blocks(requests)):
+        oracle._base.put(start, block)
 
 
 @dataclass
@@ -406,6 +786,7 @@ class OracleFactory:
     vocab: Vocabulary
     params: OracleParams = field(default_factory=OracleParams)
     cache_size: int = 64
+    block_size: int = BASE_BLOCK_SIZE
     _cache: LRUCache = field(default=None, repr=False)  # type: ignore[assignment]
 
     def __post_init__(self) -> None:
@@ -423,6 +804,7 @@ class OracleFactory:
                 utterance,
                 self.vocab,
                 self.params,
+                block_size=self.block_size,
             )
             self._cache.put(key, oracle)
         return oracle

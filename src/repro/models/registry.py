@@ -158,10 +158,18 @@ def get_model(
     name: str,
     vocab: Vocabulary | None = None,
     oracle_params: OracleParams | None = None,
+    oracle_block_size: int | None = None,
 ) -> SimulatedASRModel:
-    """Instantiate a simulated ASR model from its preset."""
+    """Instantiate a simulated ASR model from its preset.
+
+    ``oracle_block_size`` overrides the emission oracle's vectorised block
+    width (``<= 1`` selects the bit-identical scalar reference path).
+    """
     spec = get_spec(name)
     vocab = vocab or build_default_vocabulary()
+    kwargs = {}
+    if oracle_block_size is not None:
+        kwargs["oracle_block_size"] = oracle_block_size
     return SimulatedASRModel(
         name=spec.name,
         capacity=spec.capacity,
@@ -169,6 +177,7 @@ def get_model(
         vocab=vocab,
         oracle_params=oracle_params,
         encoder_latency_ms_per_10s=spec.encoder_latency_ms_per_10s,
+        **kwargs,
     )
 
 
@@ -176,14 +185,15 @@ def model_pair(
     pairing: str,
     vocab: Vocabulary | None = None,
     oracle_params: OracleParams | None = None,
+    oracle_block_size: int | None = None,
 ) -> tuple[SimulatedASRModel, SimulatedASRModel]:
     """Instantiate the (draft, target) pair for a named pairing."""
     if pairing not in PAIRINGS:
         raise KeyError(f"unknown pairing {pairing!r}; available: {sorted(PAIRINGS)}")
     draft_name, target_name = PAIRINGS[pairing]
     vocab = vocab or build_default_vocabulary()
-    draft = get_model(draft_name, vocab, oracle_params)
-    target = get_model(target_name, vocab, oracle_params)
+    draft = get_model(draft_name, vocab, oracle_params, oracle_block_size)
+    target = get_model(target_name, vocab, oracle_params, oracle_block_size)
     return draft, target
 
 

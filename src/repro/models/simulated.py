@@ -30,7 +30,13 @@ import weakref
 from typing import Iterator, NamedTuple, Sequence
 
 from repro.data.corpus import Utterance
-from repro.models.acoustic import EmissionOracle, OracleFactory, OracleParams
+from repro.models.acoustic import (
+    BASE_BLOCK_SIZE,
+    EmissionOracle,
+    OracleFactory,
+    OracleParams,
+    prewarm_oracles,
+)
 from repro.models.latency import (
     KIND_DECODE,
     KIND_DRAFT,
@@ -122,6 +128,45 @@ class StepResult(NamedTuple):
         return None
 
 
+def prewarm_models(
+    models: "Sequence[SimulatedASRModel]", utterances: "Sequence[Utterance]"
+) -> None:
+    """Materialise every (model, utterance) anchored distribution in one
+    cross-oracle grouped array pass — the corpus-grid entry point of the
+    vectorised scoring path.  No latency is billed (cache warming only);
+    scalar-path models (``oracle_block_size <= 1``) are left untouched so
+    the per-position reference stays pure.
+    """
+    prewarm_oracles(
+        [model.oracle(utterance) for model in models for utterance in utterances]
+    )
+
+
+def _resolve_pending_steps(oracle: EmissionOracle, pending: list) -> None:
+    """Fill ``node.step`` for every ``(results, node, key)`` entry via one
+    batched oracle pass.
+
+    ``results`` is the per-oracle StepResult memo the node's session shares;
+    entries may span several sessions as long as they share ``oracle``.
+    Results are bit-identical to resolving each node through the scalar
+    ``_node_step`` path (the oracle's batched scoring is bit-identical to
+    its scalar scoring, and StepResult construction is the same).
+    """
+    oracle_steps = oracle.step_many([key for _results, _node, key in pending])
+    for (results, node, key), oracle_step in zip(pending, oracle_steps):
+        step = results.get(key)
+        if step is None:
+            step = StepResult(
+                token=oracle_step.token,
+                top_prob=oracle_step.top_prob,
+                topk=oracle_step.topk,
+                position=oracle_step.position,
+                perturb_level=node.state,
+            )
+            results[key] = step
+        node.step = step
+
+
 class SimulatedASRModel:
     """One simulated cascaded ASR model (audio encoder + LLM decoder)."""
 
@@ -135,6 +180,7 @@ class SimulatedASRModel:
         encoder_latency_ms_per_10s: float = 0.0,
         seed: int = 0,
         oracle_cache_size: int = DEFAULT_ORACLE_CACHE,
+        oracle_block_size: int = BASE_BLOCK_SIZE,
     ) -> None:
         self.name = name
         self.capacity = capacity
@@ -143,6 +189,7 @@ class SimulatedASRModel:
         self.oracle_params = oracle_params or OracleParams()
         self.encoder_latency_ms_per_10s = encoder_latency_ms_per_10s
         self.seed = stable_hash("model", name, seed)
+        self.oracle_block_size = int(oracle_block_size)
         self._oracles = OracleFactory(
             model_name=self.name,
             model_seed=self.seed,
@@ -150,6 +197,7 @@ class SimulatedASRModel:
             vocab=self.vocab,
             params=self.oracle_params,
             cache_size=oracle_cache_size,
+            block_size=self.oracle_block_size,
         )
 
     def oracle(self, utterance: Utterance) -> EmissionOracle:
@@ -164,6 +212,82 @@ class SimulatedASRModel:
         stream = self.oracle(utterance).greedy_stream()
         eos = self.vocab.eos_id
         return stream[:-1] if stream and stream[-1] == eos else stream
+
+    def prewarm(self, utterance: Utterance) -> None:
+        """Materialise every anchored distribution for ``utterance`` in one
+        batched oracle pass (no latency is billed — this is cache warming,
+        the corpus-grid form of the vectorised scoring path)."""
+        prewarm_oracles([self.oracle(utterance)])
+
+    def score_batch(
+        self,
+        requests: "Sequence[tuple]",
+        kind: str = KIND_VERIFY,
+    ) -> "list[list[StepResult]]":
+        """One cross-session batched scoring pass.
+
+        ``requests`` is a sequence of ``(session, prefixes)`` or
+        ``(session, prefixes, billed_tokens)`` entries; each ``prefixes``
+        is the frontier of one :class:`DecodeSession` (token sequences or
+        cursors).  Per session the pass bills **exactly** the latency record
+        the equivalent solo call would write — ``verify_eval`` semantics for
+        ``kind=KIND_VERIFY`` (billed tokens default to the frontier size,
+        KV context at the shallowest node), ``step_frontier`` semantics
+        otherwise — so SimClock totals are bit-identical to looping the
+        per-session calls.  All uncached distributions across every request
+        are then resolved with one grouped array pass per distinct
+        utterance oracle, instead of a python loop per session.
+
+        Returns one list of StepResults per request, in request order.
+        """
+        prepared: list[tuple[DecodeSession, list[_TrieNode]]] = []
+        for entry in requests:
+            session, prefixes = entry[0], entry[1]
+            billed_tokens = entry[2] if len(entry) > 2 else None
+            session._require_prefill()
+            nodes = [session._resolve(p) for p in prefixes]
+            if not nodes:
+                raise ValueError("score_batch needs at least one prefix per entry")
+            if kind == KIND_VERIFY:
+                billed = billed_tokens if billed_tokens is not None else len(nodes)
+                if billed < 1:
+                    raise ValueError(f"billed_tokens must be >= 1, got {billed}")
+                cached = session.kv.context_length(
+                    min(node.depth for node in nodes)
+                )
+            else:
+                billed = len(nodes)
+                cached = session.kv.context_length(
+                    max(node.depth for node in nodes)
+                )
+            ms = forward_ms(session.model.latency, billed, cached)
+            session.clock.record(session.model.name, kind, billed, cached, ms)
+            session.kv.append(billed)
+            prepared.append((session, nodes))
+        # Group uncached queries by oracle: sessions over the same utterance
+        # share one grouped pass (and one StepResult memo).
+        buckets: dict[int, tuple[EmissionOracle, list]] = {}
+        for session, nodes in prepared:
+            results = session._results
+            oracle = session._oracle
+            for node in nodes:
+                if node.step is None:
+                    context = _context_key(node.last3) if node.state else 0
+                    key = (node.depth, node.state, context)
+                    step = results.get(key)
+                    if step is None:
+                        bucket = buckets.get(id(oracle))
+                        if bucket is None:
+                            bucket = buckets[id(oracle)] = (oracle, [])
+                        bucket[1].append((results, node, key))
+                    else:
+                        node.step = step
+        for oracle, pending in buckets.values():
+            _resolve_pending_steps(oracle, pending)
+        return [
+            [session._node_step(node) for node in nodes]
+            for session, nodes in prepared
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SimulatedASRModel({self.name!r}, capacity={self.capacity})"
@@ -217,13 +341,20 @@ class SessionCursor:
 
     def advance(self, token: int) -> "SessionCursor":
         """Cursor for this prefix extended by one token (O(1))."""
-        return SessionCursor(self.session, self.session._child(self.node, token))
+        node = self.node
+        # Inlined hit path of DecodeSession._child: existing trie edges are
+        # the overwhelmingly common case in the per-token decode loops.
+        child = node.children.get(token)
+        if child is None:
+            child = self.session._child(node, token)
+        return SessionCursor(self.session, child)
 
     def extend(self, tokens: Sequence[int]) -> "SessionCursor":
         node = self.node
         child = self.session._child
         for token in tokens:
-            node = child(node, token)
+            hit = node.children.get(token)
+            node = hit if hit is not None else child(node, token)
         return SessionCursor(self.session, node)
 
     def rollback(self) -> None:
@@ -327,6 +458,27 @@ class DecodeSession:
             node.step = step
         return step
 
+    def _node_steps(self, nodes: "list[_TrieNode]") -> list[StepResult]:
+        """Batched :meth:`_node_step`: every uncached distribution in
+        ``nodes`` is resolved through one grouped oracle pass
+        (:meth:`EmissionOracle.step_many`), bit-identical to the scalar
+        per-node path."""
+        pending: list = []
+        results = self._results
+        for node in nodes:
+            if node.step is None:
+                context = _context_key(node.last3) if node.state else 0
+                key = (node.depth, node.state, context)
+                step = results.get(key)
+                if step is None:
+                    pending.append((results, node, key))
+                else:
+                    node.step = step
+        if pending:
+            _resolve_pending_steps(self._oracle, pending)
+        # Every node's step is populated by now (hit, memo, or batch above).
+        return [node.step for node in nodes]
+
     def _child(self, node: _TrieNode, token: int) -> _TrieNode:
         child = node.children.get(token)
         if child is None:
@@ -384,12 +536,19 @@ class DecodeSession:
     def step(self, prefix, kind: str = KIND_DECODE) -> StepResult:
         """One single-token forward pass."""
         self._require_prefill()
-        node = self._resolve(prefix)
-        cached = self.kv.context_length(node.depth)
+        # Inlined cursor fast path of _resolve: per-token decode loops pass
+        # this session's own cursors almost exclusively.
+        if type(prefix) is SessionCursor and prefix.session is self:
+            node = prefix.node
+        else:
+            node = self._resolve(prefix)
+        kv = self.kv
+        cached = kv.context_length(node.depth)
         ms = forward_ms(self.model.latency, 1, cached)
         self.clock.record(self.model.name, kind, 1, cached, ms)
-        self.kv.append(1)
-        return self._peek_node(node)
+        kv.append(1)
+        step = node.step
+        return step if step is not None else self._node_step(node)
 
     def step_frontier(self, prefixes, kind: str = KIND_DRAFT) -> list[StepResult]:
         """One batched forward pass over several tree-frontier prefixes.
@@ -406,7 +565,7 @@ class DecodeSession:
         ms = forward_ms(self.model.latency, len(nodes), cached)
         self.clock.record(self.model.name, kind, len(nodes), cached, ms)
         self.kv.append(len(nodes))
-        return [self._peek_node(node) for node in nodes]
+        return self._node_steps(nodes)
 
     def verify_eval(
         self, prefixes, billed_tokens: int | None = None
@@ -429,7 +588,7 @@ class DecodeSession:
         ms = forward_ms(self.model.latency, billed, cached)
         self.clock.record(self.model.name, KIND_VERIFY, billed, cached, ms)
         self.kv.append(billed)
-        return [self._peek_node(node) for node in nodes]
+        return self._node_steps(nodes)
 
     def rollback(self, kept_prefix_len: int, keep: SessionCursor | None = None) -> None:
         """Roll the KV cache back to ``prompt + kept_prefix_len`` positions.

@@ -393,6 +393,26 @@ class ContinuousBatchScheduler:
             # Lazy: the serving package must stay importable from a partially
             # initialised repro.models (see repro.models.__getattr__).
             from repro.models.simulated import prompt_token_count
+        # Cross-request batched scoring: when the decoder's models expose the
+        # block oracle (``oracle_block_size > 1``), every request admitted in
+        # one scheduler round gets its anchored distributions materialised in
+        # a single grouped array pass (cache warming only — nothing is
+        # billed, so transcripts and SimClock totals are bit-identical to
+        # the lazy per-position path).  Scalar-path models opt out.
+        batch_models = [
+            model
+            for model in (
+                getattr(self.decoder, "draft", None),
+                getattr(self.decoder, "target", None),
+            )
+            if model is not None
+            and getattr(model, "oracle_block_size", 0) > 1
+            and callable(getattr(model, "oracle", None))
+        ]
+        prewarm = None
+        if batch_models:
+            # Lazy for the same partial-initialisation reason as above.
+            from repro.models.simulated import prewarm_models as prewarm
         if plan is not None:
             for device, profile in zip(devices, plan.profiles(len(devices))):
                 device.set_fault_profile(profile)
@@ -447,6 +467,14 @@ class ContinuousBatchScheduler:
             "cancelled": 0,
         }
         dispatch_log = self.last_dispatch_log = []
+        # Sessions whose committed phase awaits its successor: the advance
+        # (``stepper.step_phase()``) is deferred out of ``commit`` and
+        # drained once per scheduler round, so every session that settled at
+        # the same simulated instant advances through one coalesced pass
+        # over warm caches (the merged router regularly commits whole verify
+        # batches at one end time).  Steppers are independent, so the
+        # deferral never changes any session's own draws or billing.
+        advancing: list[_Active] = []
 
         def deadline_for(record: RequestRecord) -> float | None:
             if record.request.priority == PRIORITY_BATCH:
@@ -522,8 +550,18 @@ class ContinuousBatchScheduler:
             # FIFO order.  A waiting interactive request may preempt the
             # newest idle batch session for its slot; the victim re-queues
             # with its decode state intact and resumes later.
+            arrived: list[RequestRecord] = []
             while pending and pending[0].request.arrival_ms <= now_ms:
-                queue.offer(pending.popleft())
+                record = pending.popleft()
+                arrived.append(record)
+                queue.offer(record)
+            if prewarm is not None and arrived:
+                # Admission-batch prewarm: one grouped array pass covers
+                # every (model, utterance) pair arriving this round, before
+                # any of their sessions computes its first phase.
+                prewarm(
+                    batch_models, [r.request.utterance for r in arrived]
+                )
             while queue:
                 if len(inflight) >= config.max_inflight:
                     if queue.next_priority() != PRIORITY_INTERACTIVE:
@@ -777,7 +815,10 @@ class ContinuousBatchScheduler:
                 if memory is not None:
                     memory.release_request(record.request.index)
             else:
-                active.phase = active.stepper.step_phase()
+                # Deferred: the successor phase is computed in the per-round
+                # coalesced drain (see ``advancing`` above), not here —
+                # nothing reads ``active.phase`` before that drain runs.
+                advancing.append(active)
 
         def settle(
             entry: tuple[_Active, int, int, bool, PhaseOutcome],
@@ -866,6 +907,26 @@ class ContinuousBatchScheduler:
                 end, _, device_index, entries, aborted = heapq.heappop(executing)
                 for entry in entries:
                     settle(entry, end, aborted, device_index)
+            if advancing:
+                if prewarm is not None and len(advancing) > 1:
+                    # Two or more sessions advance at this instant (e.g. a
+                    # merged-verify batch just committed): re-warm their
+                    # oracles in one grouped pass so each ``step_phase``
+                    # below reads cached blocks.  A no-op when the admission
+                    # prewarm is still resident; it only recomputes blocks
+                    # the oracle LRU has since evicted.
+                    units = []
+                    seen = set()
+                    for active in advancing:
+                        unit = active.record.request.utterance
+                        key = getattr(unit, "content_key", None) or id(unit)
+                        if key not in seen:
+                            seen.add(key)
+                            units.append(unit)
+                    prewarm(batch_models, units)
+                for active in advancing:
+                    active.phase = active.stepper.step_phase()
+                advancing.clear()
 
         self.last_stats = ScheduleStats(
             sim_end_ms=now,

@@ -288,9 +288,18 @@ class ServeSimConfig:
         return replace(self, qps=qps)
 
 
-def build_decoder(config: ServeSimConfig):
-    """The decoder a simulation serves with (fresh models, warm-able caches)."""
-    draft, target = model_pair(config.pairing, shared_vocabulary())
+def build_decoder(config: ServeSimConfig, oracle_block_size: int | None = None):
+    """The decoder a simulation serves with (fresh models, warm-able caches).
+
+    ``oracle_block_size`` overrides the models' scoring granularity: ``1``
+    pins the scalar per-position reference path, ``None`` keeps the default
+    block-vectorised path.  Either way transcripts and billed latencies are
+    bit-identical — the knob only moves host wall time (the bench_serve
+    merged-router A/B measures exactly that).
+    """
+    draft, target = model_pair(
+        config.pairing, shared_vocabulary(), oracle_block_size=oracle_block_size
+    )
     return build_method(config.method, draft, target)
 
 

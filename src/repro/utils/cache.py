@@ -25,6 +25,8 @@ class LRUCache(Generic[K, V]):
     get/move_to_end pair could race a concurrent eviction.
     """
 
+    __slots__ = ("maxsize", "_data", "_lock", "hits", "misses", "evictions")
+
     def __init__(self, maxsize: int = 64) -> None:
         self.maxsize = maxsize
         self._data: OrderedDict[K, V] = OrderedDict()
@@ -34,32 +36,35 @@ class LRUCache(Generic[K, V]):
         self.evictions = 0
 
     def get(self, key: K) -> V | None:
+        data = self._data
         with self._lock:
-            value = self._data.get(key)
+            value = data.get(key)
             if value is None:
                 self.misses += 1
                 return None
-            self._data.move_to_end(key)
+            data.move_to_end(key)
             self.hits += 1
             return value
 
     def put(self, key: K, value: V) -> None:
+        data = self._data
         with self._lock:
-            self._data[key] = value
-            self._data.move_to_end(key)
+            data[key] = value
+            data.move_to_end(key)
             if self.maxsize > 0:
-                while len(self._data) > self.maxsize:
-                    self._data.popitem(last=False)
+                while len(data) > self.maxsize:
+                    data.popitem(last=False)
                     self.evictions += 1
 
     def __getstate__(self) -> dict:
         # Locks don't pickle; process-pool workers get their own.
-        state = self.__dict__.copy()
-        del state["_lock"]
-        return state
+        return {
+            slot: getattr(self, slot) for slot in self.__slots__ if slot != "_lock"
+        }
 
     def __setstate__(self, state: dict) -> None:
-        self.__dict__.update(state)
+        for slot, value in state.items():
+            setattr(self, slot, value)
         self._lock = threading.Lock()
 
     def __len__(self) -> int:

@@ -19,14 +19,197 @@ def derive_seed(base_seed: int, *scope: Any) -> int:
     return stable_hash(base_seed, *scope)
 
 
-def fast_generator(seed: int) -> np.random.Generator:
+#: Bound once at import: the emission hot path constructs thousands of
+#: single-use generators per corpus decode, and two module-attribute loads
+#: per construction are measurable there.
+_Generator = np.random.Generator
+_PCG64 = np.random.PCG64
+
+
+def _fast_seed_class():
+    """The cheapest seed-expansion path that stays bit-identical.
+
+    ``SeedSequence.generate_state`` ships wrapped in an ``np.errstate``
+    guard; the guard is redundant here (state expansion is pure integer
+    hashing and cannot raise fp warnings) but costs over a microsecond per
+    single-use generator.  When the unwrapped function is reachable, build
+    a subclass that calls it directly — and keep it only if a probe shows
+    draws bit-identical to the stock path; otherwise fall back to plain
+    ``SeedSequence``.
+    """
+    base = np.random.SeedSequence
+    raw = getattr(base.generate_state, "__wrapped__", None)
+    if raw is None:
+        return base
+
+    class _FastSeed(base):
+        generate_state = raw
+
+    try:
+        for probe in (0, 1, 2025, 2**63 + 11, 2**127 + 5):
+            stock = _Generator(_PCG64(probe))
+            fast = _Generator(_PCG64(_FastSeed(probe)))
+            if stock.standard_normal(8).tolist() != fast.standard_normal(8).tolist():
+                return base
+            if stock.uniform() != fast.uniform():
+                return base
+    except Exception:
+        return base
+    return _FastSeed
+
+
+_SeedSeq = _fast_seed_class()
+
+
+def fast_generator(
+    seed: int, _generator=_Generator, _pcg64=_PCG64, _seedseq=_SeedSeq
+) -> np.random.Generator:
     """A generator bit-identical to ``np.random.default_rng(seed)``.
 
     ``Generator(PCG64(seed))`` is what ``default_rng`` builds internally but
     skips its argument dispatch, which matters in the emission hot path
-    (thousands of single-use generators per corpus decode).
+    (thousands of single-use generators per corpus decode).  The seed is
+    pre-expanded through the verified errstate-free path when available.
     """
-    return np.random.Generator(np.random.PCG64(seed))
+    return _generator(_pcg64(_seedseq(seed)))
+
+
+# -- batched seed expansion ---------------------------------------------------
+#
+# ``SeedSequence`` expands a seed into PCG64 state through a fixed pool-mixing
+# schedule of uint32 hashes.  The hash-constant sequence is value-independent,
+# and every per-seed operation is elementwise — so the expansion for an entire
+# block of seeds vectorises into one numpy pass.  The reimplementation below
+# is verified bit-identical against ``SeedSequence.generate_state`` at import
+# time (over fixed and random probe seeds); if the probe fails on some future
+# numpy, :func:`batched_generators` silently falls back to per-seed
+# construction, so correctness never depends on this fast path.
+
+_M32 = 0xFFFFFFFF
+_MULT_A = 0x931E8875
+_MIX_L = np.uint32(0xCA01F9DD)
+_MIX_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+
+
+def _hash_const_pairs(init: int, mult: int, count: int) -> list:
+    """(const-before, const-after) pairs of the SeedSequence hash schedule."""
+    pairs = []
+    const = init
+    for _ in range(count):
+        before = const
+        const = (const * mult) & _M32
+        pairs.append((np.uint32(before), np.uint32(const)))
+    return pairs
+
+
+_POOL_CONSTS = _hash_const_pairs(0x43B0D7E5, _MULT_A, 16)
+_STATE_CONSTS = _hash_const_pairs(0x8B51F9DD, 0x58F38DED, 8)
+
+
+def batched_seed_states(seeds: Sequence[int]) -> np.ndarray:
+    """``SeedSequence(seed).generate_state(4, uint64)`` for a block of seeds.
+
+    One vectorised pass over all seeds; rows follow ``seeds`` order.  Seeds
+    must lie in ``[0, 2**64)`` (every hash in this repo is 64-bit).  Zero
+    high words hash identically to the absent words of a short entropy
+    array, so no per-length grouping is needed.
+    """
+    arr = np.asarray(seeds, dtype=np.uint64)
+    count = len(arr)
+    cols = np.zeros((4, count), dtype=np.uint32)
+    cols[0] = (arr & np.uint64(0xFFFFFFFF)).astype(np.uint32)
+    cols[1] = (arr >> np.uint64(32)).astype(np.uint32)
+    pool = np.empty((4, count), dtype=np.uint32)
+    k = 0
+    for i in range(4):
+        c_xor, c_mul = _POOL_CONSTS[k]
+        k += 1
+        value = cols[i] ^ c_xor
+        value = value * c_mul
+        value ^= value >> _XSHIFT
+        pool[i] = value
+    for i_src in range(4):
+        for i_dst in range(4):
+            if i_src == i_dst:
+                continue
+            c_xor, c_mul = _POOL_CONSTS[k]
+            k += 1
+            hashed = pool[i_src] ^ c_xor
+            hashed = hashed * c_mul
+            hashed ^= hashed >> _XSHIFT
+            mixed = pool[i_dst] * _MIX_L - hashed * _MIX_R
+            mixed ^= mixed >> _XSHIFT
+            pool[i_dst] = mixed
+    state = np.empty((count, 8), dtype=np.uint32)
+    for j in range(8):
+        c_xor, c_mul = _STATE_CONSTS[j]
+        value = pool[j % 4] ^ c_xor
+        value = value * c_mul
+        value ^= value >> _XSHIFT
+        state[:, j] = value
+    return state.view(np.uint64)
+
+
+class _PrecomputedSeed:
+    """Minimal ISeedSequence: hands PCG64 a pre-expanded state row."""
+
+    __slots__ = ("words",)
+
+    def __init__(self, words: np.ndarray) -> None:
+        self.words = words
+
+    def generate_state(self, n_words: int, dtype=np.uint32) -> np.ndarray:
+        return self.words
+
+
+np.random.bit_generator.ISpawnableSeedSequence.register(_PrecomputedSeed)
+
+
+def _batched_path_ok() -> bool:
+    """Probe the vectorised expansion against numpy's own, draws included."""
+    try:
+        probes = [0, 1, 2025, 2**32 - 1, 2**32, 2**63 + 11, 2**64 - 1]
+        rng = fast_generator(0xBA7C4)
+        probes += [int(x) for x in rng.integers(0, 2**63, size=64)]
+        states = batched_seed_states(probes)
+        for row, seed in enumerate(probes):
+            if not np.array_equal(
+                np.random.SeedSequence(seed).generate_state(4, np.uint64),
+                states[row],
+            ):
+                return False
+        for row, seed in enumerate(probes[:8]):
+            stock = _Generator(_PCG64(seed))
+            fast = _Generator(_PCG64(_PrecomputedSeed(states[row])))
+            if stock.standard_normal(8).tolist() != fast.standard_normal(8).tolist():
+                return False
+            if stock.uniform() != fast.uniform():
+                return False
+    except Exception:
+        return False
+    return True
+
+
+_BATCH_OK = _batched_path_ok()
+
+
+def batched_generators(seeds: Sequence[int]) -> "list[np.random.Generator]":
+    """Generators bit-identical to ``[fast_generator(s) for s in seeds]``.
+
+    Expands every seed's PCG64 state in one vectorised pass (several times
+    cheaper than per-seed ``SeedSequence`` expansion), then wraps each row.
+    Falls back to per-seed construction if the vectorised path failed its
+    import-time probe or a seed falls outside ``[0, 2**64)``.
+    """
+    if not _BATCH_OK or not seeds:
+        return [fast_generator(seed) for seed in seeds]
+    lo, hi = min(seeds), max(seeds)
+    if lo < 0 or hi >> 64:
+        return [fast_generator(seed) for seed in seeds]
+    states = batched_seed_states(seeds)
+    generator, pcg64, pre = _Generator, _PCG64, _PrecomputedSeed
+    return [generator(pcg64(pre(states[row]))) for row in range(len(seeds))]
 
 
 class RngStream:

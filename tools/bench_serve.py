@@ -101,6 +101,14 @@ CHAOS_POINTS = (
 #: restart + transient errors, the acceptance scenario).
 CHAOS_DETERMINISM_FAULTS = "crash@2000:dev3:restart=1500;perr:0.02"
 
+#: Measured wall-clock A/B: the merged-verify cluster served once with the
+#: scalar per-position oracle (``oracle_block_size=1``, the reference) and
+#: once with the block-vectorised oracle, cold caches each leg.  Reports
+#: must be bit-identical; only host wall time may differ.
+WALL_AB_METHOD = "specasr-asp"
+WALL_AB_CLUSTER = (4, "merged", "fixed", "")
+WALL_AB_REPS = 3
+
 #: Memory grid: per-device KV capacities (blocks) probed per router point;
 #: None = unconstrained (the legacy time-only cluster).
 MEMORY_METHOD = "specasr-asp"
@@ -368,6 +376,50 @@ def _memory_entry(args, num_requests: int) -> dict:
     }
 
 
+def _environment() -> dict:
+    """Interpreter/library versions the wall numbers were measured under."""
+    import platform
+
+    import numpy
+
+    return {"python": platform.python_version(), "numpy": numpy.__version__}
+
+
+def _wall_ab_entry(args, num_requests: int, reps: int = WALL_AB_REPS) -> dict:
+    """Measured (not simulated) wall time: scalar vs vectorised oracle on
+    the merged-verify cluster, best-of-``reps`` cold runs per leg."""
+    devices, router, split, device_spec = WALL_AB_CLUSTER
+    config = _point_config(
+        replace(_base_config(args, num_requests), method=WALL_AB_METHOD),
+        devices,
+        router,
+        split,
+        device_spec,
+    )
+    walls = {}
+    reports = {}
+    for label, block_size in (("scalar", 1), ("vectorized", None)):
+        best = float("inf")
+        for _ in range(reps):
+            clear_acoustic_caches()
+            decoder = build_decoder(config, oracle_block_size=block_size)
+            start = time.perf_counter()
+            report = simulate(config, decoder=decoder)
+            best = min(best, time.perf_counter() - start)
+        walls[label] = best
+        reports[label] = report.to_dict()
+    return {
+        "method": WALL_AB_METHOD,
+        "cluster": _point_key(devices, router, split, device_spec),
+        "requests": num_requests,
+        "reps": reps,
+        "scalar_wall_s": round(walls["scalar"], 4),
+        "vectorized_wall_s": round(walls["vectorized"], 4),
+        "speedup": round(walls["scalar"] / walls["vectorized"], 3),
+        "reports_identical": reports["scalar"] == reports["vectorized"],
+    }
+
+
 def run_bench(args) -> dict:
     config = _base_config(args, args.requests)
     _check_determinism(replace(config, method="specasr-asp"))
@@ -391,6 +443,7 @@ def run_bench(args) -> dict:
     clear_acoustic_caches()
     memory = _memory_entry(args, args.requests)
     wall_s = time.perf_counter() - start
+    wall_ab = _wall_ab_entry(args, args.requests)
 
     baseline_qps = methods["autoregressive"]["max_sustainable_qps"]
     capacity_vs_ar = {
@@ -435,7 +488,9 @@ def run_bench(args) -> dict:
         "wall": {
             "wall_s": round(wall_s, 4),
             "sim_requests_per_s": round(simulated / wall_s, 2),
+            "merged_router_oracle_ab": wall_ab,
         },
+        "environment": _environment(),
     }
     return report
 
@@ -625,7 +680,29 @@ def run_smoke(args) -> int:
     status = _memory_smoke(args)
     if status != 0:
         return status
+    ab = _wall_ab_entry(args, args.smoke_requests, reps=2)
+    print(
+        f"merged-router oracle A/B: scalar {ab['scalar_wall_s']}s vs "
+        f"vectorized {ab['vectorized_wall_s']}s ({ab['speedup']}x), "
+        f"reports identical: {ab['reports_identical']}"
+    )
+    if not ab["reports_identical"]:
+        print(
+            "FAIL: the vectorised oracle changed the merged-router serve "
+            "report — bit-identity contract violated",
+            file=sys.stderr,
+        )
+        return 1
+    if ab["speedup"] < 1.0:
+        print(
+            f"FAIL: the vectorised oracle serves the merged cluster slower "
+            f"than the scalar reference ({ab['speedup']}x)",
+            file=sys.stderr,
+        )
+        return 1
     smoke = _smoke_measure(args)
+    smoke["merged_router_oracle_ab"] = ab
+    smoke["environment"] = _environment()
     print(
         f"smoke: {smoke['sim_requests_per_s']} simulated requests/s "
         f"({len(SERVE_METHODS)} methods, incl. search probes)"
