@@ -40,7 +40,9 @@ def main() -> None:
         print(f"  t={time_s:6.2f}s  +{count - shown:2d} tokens: {new_words}")
         shown = count
 
-    print(f"\nfirst-token latency : {result.first_token_latency_s:.2f} s")
+    first = result.first_token_latency_s
+    first_label = f"{first:.2f} s" if first is not None else "n/a (empty transcript)"
+    print(f"\nfirst-token latency : {first_label}")
     print(
         f"tail latency        : {result.final_latency_s * 1000:.0f} ms "
         f"after end-of-audio"

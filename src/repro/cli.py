@@ -256,6 +256,33 @@ def _build_parser() -> argparse.ArgumentParser:
         help="device-time cost of rebuilding one evicted KV block on resume",
     )
     serve_parser.add_argument(
+        "--streaming",
+        action="store_true",
+        help="stream each request's audio in timed chunks instead of "
+        "delivering whole utterances at arrival; decode progress is gated "
+        "on audio heard and the report gains word-level TTFT / emission "
+        "latency percentiles (transcripts stay identical to offline)",
+    )
+    serve_parser.add_argument(
+        "--rtf",
+        type=_positive_float,
+        default=1.0,
+        help="audio delivery speed for --streaming: 1.0 = real time, "
+        "2.0 = double speed",
+    )
+    serve_parser.add_argument(
+        "--chunk-s",
+        type=_positive_float,
+        default=1.0,
+        help="seconds of audio per streamed chunk event",
+    )
+    serve_parser.add_argument(
+        "--lookahead-s",
+        type=float,
+        default=0.3,
+        help="audio margin (seconds) the decoder holds back for context",
+    )
+    serve_parser.add_argument(
         "--no-max-qps", action="store_true", help="skip the max-sustainable-QPS search"
     )
     serve_parser.add_argument(
@@ -376,6 +403,10 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
             block_size=args.block_size,
             prefix_sharing=not args.no_prefix_sharing,
             reprefill_ms_per_block=args.reprefill_ms_per_block,
+            streaming=args.streaming,
+            rtf=args.rtf,
+            chunk_s=args.chunk_s,
+            lookahead_s=args.lookahead_s,
         )
         config.scheduler_config()
         cluster = config.cluster_config()

@@ -63,28 +63,61 @@ class SpecASREngine:
         self.name = name or config.mode
 
     # -- public API ----------------------------------------------------------
-    def begin(self, unit) -> PhasedDecodeStepper:
+    def begin(
+        self,
+        unit,
+        start_prefix: tuple[int, ...] = (),
+        max_positions: int | None = None,
+    ) -> PhasedDecodeStepper:
         """Step-resumable decode; each step is one draft→verify round, split
-        into a draft phase and a verify phase."""
+        into a draft phase and a verify phase.
+
+        ``start_prefix`` primes the decode with an already-committed
+        transcript prefix (long-form windowing: the engine is lossless, so
+        decoding from a prefix of the greedy sequence continues it
+        identically).  ``max_positions`` caps how many transcript positions
+        the decode may commit (a window budget); the decode ends at the cap
+        even if EOS was not reached.
+        """
         clock = SimClock()
-        return PhasedDecodeStepper(self._decode_phases(unit, clock), clock)
+        return PhasedDecodeStepper(
+            self._decode_phases(unit, clock, start_prefix, max_positions), clock
+        )
 
-    def decode(self, unit) -> DecodeResult:
-        return self.begin(unit).drain()
+    def decode(
+        self,
+        unit,
+        start_prefix: tuple[int, ...] = (),
+        max_positions: int | None = None,
+    ) -> DecodeResult:
+        return self.begin(unit, start_prefix, max_positions).drain()
 
-    def _decode_phases(self, unit, clock: SimClock) -> PhaseGenerator:
+    def _decode_phases(
+        self,
+        unit,
+        clock: SimClock,
+        start_prefix: tuple[int, ...] = (),
+        max_positions: int | None = None,
+    ) -> PhaseGenerator:
         draft_session = self.draft.session(unit, clock)
         target_session = self.target.session(unit, clock)
         draft_session.prefill()
         eos_id = self.target.vocab.eos_id
         trace = DecodeTrace()
-        prefix: list[int] = []
+        prefix: list[int] = list(start_prefix)
         # One cursor per session at the committed prefix; both advance in
         # O(1) per committed token instead of re-hashing the whole prefix.
-        draft_cursor = as_cursor(draft_session)
-        target_cursor = as_cursor(target_session)
+        draft_cursor = as_cursor(draft_session, tuple(start_prefix))
+        target_cursor = as_cursor(target_session, tuple(start_prefix))
         suffix: RecycledSuffix | None = None
         limit = target_session.max_decode_positions()
+        if max_positions is not None:
+            if max_positions < len(prefix):
+                raise ValueError(
+                    f"max_positions ({max_positions}) is shorter than the "
+                    f"start prefix ({len(prefix)} tokens)"
+                )
+            limit = min(limit, max_positions)
         controller = (
             ThresholdController(
                 ThresholdControllerConfig(initial=self.config.threshold)

@@ -31,6 +31,25 @@ from repro.data.corpus import Utterance
 from repro.decoding.base import ModelLike
 
 
+def positions_available(
+    utterance: Utterance, heard_s: float, lookahead_s: float
+) -> int:
+    """How many transcript positions ``heard_s`` seconds of audio support.
+
+    Zero until the lookahead margin is covered, then proportional to the
+    usable audio; the full ``num_tokens`` once the whole utterance is heard.
+    Shared by the offline streaming pipeline and the serve scheduler's
+    chunk-arrival gate, so both cap decode progress identically.
+    """
+    if lookahead_s < 0:
+        raise ValueError("lookahead_s must be >= 0")
+    if heard_s >= utterance.duration_s:
+        return utterance.num_tokens
+    usable = max(heard_s - lookahead_s, 0.0)
+    rate = utterance.num_tokens / utterance.duration_s
+    return min(int(usable * rate), utterance.num_tokens)
+
+
 @dataclass(frozen=True)
 class StreamingConfig:
     """Streaming pipeline parameters."""
@@ -59,9 +78,16 @@ class StreamingResult:
     # (stream time, tokens emitted so far) after each chunk
 
     @property
-    def first_token_latency_s(self) -> float:
-        """Delay from stream start to the first final token."""
-        return self.emission_times_s[0] if self.emission_times_s else 0.0
+    def first_token_latency_s(self) -> float | None:
+        """Delay from stream start to the first final token.
+
+        ``None`` when the transcript is empty — an empty decode has no
+        first token, and reporting ``0.0`` would read as perfect latency
+        and skew any average it enters.
+        """
+        if not self.emission_times_s:
+            return None
+        return self.emission_times_s[0]
 
     @property
     def final_latency_s(self) -> float:
@@ -100,11 +126,7 @@ class StreamingSpecASR:
     # -- helpers ---------------------------------------------------------------
     def _positions_available(self, utterance: Utterance, heard_s: float) -> int:
         """How many transcript positions the heard audio supports."""
-        if heard_s >= utterance.duration_s:
-            return utterance.num_tokens
-        usable = max(heard_s - self.config.lookahead_s, 0.0)
-        rate = utterance.num_tokens / utterance.duration_s
-        return min(int(usable * rate), utterance.num_tokens)
+        return positions_available(utterance, heard_s, self.config.lookahead_s)
 
     def decode_stream(self, utterance: Utterance) -> StreamingResult:
         config = self.config
@@ -152,3 +174,98 @@ class StreamingSpecASR:
             chunks=n_chunks,
             partials=partials,
         )
+
+
+# -- long-form transcription --------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LongFormConfig:
+    """Sliding-window transcription budget for long utterances.
+
+    ``window_s`` is the audio each decode window may cover; consecutive
+    windows overlap by ``overlap_s`` so the stitcher can check that the
+    re-decoded region agrees with the previous window's tail (it always
+    does for the lossless engine — asserted, not assumed).
+    """
+
+    window_s: float = 8.0
+    overlap_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.window_s <= 0:
+            raise ValueError("window_s must be positive")
+        if self.overlap_s < 0:
+            raise ValueError("overlap_s must be >= 0")
+        if self.overlap_s >= self.window_s:
+            raise ValueError("overlap_s must be smaller than window_s")
+
+
+@dataclass
+class LongFormResult:
+    """Outcome of one windowed long-form transcription."""
+
+    tokens: list[int]  # stitched transcript (== offline decode)
+    windows: int  # decode windows executed
+    window_spans: list[tuple[int, int]]  # [start, end) positions per window
+    total_compute_ms: float  # summed window compute (incl. re-prefills)
+    overlap_tokens_checked: int  # re-decoded positions verified against
+    # the previous window during stitching
+
+
+def decode_long_form(
+    engine: SpecASREngine,
+    utterance: Utterance,
+    config: LongFormConfig = LongFormConfig(),
+) -> LongFormResult:
+    """Transcribe ``utterance`` in sliding, overlapping decode windows.
+
+    Each window re-enters the engine primed with the stitched transcript up
+    to the window start (``start_prefix``) and capped at the window end
+    (``max_positions``).  Because the engine is lossless — its transcript is
+    the target model's greedy decode, and decoding from a prefix of the
+    greedy sequence continues it identically — the stitched transcript is
+    bit-identical to the single-shot offline decode; the overlap region is
+    re-decoded and *checked* against the previous window rather than merged
+    heuristically.  Window slicing is positional, so each window pays its
+    own prefill: ``total_compute_ms`` exceeds the offline decode's cost by
+    exactly that re-prefill overhead.
+    """
+    rate = utterance.num_tokens / utterance.duration_s
+    window_positions = max(int(config.window_s * rate), 1)
+    overlap_positions = min(int(config.overlap_s * rate), window_positions - 1)
+    stitched: list[int] = []
+    spans: list[tuple[int, int]] = []
+    total_ms = 0.0
+    overlap_checked = 0
+    start = 0
+    while True:
+        cap = start + window_positions
+        result = engine.decode(
+            utterance, start_prefix=tuple(stitched[:start]), max_positions=cap
+        )
+        decoded = list(result.tokens)
+        total_ms += result.total_ms
+        # The window re-decodes [start, len(stitched)): the overlap region.
+        # Lossless stitching contract: it must reproduce the previous tail.
+        previous_tail = stitched[start:]
+        redecoded_tail = decoded[start : start + len(previous_tail)]
+        if redecoded_tail != previous_tail:
+            raise AssertionError(
+                f"long-form stitching mismatch at positions "
+                f"[{start}, {start + len(previous_tail)}): overlap re-decode "
+                "disagrees with the previous window"
+            )
+        overlap_checked += len(previous_tail)
+        spans.append((start, max(len(decoded), start)))
+        stitched = decoded
+        if len(stitched) < cap:
+            break  # EOS (or the model's own limit) ended the decode early
+        start = max(len(stitched) - overlap_positions, start + 1)
+    return LongFormResult(
+        tokens=stitched,
+        windows=len(spans),
+        window_spans=spans,
+        total_compute_ms=total_ms,
+        overlap_tokens_checked=overlap_checked,
+    )

@@ -201,6 +201,10 @@ class DecodeStepper:
         self._rounds = rounds
         self.clock = clock
         self._result: DecodeResult | None = None
+        #: Committed transcript positions so far (grows with every phase's
+        #: ``new_tokens``; includes a trailing EOS until the result strips
+        #: it).  A streaming scheduler gates decode progress on this.
+        self.positions = 0
 
     @property
     def done(self) -> bool:
@@ -240,6 +244,7 @@ class DecodeStepper:
                 else:
                     raise RuntimeError("round generator yielded past done=True")
         ms = sum(event.ms for event in self.clock.events[events_before:])
+        self.positions += len(tokens)
         return StepOutcome(tuple(tokens), ms, done)
 
     def step_phase(self) -> PhaseOutcome:
@@ -300,6 +305,7 @@ class PhasedDecodeStepper(DecodeStepper):
                 else:
                     raise RuntimeError("phase generator yielded past done=True")
         events = self.clock.events[events_before:]
+        self.positions += len(tokens)
         return PhaseOutcome(
             phase=phase,
             model=model,

@@ -100,13 +100,18 @@ def run_streaming(config: ExperimentConfig = ExperimentConfig()) -> ExperimentRe
             target,
             StreamingConfig(chunk_s=1.0, specasr=full_specasr()),
         )
-        first = tail = rtf = 0.0
+        firsts: list[float] = []
+        tail = rtf = 0.0
         for utterance in dataset:
             result = streamer.decode_stream(utterance)
-            first += result.first_token_latency_s
+            # Empty transcripts have no first token (latency is None):
+            # excluded from the mean rather than counted as a perfect 0.0.
+            if result.first_token_latency_s is not None:
+                firsts.append(result.first_token_latency_s)
             tail += result.final_latency_s * 1000.0
             rtf += result.real_time_factor
         n = len(dataset)
-        report.rows.append([pairing, first / n, tail / n, rtf / n])
+        mean_first = sum(firsts) / len(firsts) if firsts else 0.0
+        report.rows.append([pairing, mean_first, tail / n, rtf / n])
         report.metrics[f"rtf/{pairing}"] = rtf / n
     return report

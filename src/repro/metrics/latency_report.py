@@ -104,8 +104,15 @@ def aggregate_latency(
     method: str,
     results: Sequence[DecodeResult],
     units: Sequence[Utterance],
+    default_duration_s: float | None = None,
 ) -> LatencyBreakdown:
-    """Aggregate recorded latency events across a corpus run."""
+    """Aggregate recorded latency events across a corpus run.
+
+    Every unit must carry ``duration_s`` (the audio length the RTF/per-10s
+    normalisations divide by).  A unit without one raises unless the caller
+    threads an explicit ``default_duration_s`` — silently inventing audio
+    length would corrupt every normalised latency downstream.
+    """
     if len(results) != len(units):
         raise ValueError(f"{len(results)} results vs {len(units)} units")
     breakdown = LatencyBreakdown(method=method)
@@ -113,8 +120,15 @@ def aggregate_latency(
     by_kind = breakdown.by_kind_ms
     total_ms = 0.0
     for result, unit in zip(results, units):
+        duration = getattr(unit, "duration_s", default_duration_s)
+        if duration is None:
+            raise ValueError(
+                f"unit {getattr(unit, 'utterance_id', breakdown.num_units)!r} "
+                "has no duration_s and no default_duration_s was given; "
+                "latency normalisation needs a real audio length"
+            )
         breakdown.num_units += 1
-        breakdown.total_duration_s += getattr(unit, "duration_s", 10.0)
+        breakdown.total_duration_s += duration
         for event in result.clock.events:
             ms = event.ms
             total_ms += ms

@@ -33,6 +33,7 @@ from repro.serving.memory import (
 )
 from repro.serving.arrivals import (
     Arrival,
+    chunk_schedule,
     load_trace,
     make_trace,
     offered_qps,
@@ -60,7 +61,7 @@ from repro.serving.faults import (
     parse_fault_spec,
 )
 from repro.serving.queue import AdmissionQueue
-from repro.serving.report import ServeReport
+from repro.serving.report import ServeReport, StreamingSummary
 from repro.serving.request import (
     PRIORITY_BATCH,
     PRIORITY_CLASSES,
@@ -96,6 +97,7 @@ from repro.serving.scheduler import (
     ContinuousBatchScheduler,
     SchedulerConfig,
     ScheduleStats,
+    StreamSpec,
 )
 from repro.serving.simulator import (
     ChaosSpec,
@@ -153,8 +155,11 @@ __all__ = [
     "ServeReport",
     "ServeRequest",
     "ServeSimConfig",
+    "StreamSpec",
+    "StreamingSummary",
     "build_decoder",
     "build_router",
+    "chunk_schedule",
     "format_device_specs",
     "format_fault_plan",
     "load_trace",

@@ -32,18 +32,28 @@ class Arrival:
 
     ``priority`` tags the request's SLO class (``interactive`` by default;
     ``batch`` for throughput-oriented offline transcription jobs).
+
+    ``rtf`` is the request's audio real-time factor.  ``0.0`` (the default)
+    means the whole utterance is available at ``arrival_ms`` — the offline
+    workload every earlier trace encodes.  A positive value streams the
+    audio in: ``rtf=1.0`` delivers it at real time (one second of audio per
+    second of simulated time), ``rtf=2.0`` at double speed, and the arrival
+    expands into timed chunk events (:func:`chunk_schedule`).
     """
 
     index: int
     utterance_index: int
     arrival_ms: float
     priority: str = PRIORITY_INTERACTIVE
+    rtf: float = 0.0
 
     def __post_init__(self) -> None:
         if self.arrival_ms < 0:
             raise ValueError(f"arrival {self.index}: negative arrival time")
         if self.utterance_index < 0:
             raise ValueError(f"arrival {self.index}: negative utterance index")
+        if self.rtf < 0:
+            raise ValueError(f"arrival {self.index}: rtf must be >= 0")
         priority_rank(self.priority)  # validates the class name
 
 
@@ -77,11 +87,14 @@ def poisson_trace(
     dataset_size: int,
     seed: int = 0,
     batch_fraction: float = 0.0,
+    rtf: float = 0.0,
 ) -> list[Arrival]:
     """Open-loop Poisson arrivals at ``qps`` requests/second.
 
     Inter-arrival gaps are exponential with mean ``1000 / qps`` ms; utterances
     are drawn uniformly from the corpus.  Deterministic in ``seed``.
+    ``rtf > 0`` tags every arrival as a streamed audio source at that
+    real-time factor (chunk timing is derived later, per utterance).
     """
     if num_requests < 1:
         raise ValueError("need at least one request")
@@ -98,7 +111,7 @@ def poisson_trace(
     for index in range(num_requests):
         now += gaps.numpy.exponential(mean_gap_ms)
         arrivals.append(
-            Arrival(index, utterances[index], float(now), priorities[index])
+            Arrival(index, utterances[index], float(now), priorities[index], rtf)
         )
     return arrivals
 
@@ -109,6 +122,7 @@ def uniform_trace(
     dataset_size: int,
     seed: int = 0,
     batch_fraction: float = 0.0,
+    rtf: float = 0.0,
 ) -> list[Arrival]:
     """Evenly paced arrivals at ``qps`` requests/second (a paced load test)."""
     if num_requests < 1:
@@ -121,7 +135,7 @@ def uniform_trace(
     )
     priorities = _assign_priorities(seed, num_requests, batch_fraction)
     return [
-        Arrival(index, utterances[index], gap_ms * (index + 1), priorities[index])
+        Arrival(index, utterances[index], gap_ms * (index + 1), priorities[index], rtf)
         for index in range(num_requests)
     ]
 
@@ -133,20 +147,54 @@ def make_trace(
     dataset_size: int,
     seed: int = 0,
     batch_fraction: float = 0.0,
+    rtf: float = 0.0,
 ) -> list[Arrival]:
     """Build a trace by kind name (``poisson`` or ``uniform``)."""
     if kind == "poisson":
-        return poisson_trace(num_requests, qps, dataset_size, seed, batch_fraction)
+        return poisson_trace(num_requests, qps, dataset_size, seed, batch_fraction, rtf)
     if kind == "uniform":
-        return uniform_trace(num_requests, qps, dataset_size, seed, batch_fraction)
+        return uniform_trace(num_requests, qps, dataset_size, seed, batch_fraction, rtf)
     raise ValueError(f"unknown arrival kind {kind!r}; use 'poisson' or 'uniform'")
 
 
+def chunk_schedule(
+    arrival: Arrival, duration_s: float, chunk_s: float
+) -> list[tuple[float, float]]:
+    """Timed audio-chunk events for one arrival.
+
+    Returns ``(at_ms, heard_s)`` pairs: by simulated time ``at_ms`` the
+    server has heard the first ``heard_s`` seconds of the utterance.  An
+    offline arrival (``rtf == 0``) is a single event delivering the whole
+    utterance at ``arrival_ms``; a streamed one delivers ``chunk_s``-second
+    chunks paced at its real-time factor (the final chunk may be shorter).
+    """
+    if duration_s <= 0:
+        raise ValueError(f"duration_s must be positive, got {duration_s}")
+    if chunk_s <= 0:
+        raise ValueError(f"chunk_s must be positive, got {chunk_s}")
+    if arrival.rtf <= 0:
+        return [(arrival.arrival_ms, duration_s)]
+    events = []
+    heard = 0.0
+    while heard < duration_s:
+        heard = min(heard + chunk_s, duration_s)
+        events.append((arrival.arrival_ms + heard * 1000.0 / arrival.rtf, heard))
+    return events
+
+
 def offered_qps(trace: Sequence[Arrival]) -> float:
-    """Offered load of a trace: requests per second of arrival span."""
-    if not trace:
+    """Offered load of a trace: requests per second of arrival span.
+
+    The span is measured first→last arrival, so a replayed/trimmed trace
+    that starts late (or was recorded with an offset clock) reports the
+    same load as the equivalent trace shifted to t=0.  A single-arrival
+    trace has no span and reports ``0.0``.
+    """
+    if len(trace) < 2:
         return 0.0
-    span_ms = max(a.arrival_ms for a in trace)
+    first = min(a.arrival_ms for a in trace)
+    last = max(a.arrival_ms for a in trace)
+    span_ms = last - first
     if span_ms <= 0:
         return 0.0
     return len(trace) * 1000.0 / span_ms
@@ -161,6 +209,7 @@ def save_trace(trace: Sequence[Arrival], path: str | Path) -> Path:
             "utterance_index": a.utterance_index,
             "arrival_ms": a.arrival_ms,
             "priority": a.priority,
+            "rtf": a.rtf,
         }
         for a in trace
     ]
@@ -177,6 +226,7 @@ def load_trace(path: str | Path) -> list[Arrival]:
             int(entry["utterance_index"]),
             float(entry["arrival_ms"]),
             str(entry.get("priority", PRIORITY_INTERACTIVE)),
+            float(entry.get("rtf", 0.0)),
         )
         for entry in entries
     ]

@@ -28,6 +28,72 @@ from repro.serving.scheduler import ScheduleStats
 
 
 @dataclass(frozen=True)
+class StreamingSummary:
+    """Word-level streaming metrics of one serve simulation.
+
+    Populated only when the trace contained streamed arrivals
+    (``rtf > 0``).  ``partial_stability`` is the fraction of emitted tokens
+    later revised — identically ``0.0`` for the lossless decoder, asserted
+    at construction so a regression cannot silently report stable partials.
+    """
+
+    requests: int  # streaming requests in the trace
+    completed: int
+    chunks: int  # audio chunk events delivered
+    word_ttft: PercentileSummary | None  # first emission - arrival (ms)
+    emission_latency: PercentileSummary | None  # per cap-raising chunk (ms)
+    final_latency: PercentileSummary | None  # end-of-audio - final (ms)
+    partial_stability: float  # revised fraction of emitted tokens
+
+    @classmethod
+    def from_records(
+        cls, records: Sequence[RequestRecord]
+    ) -> "StreamingSummary | None":
+        streaming = [r for r in records if r.streaming]
+        if not streaming:
+            return None
+        completed = [r for r in streaming if r.status == STATUS_COMPLETED]
+        emitted = sum(len(r.emission_ms) for r in completed)
+        revised = sum(r.revised_tokens for r in completed)
+        stability = revised / emitted if emitted else 0.0
+        assert stability == 0.0, (
+            f"lossless decoder revised {revised}/{emitted} emitted tokens"
+        )
+        return cls(
+            requests=len(streaming),
+            completed=len(completed),
+            chunks=sum(r.stream_chunks for r in streaming),
+            word_ttft=PercentileSummary.from_values(
+                r.word_ttft_ms for r in completed if r.word_ttft_ms is not None
+            ),
+            emission_latency=PercentileSummary.from_values(
+                latency for r in completed for latency in r.chunk_latencies_ms
+            ),
+            final_latency=PercentileSummary.from_values(
+                r.final_latency_ms
+                for r in completed
+                if r.final_latency_ms is not None
+            ),
+            partial_stability=stability,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "requests": self.requests,
+            "completed": self.completed,
+            "chunks": self.chunks,
+            "word_ttft_ms": self.word_ttft.to_dict() if self.word_ttft else None,
+            "emission_latency_ms": (
+                self.emission_latency.to_dict() if self.emission_latency else None
+            ),
+            "final_latency_ms": (
+                self.final_latency.to_dict() if self.final_latency else None
+            ),
+            "partial_stability": self.partial_stability,
+        }
+
+
+@dataclass(frozen=True)
 class ServeReport:
     """SLO summary of one (method, arrival-trace) serve simulation."""
 
@@ -49,6 +115,7 @@ class ServeReport:
     shed: int = 0  # dropped by the server (deadline / retries / capacity)
     batch_deadline_ms: float | None = None  # batch-class SLO (None = shared)
     per_class: dict | None = None  # per-priority-class goodput breakdown
+    streaming: StreamingSummary | None = None  # word-level streaming block
 
     @classmethod
     def from_records(
@@ -119,6 +186,7 @@ class ServeReport:
             shed=shed,
             batch_deadline_ms=batch_deadline_ms,
             per_class=per_class,
+            streaming=StreamingSummary.from_records(records),
         )
 
     @property
@@ -244,6 +312,8 @@ class ServeReport:
             payload["batch_deadline_ms"] = self.batch_deadline_ms
         if self.per_class and len(self.per_class) > 1:
             payload["per_class"] = self.per_class
+        if self.streaming is not None:
+            payload["streaming"] = self.streaming.to_dict()
         if self.chaos_active:
             payload["chaos"] = self.chaos_dict()
         if self.memory_active:
@@ -305,6 +375,26 @@ class ServeReport:
                 f"{stats.reprefill_ms:.1f} ms re-prefill, "
                 f"{stats.memory_stalls} stall(s)"
             )
+        if self.streaming is not None:
+            block = self.streaming
+            lines.append(
+                f"  streaming : {block.requests} streamed request(s), "
+                f"{block.chunks} audio chunk(s), "
+                f"partial stability {1.0 - block.partial_stability:.1%}"
+            )
+            for label, summary in (
+                ("word ttft", block.word_ttft),
+                ("emission", block.emission_latency),
+                ("final lat", block.final_latency),
+            ):
+                if summary is None:
+                    lines.append(f"    {label:9s}: (no completed streams)")
+                else:
+                    lines.append(
+                        f"    {label:9s}: p50 {summary.p50:8.1f}  "
+                        f"p95 {summary.p95:8.1f}  p99 {summary.p99:8.1f}  "
+                        f"mean {summary.mean:8.1f} ms"
+                    )
         if self.per_class and len(self.per_class) > 1:
             for class_name, row in self.per_class.items():
                 lines.append(

@@ -67,17 +67,26 @@ def priority_rank(priority: str) -> int:
 
 @dataclass(frozen=True)
 class ServeRequest:
-    """One inbound transcription request."""
+    """One inbound transcription request.
+
+    ``rtf`` is the audio real-time factor carried over from the arrival:
+    ``0.0`` means the whole utterance was available at ``arrival_ms``
+    (offline); a positive value means the audio streams in chunk by chunk
+    at that speed and the scheduler gates decode progress on audio heard.
+    """
 
     request_id: str
     index: int  # arrival sequence number (ties broken by this)
     utterance: Utterance
     arrival_ms: float
     priority: str = PRIORITY_INTERACTIVE
+    rtf: float = 0.0
 
     def __post_init__(self) -> None:
         if self.arrival_ms < 0:
             raise ValueError(f"{self.request_id}: negative arrival time")
+        if self.rtf < 0:
+            raise ValueError(f"{self.request_id}: rtf must be >= 0")
         priority_rank(self.priority)  # validates
 
 
@@ -99,6 +108,17 @@ class RequestRecord:
     requeues: int = 0  # phases returned to the waiting state after failure
     preemptions: int = 0  # times this (batch) session was bumped from a slot
     shed_reason: str | None = None  # deadline | retries | capacity | memory
+
+    # -- streaming timeline (populated only for rtf > 0 requests) ----------
+    audio_end_ms: float | None = None  # when the last audio chunk arrived
+    stream_chunks: int = 0  # audio chunk events delivered
+    emission_ms: list[float] = field(default_factory=list)
+    # absolute emission time per transcript token: max(commit, audio ready)
+    partials: list[tuple[float, int]] = field(default_factory=list)
+    # (emission time, cumulative tokens final) per committing phase
+    chunk_latencies_ms: list[float] = field(default_factory=list)
+    # per cap-raising chunk: emission of its last due token - chunk arrival
+    revised_tokens: int = 0  # emitted tokens later revised (0: lossless)
 
     # -- derived latencies (client-observed, scheduler-dependent) ----------
     @property
@@ -130,7 +150,54 @@ class RequestRecord:
             return None
         return completion / len(self.tokens)
 
+    # -- streaming-derived latencies ---------------------------------------
+    @property
+    def streaming(self) -> bool:
+        """True when this request's audio arrived in timed chunks."""
+        return self.audio_end_ms is not None
+
+    @property
+    def word_ttft_ms(self) -> float | None:
+        """First *emitted* token latency from arrival (word-level TTFT).
+
+        For streaming requests emission waits for the token's supporting
+        audio, so this is >= the scheduler-side ``ttft_ms``; for offline
+        requests they coincide.
+        """
+        if self.emission_ms:
+            return self.emission_ms[0] - self.request.arrival_ms
+        return self.ttft_ms
+
+    @property
+    def final_latency_ms(self) -> float | None:
+        """Delay from end-of-audio to transcript-final (streaming only).
+
+        The streaming analogue of completion latency: a live stream cannot
+        finish before its audio does, so the clamp at zero only engages
+        when the decode EOS'd early (transcript shorter than the audio).
+        """
+        if self.audio_end_ms is None or self.finish_ms is None:
+            return None
+        return max(self.finish_ms - self.audio_end_ms, 0.0)
+
+    @property
+    def slo_latency_ms(self) -> float | None:
+        """Latency the SLO deadline is judged against.
+
+        Offline requests are judged on completion (arrival → final token);
+        streaming requests on final latency (end-of-audio → final token) —
+        an utterance longer than the deadline would otherwise be
+        unservable by construction, however fast the decode.
+        """
+        if self.streaming:
+            return self.final_latency_ms
+        return self.completion_ms
+
     def meets_deadline(self, deadline_ms: float) -> bool:
-        """True when the request completed within ``deadline_ms`` of arrival."""
-        completion = self.completion_ms
-        return completion is not None and completion <= deadline_ms
+        """True when the request completed within ``deadline_ms``.
+
+        Measured from arrival (offline) or end-of-audio (streaming) — see
+        :attr:`slo_latency_ms`.
+        """
+        latency = self.slo_latency_ms
+        return latency is not None and latency <= deadline_ms

@@ -98,9 +98,10 @@ from collections import deque
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro.core.streaming import positions_available
 from repro.data.corpus import Dataset
 from repro.decoding.base import DecodeStepper, PhaseOutcome, begin_decode
-from repro.serving.arrivals import Arrival
+from repro.serving.arrivals import Arrival, chunk_schedule
 from repro.serving.devices import Device
 from repro.serving.faults import FaultPlan, RetryPolicy
 from repro.serving.memory import ClusterKVMemory, MemorySpec
@@ -178,6 +179,34 @@ class SchedulerConfig:
 
 
 @dataclass(frozen=True)
+class StreamSpec:
+    """Chunked audio delivery parameters for streaming requests.
+
+    ``enabled``/``rtf`` shape the *trace* (every synthetic arrival is
+    tagged with the real-time factor); ``chunk_s``/``lookahead_s`` shape
+    how the scheduler expands a streamed arrival into chunk events and how
+    many transcript positions the heard audio supports
+    (:func:`repro.core.streaming.positions_available` — the same cap the
+    offline streaming pipeline uses).  A request streams iff its own
+    ``rtf > 0``, so replayed traces recorded with per-request factors
+    stream without any flag.
+    """
+
+    enabled: bool = False
+    rtf: float = 1.0  # audio delivery speed for synthesised traces
+    chunk_s: float = 1.0  # seconds of audio per chunk event
+    lookahead_s: float = 0.3  # audio margin held back from the decoder
+
+    def __post_init__(self) -> None:
+        if self.rtf <= 0:
+            raise ValueError(f"rtf must be positive, got {self.rtf}")
+        if self.chunk_s <= 0:
+            raise ValueError(f"chunk_s must be positive, got {self.chunk_s}")
+        if self.lookahead_s < 0:
+            raise ValueError(f"lookahead_s must be >= 0, got {self.lookahead_s}")
+
+
+@dataclass(frozen=True)
 class ScheduleStats:
     """Aggregate facts about one scheduler run."""
 
@@ -246,6 +275,14 @@ class _Active:
     their first phase (a model's KV is only resident after its prefill),
     and ``prompt_key`` identifies the utterance for cross-request prefix
     sharing.
+
+    For a streaming request (``rtf > 0``), ``chunk_caps`` holds the
+    precomputed audio timeline — ``(at_ms, cap)`` per chunk event, where
+    ``cap`` is how many transcript positions the audio heard by ``at_ms``
+    supports — ``audio_end_ms`` the arrival of the last chunk, ``emitted``
+    the committed-token count, and ``new_round`` whether the pending phase
+    starts a fresh draft→verify round (the only point the chunk gate may
+    hold it back).
     """
 
     __slots__ = (
@@ -264,6 +301,10 @@ class _Active:
         "committed",
         "prefilled",
         "prompt_key",
+        "chunk_caps",
+        "audio_end_ms",
+        "emitted",
+        "new_round",
     )
 
     def __init__(
@@ -284,6 +325,10 @@ class _Active:
         self.committed = 0  # committed tokens (memory billing)
         self.prefilled: set[str] = set()  # models with resident KV
         self.prompt_key = ""  # prefix-sharing identity
+        self.chunk_caps: tuple[tuple[float, int], ...] | None = None
+        self.audio_end_ms = 0.0  # last chunk arrival (streaming only)
+        self.emitted = 0  # committed tokens recorded as emissions
+        self.new_round = True  # pending phase begins a new round
 
 
 class ContinuousBatchScheduler:
@@ -308,6 +353,7 @@ class ContinuousBatchScheduler:
         cluster: ClusterConfig | None = None,
         faults: FaultPlan | None = None,
         memory: MemorySpec | None = None,
+        stream: StreamSpec | None = None,
     ) -> None:
         self.decoder = decoder
         self.config = config or SchedulerConfig()
@@ -316,6 +362,9 @@ class ContinuousBatchScheduler:
         if self.faults is not None:
             self.faults.validate_for(self.cluster.devices)
         self.memory = memory
+        # Chunking/lookahead for any streamed arrival in the trace; whether
+        # a request streams is the arrival's own rtf, not this spec.
+        self.stream = stream if stream is not None else StreamSpec()
         self.last_stats: ScheduleStats | None = None
         self.last_dispatch_log: list[tuple[int, float, float, int, bool]] = []
 
@@ -432,6 +481,7 @@ class ContinuousBatchScheduler:
                 utterance=utterance,
                 arrival_ms=arrival.arrival_ms,
                 priority=arrival.priority,
+                rtf=arrival.rtf,
             )
             records.append(RequestRecord(request=request))
 
@@ -531,6 +581,97 @@ class ContinuousBatchScheduler:
             ):
                 shed_active(active, SHED_MEMORY)
 
+        stream = self.stream
+
+        def init_streaming(active: _Active) -> None:
+            """Expand a streamed request into its audio-chunk timeline."""
+            request = active.record.request
+            if request.rtf <= 0:
+                return
+            utterance = request.utterance
+            events = chunk_schedule(request, utterance.duration_s, stream.chunk_s)
+            active.chunk_caps = tuple(
+                (at_ms, positions_available(utterance, heard_s, stream.lookahead_s))
+                for at_ms, heard_s in events
+            )
+            active.audio_end_ms = events[-1][0]
+            active.record.audio_end_ms = active.audio_end_ms
+            active.record.stream_chunks = len(events)
+
+        def stream_gate_ms(active: _Active, now_ms: float) -> float | None:
+            """When the audio cap next allows a new round; None = ungated.
+
+            A round only holds at its *boundary* (``new_round``): once the
+            draft phase of a round has run, its verify phase follows
+            ungated, so the decode content — and with it transcripts and
+            ``decode_ms`` — is bit-identical to the offline run.  The gate
+            releases entirely once all audio has arrived (nothing left to
+            wait for, including the final EOS round).
+            """
+            caps = active.chunk_caps
+            if caps is None or not active.new_round:
+                return None
+            if now_ms >= active.audio_end_ms:
+                return None
+            current = 0
+            for at_ms, cap in caps:
+                if at_ms > now_ms:
+                    break
+                current = cap
+            if active.emitted < current:
+                return None
+            for at_ms, cap in caps:
+                if at_ms > now_ms and cap > active.emitted:
+                    return at_ms
+            return active.audio_end_ms
+
+        def audio_ready_ms(active: _Active, position: int) -> float:
+            """Arrival of the first chunk supporting ``position`` tokens."""
+            for at_ms, cap in active.chunk_caps:
+                if cap >= position:
+                    return at_ms
+            return active.audio_end_ms  # lookahead tail: final only at end
+
+        def finalize_streaming(active: _Active, end_ms: float) -> None:
+            """Clamp the emission timeline to the EOS-stripped transcript."""
+            record = active.record
+            n = len(record.tokens)
+            # The commit stream includes the trailing EOS; the transcript
+            # doesn't, so the final commit may have over-appended by one.
+            del record.emission_ms[n:]
+            record.partials = [(t, min(c, n)) for t, c in record.partials]
+            if record.emission_ms:
+                record.finish_ms = max(end_ms, record.emission_ms[-1])
+                record.first_token_ms = record.emission_ms[0]
+            else:
+                record.finish_ms = end_ms
+                record.first_token_ms = end_ms  # empty transcript
+            # Emissions are append-only for the lossless decoder: no token,
+            # once emitted, is ever revised.  Assert the structural half of
+            # the partial-stability contract here (the transcript half —
+            # streamed == offline — is enforced by the parity suite).
+            assert record.revised_tokens == 0
+            assert all(
+                earlier <= later
+                for earlier, later in zip(record.emission_ms, record.emission_ms[1:])
+            )
+            # Per-chunk emission latency: for every chunk that raised the
+            # position cap, when its last due token became final, relative
+            # to the chunk's own arrival; the lookahead tail is charged
+            # against end-of-audio.
+            prev = 0
+            for at_ms, cap in active.chunk_caps:
+                cap = min(cap, n)
+                if cap > prev:
+                    record.chunk_latencies_ms.append(
+                        record.emission_ms[cap - 1] - at_ms
+                    )
+                    prev = cap
+            if n > prev:
+                record.chunk_latencies_ms.append(
+                    record.emission_ms[-1] - active.audio_end_ms
+                )
+
         def preempt_victim() -> _Active | None:
             """Newest idle batch session, or None when nothing is bumpable."""
             victims = [
@@ -607,6 +748,7 @@ class ContinuousBatchScheduler:
                 record.service_start_ms = now_ms
                 stepper = begin_decode(self.decoder, record.request.utterance)
                 active = _Active(record, stepper, now_ms)
+                init_streaming(active)
                 if memory is not None:
                     utterance = record.request.utterance
                     active.prompt = prompt_token_count(utterance)
@@ -691,11 +833,18 @@ class ContinuousBatchScheduler:
                 )
             else:
                 router.plan_round(now_ms)
-            waiting = [
-                active
-                for active in inflight
-                if not active.running and active.ready_ms <= now_ms
-            ]
+            waiting = []
+            for active in inflight:
+                if active.running or active.ready_ms > now_ms:
+                    continue
+                gate = stream_gate_ms(active, now_ms)
+                if gate is not None:
+                    # Audio hasn't reached the positions the next round
+                    # would decode: park the session until the cap-raising
+                    # chunk arrives (the backoff machinery wakes the loop).
+                    active.ready_ms = gate
+                    continue
+                waiting.append(active)
             waiting.sort(
                 key=lambda a: (
                     priority_rank(a.record.request.priority),
@@ -799,10 +948,26 @@ class ContinuousBatchScheduler:
                     active.prompt + active.committed,
                     committed=True,
                 )
+            active.new_round = outcome.round_done
             if outcome.round_done:
                 record.rounds += 1
+            if active.chunk_caps is not None and outcome.new_tokens:
+                # A committed token becomes *final* (client-visible) only
+                # once its supporting audio has arrived: emission time is
+                # max(commit, audio ready).  Tokens the round decoded ahead
+                # of the stream are future-dated, never revised.
+                emissions = record.emission_ms
+                for offset in range(len(outcome.new_tokens)):
+                    position = active.emitted + offset + 1
+                    emissions.append(max(end_ms, audio_ready_ms(active, position)))
+                active.emitted += len(outcome.new_tokens)
+                record.partials.append((emissions[-1], active.emitted))
             if outcome.new_tokens and record.first_token_ms is None:
-                record.first_token_ms = end_ms
+                record.first_token_ms = (
+                    record.emission_ms[0]
+                    if active.chunk_caps is not None
+                    else end_ms
+                )
             if outcome.done:
                 result = active.stepper.result
                 record.status = STATUS_COMPLETED
@@ -811,6 +976,8 @@ class ContinuousBatchScheduler:
                 record.decode_ms = result.total_ms
                 if record.first_token_ms is None:
                     record.first_token_ms = end_ms  # empty transcript
+                if active.chunk_caps is not None:
+                    finalize_streaming(active, end_ms)
                 inflight.remove(active)
                 if memory is not None:
                     memory.release_request(record.request.index)

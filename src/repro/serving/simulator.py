@@ -23,7 +23,11 @@ from repro.serving.faults import FaultPlan, parse_fault_spec
 from repro.serving.memory import MemorySpec
 from repro.serving.report import ServeReport
 from repro.serving.router import SPLIT_FIXED, ClusterConfig
-from repro.serving.scheduler import ContinuousBatchScheduler, SchedulerConfig
+from repro.serving.scheduler import (
+    ContinuousBatchScheduler,
+    SchedulerConfig,
+    StreamSpec,
+)
 
 
 @dataclass(frozen=True)
@@ -72,15 +76,22 @@ _MEMORY_KWARGS = {
     "prefix_sharing": "prefix_sharing",
     "reprefill_ms_per_block": "reprefill_ms_per_block",
 }
+_STREAM_KWARGS = {
+    "streaming": "enabled",
+    "rtf": "rtf",
+    "chunk_s": "chunk_s",
+    "lookahead_s": "lookahead_s",
+}
 
 
 @dataclass(frozen=True, init=False)
 class ServeSimConfig:
     """Everything one serve simulation depends on (picklable, replayable).
 
-    Composed from three sub-configs — ``cluster`` (:class:`ClusterSpec`),
-    ``chaos`` (:class:`ChaosSpec`) and ``memory``
-    (:class:`~repro.serving.memory.MemorySpec`) — plus the flat workload
+    Composed from four sub-configs — ``cluster`` (:class:`ClusterSpec`),
+    ``chaos`` (:class:`ChaosSpec`), ``memory``
+    (:class:`~repro.serving.memory.MemorySpec`) and ``stream``
+    (:class:`~repro.serving.scheduler.StreamSpec`) — plus the flat workload
     knobs.  The seed-era flat surface still works both ways: legacy kwargs
     (``ServeSimConfig(devices=4, faults="...", memory_blocks=64)``) merge
     into the sub-configs, and every legacy field name reads back through a
@@ -110,6 +121,7 @@ class ServeSimConfig:
     cluster: ClusterSpec = ClusterSpec()
     chaos: ChaosSpec = ChaosSpec()
     memory: MemorySpec = MemorySpec()
+    stream: StreamSpec = StreamSpec()
 
     def __init__(
         self,
@@ -130,11 +142,13 @@ class ServeSimConfig:
         cluster: ClusterSpec | None = None,
         chaos: ChaosSpec | None = None,
         memory: MemorySpec | None = None,
+        stream: StreamSpec | None = None,
         **legacy,
     ) -> None:
         cluster = cluster if cluster is not None else ClusterSpec()
         chaos = chaos if chaos is not None else ChaosSpec()
         memory = memory if memory is not None else MemorySpec()
+        stream = stream if stream is not None else StreamSpec()
         cluster_kw = {
             _CLUSTER_KWARGS[k]: legacy.pop(k)
             for k in list(legacy)
@@ -148,6 +162,11 @@ class ServeSimConfig:
             for k in list(legacy)
             if k in _MEMORY_KWARGS
         }
+        stream_kw = {
+            _STREAM_KWARGS[k]: legacy.pop(k)
+            for k in list(legacy)
+            if k in _STREAM_KWARGS
+        }
         if legacy:
             raise TypeError(
                 "ServeSimConfig got unexpected keyword arguments: "
@@ -159,6 +178,8 @@ class ServeSimConfig:
             chaos = replace(chaos, **chaos_kw)
         if memory_kw:
             memory = replace(memory, **memory_kw)
+        if stream_kw:
+            stream = replace(stream, **stream_kw)
         for name, value in (
             ("method", method),
             ("pairing", pairing),
@@ -177,13 +198,15 @@ class ServeSimConfig:
             ("cluster", cluster),
             ("chaos", chaos),
             ("memory", memory),
+            ("stream", stream),
         ):
             object.__setattr__(self, name, value)
 
     def __setstate__(self, state: dict) -> None:
-        if "cluster" not in state:
-            # A pickle from the flat seed-era layout: rebuild through
-            # __init__, which folds the flat names into the sub-configs.
+        if "cluster" not in state or "stream" not in state:
+            # A pickle predating a sub-config (flat seed-era layout, or a
+            # composed one from before streaming): rebuild through
+            # __init__, which folds flat names in and defaults the rest.
             rebuilt = ServeSimConfig(**state)
             state = dict(rebuilt.__dict__)
         self.__dict__.update(state)
@@ -248,6 +271,22 @@ class ServeSimConfig:
     @property
     def reprefill_ms_per_block(self) -> float:
         return self.memory.reprefill_ms_per_block
+
+    @property
+    def streaming(self) -> bool:
+        return self.stream.enabled
+
+    @property
+    def rtf(self) -> float:
+        return self.stream.rtf
+
+    @property
+    def chunk_s(self) -> float:
+        return self.stream.chunk_s
+
+    @property
+    def lookahead_s(self) -> float:
+        return self.stream.lookahead_s
 
     # -- derived configs ---------------------------------------------------
     def scheduler_config(self) -> SchedulerConfig:
@@ -323,6 +362,7 @@ def simulate(
             len(dataset),
             config.seed,
             config.batch_fraction,
+            rtf=config.rtf if config.streaming else 0.0,
         )
         offered = config.qps
     else:
@@ -335,6 +375,7 @@ def simulate(
         config.cluster_config(),
         faults=config.fault_plan(),
         memory=config.memory_spec(),
+        stream=config.stream,
     )
     records = scheduler.run(trace, dataset)
     assert scheduler.last_stats is not None

@@ -13,6 +13,10 @@ For each method in the suite this bench:
   × pool-split policy (fixed ``K // 2`` vs the workload-aware balanced
   planner) × device mix (homogeneous vs a ``2x1.0,2x0.5`` fast/slow
   heterogeneous cluster) — and records max sustainable QPS per point;
+* sweeps the **streaming grid** — chunked audio delivery at several
+  chunk-size × lookahead × real-time-factor points — recording word-level
+  TTFT / chunk-emission / final-latency percentiles and asserting each
+  point's transcripts bit-identical to the offline run of the same trace;
 * asserts the scheduler determinism contract: serial (batch=1) and batched
   configurations produce bit-identical transcripts and per-request decode
   times, re-running the batched simulation reproduces identical completion
@@ -108,6 +112,23 @@ CHAOS_DETERMINISM_FAULTS = "crash@2000:dev3:restart=1500;perr:0.02"
 WALL_AB_METHOD = "specasr-asp"
 WALL_AB_CLUSTER = (4, "merged", "fixed", "")
 WALL_AB_REPS = 3
+
+#: Streaming grid: (label, chunk_s, lookahead_s, rtf) points swept with
+#: chunked audio delivery.  Served at a light load so every stream
+#: completes — the parity gate compares each point's transcripts against
+#: the offline run of the same trace, which needs matching statuses.
+STREAM_METHOD = "specasr-asp"
+STREAM_QPS = 0.5
+STREAM_POINTS = (
+    ("chunk1.0-look0.3-rtf1", 1.0, 0.3, 1.0),
+    ("chunk0.5-look0.3-rtf1", 0.5, 0.3, 1.0),
+    ("chunk2.0-look0.6-rtf1", 2.0, 0.6, 1.0),
+    ("chunk1.0-look0.3-rtf2", 1.0, 0.3, 2.0),
+)
+#: Ceiling on p95 chunk-emission latency (ms) for the smoke gate.  The
+#: simulation is deterministic, so this is a correctness bound, not a noise
+#: tolerance: measured p95 across the grid is well under half of this.
+STREAM_EMISSION_P95_BOUND_MS = 1000.0
 
 #: Memory grid: per-device KV capacities (blocks) probed per router point;
 #: None = unconstrained (the legacy time-only cluster).
@@ -376,6 +397,87 @@ def _memory_entry(args, num_requests: int) -> dict:
     }
 
 
+def _streaming_entry(args, num_requests: int) -> dict:
+    """Streaming grid: chunked delivery at several chunk/lookahead/RTF
+    points, each checked bit-identical to the offline run of its trace.
+
+    Per point: the same Poisson trace is served twice — once with every
+    arrival streaming its audio at ``rtf`` (the scheduler gates decode
+    progress on heard audio) and once offline — and the per-request
+    transcripts and decode times must match exactly.  The entry records the
+    word-level TTFT / chunk-emission / final-latency percentiles of the
+    streamed leg.
+    """
+    from repro.harness.runner import load_split
+    from repro.serving import (
+        Arrival,
+        ContinuousBatchScheduler,
+        StreamSpec,
+        StreamingSummary,
+        make_trace,
+    )
+
+    base = replace(
+        _base_config(args, num_requests), method=STREAM_METHOD, qps=STREAM_QPS
+    )
+    decoder = build_decoder(base)
+    dataset = load_split(base.split, base.experiment_config())
+    points = {}
+    for label, chunk_s, lookahead_s, rtf in STREAM_POINTS:
+        trace = make_trace(
+            base.arrival, num_requests, base.qps, len(dataset), base.seed, rtf=rtf
+        )
+        offline_trace = [
+            Arrival(a.index, a.utterance_index, a.arrival_ms, a.priority)
+            for a in trace
+        ]
+        spec = StreamSpec(
+            enabled=True, rtf=rtf, chunk_s=chunk_s, lookahead_s=lookahead_s
+        )
+        streamed = ContinuousBatchScheduler(
+            decoder, base.scheduler_config(), base.cluster_config(), stream=spec
+        ).run(trace, dataset)
+        offline = ContinuousBatchScheduler(
+            decoder, base.scheduler_config(), base.cluster_config()
+        ).run(offline_trace, dataset)
+        identical = len(streamed) == len(offline) and all(
+            s.status == o.status
+            and s.tokens == o.tokens
+            and s.decode_ms == o.decode_ms
+            for s, o in zip(streamed, offline)
+        )
+        summary = StreamingSummary.from_records(streamed)
+        assert summary is not None  # every arrival in the trace streams
+        points[label] = {
+            "chunk_s": chunk_s,
+            "lookahead_s": lookahead_s,
+            "rtf": rtf,
+            "requests": summary.requests,
+            "completed": summary.completed,
+            "chunks": summary.chunks,
+            "transcripts_identical": identical,
+            "partial_stability": summary.partial_stability,
+            "word_ttft_ms": (
+                summary.word_ttft.to_dict() if summary.word_ttft else None
+            ),
+            "emission_latency_ms": (
+                summary.emission_latency.to_dict()
+                if summary.emission_latency
+                else None
+            ),
+            "final_latency_ms": (
+                summary.final_latency.to_dict() if summary.final_latency else None
+            ),
+        }
+    return {
+        "method": STREAM_METHOD,
+        "qps": STREAM_QPS,
+        "requests": num_requests,
+        "emission_p95_bound_ms": STREAM_EMISSION_P95_BOUND_MS,
+        "points": points,
+    }
+
+
 def _environment() -> dict:
     """Interpreter/library versions the wall numbers were measured under."""
     import platform
@@ -442,6 +544,8 @@ def run_bench(args) -> dict:
     chaos = _chaos_entry(args, args.requests)
     clear_acoustic_caches()
     memory = _memory_entry(args, args.requests)
+    clear_acoustic_caches()
+    streaming = _streaming_entry(args, args.requests)
     wall_s = time.perf_counter() - start
     wall_ab = _wall_ab_entry(args, args.requests)
 
@@ -476,6 +580,7 @@ def run_bench(args) -> dict:
         "cluster_max_sustainable_qps": cluster,
         "chaos": chaos,
         "memory": memory,
+        "streaming": streaming,
         "determinism": {
             "serial_vs_batched_decode_identical": True,
             "batched_rerun_identical": True,
@@ -672,12 +777,65 @@ def _memory_smoke(args) -> int:
     return 0
 
 
+def _streaming_smoke(args) -> int:
+    """Streaming guard: the grid completes, parity holds, emission bounded.
+
+    Fails when any grid point leaves a stream uncompleted, when a streamed
+    transcript or decode time differs from the offline run of the same
+    trace (``transcripts_identical``), or when p95 chunk-emission latency
+    exceeds ``STREAM_EMISSION_P95_BOUND_MS``.
+    """
+    streaming = _streaming_entry(args, args.smoke_requests)
+    for label, point in streaming["points"].items():
+        emission = point["emission_latency_ms"]
+        p95 = emission["p95"] if emission else 0.0
+        print(
+            f"streaming [{streaming['method']} @ {label}]: "
+            f"{point['completed']}/{point['requests']} completed, "
+            f"{point['chunks']} chunks, identical "
+            f"{point['transcripts_identical']}, emission p95 {p95:.1f} ms"
+        )
+    if args.smoke_output:
+        out = Path(args.smoke_output)
+        path = out.with_name(out.stem + "_streaming" + out.suffix)
+        path.write_text(json.dumps(streaming, indent=2) + "\n")
+        print(f"wrote {path}")
+    for label, point in streaming["points"].items():
+        if point["completed"] != point["requests"]:
+            print(
+                f"FAIL: streaming point {label} completed "
+                f"{point['completed']}/{point['requests']} streams",
+                file=sys.stderr,
+            )
+            return 1
+        if not point["transcripts_identical"]:
+            print(
+                f"FAIL: streaming point {label} diverged from the offline "
+                "run — streaming parity contract violated",
+                file=sys.stderr,
+            )
+            return 1
+        emission = point["emission_latency_ms"]
+        if emission and emission["p95"] > STREAM_EMISSION_P95_BOUND_MS:
+            print(
+                f"FAIL: streaming point {label} p95 chunk-emission latency "
+                f"{emission['p95']} ms exceeds the "
+                f"{STREAM_EMISSION_P95_BOUND_MS} ms bound",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def run_smoke(args) -> int:
     if args.chaos:
         status = _chaos_smoke(args)
         if status != 0:
             return status
     status = _memory_smoke(args)
+    if status != 0:
+        return status
+    status = _streaming_smoke(args)
     if status != 0:
         return status
     ab = _wall_ab_entry(args, args.smoke_requests, reps=2)
