@@ -19,7 +19,7 @@ def test_fig05a_wer_vs_scale(benchmark, bench_config, show):
     ]
     wers = [metrics[f"wer_clean/{name}"] for name in ladder]
     # Monotone up to sampling noise between adjacent scales (percent points).
-    assert all(a >= b - 0.6 for a, b in zip(wers, wers[1:])), wers
+    assert all(a >= b - 0.6 for a, b in zip(wers, wers[1:], strict=False)), wers
     assert wers[0] > wers[-1]
     # Paper: small models reach ~10 % or less on clean sets.
     assert metrics["wer_clean/whisper-tiny-sim"] < 13.0

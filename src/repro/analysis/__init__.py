@@ -1,0 +1,43 @@
+"""Static analysis for the repo's determinism & simulation contracts.
+
+``repro lint`` front-end lives in :mod:`repro.cli`; the engine
+(:mod:`repro.analysis.engine`) and the rule set
+(:mod:`repro.analysis.rules`) are importable on their own — a stdlib-only
+leaf, strictly typed, with no simulation dependencies.
+"""
+
+from repro.analysis.engine import (
+    SYNTAX_RULE,
+    Finding,
+    LintResult,
+    ModuleContext,
+    Rule,
+    analyze_file,
+    analyze_source,
+    collect_files,
+    default_rules,
+    load_baseline,
+    render_json,
+    render_text,
+    run_lint,
+    suppressed_lines,
+    write_baseline,
+)
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "Rule",
+    "SYNTAX_RULE",
+    "analyze_file",
+    "analyze_source",
+    "collect_files",
+    "default_rules",
+    "load_baseline",
+    "render_json",
+    "render_text",
+    "run_lint",
+    "suppressed_lines",
+    "write_baseline",
+]

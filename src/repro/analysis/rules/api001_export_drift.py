@@ -1,0 +1,186 @@
+"""API001 — ``__all__`` matches what a module actually exports.
+
+Two drift directions:
+
+* a name listed in ``__all__`` that the module never binds (statically or
+  through a PEP 562 module ``__getattr__``) breaks ``from pkg import *``
+  and misleads readers about the public surface;
+* in a package ``__init__.py``, a public name imported from the package's
+  *own* submodules but missing from ``__all__`` is an accidental
+  half-export — importable, undocumented, and liable to vanish.
+
+Imports from outside the package (typing helpers, cross-package types)
+and submodule imports (``from repro.x import submodule``) are not treated
+as exports.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules.base import string_literals
+
+RULE_ID = "API001"
+
+
+def _exported_names(tree: ast.Module) -> tuple[ast.stmt, list[str]] | None:
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == "__all__":
+                    try:
+                        value = ast.literal_eval(node.value)
+                    except ValueError:
+                        return None
+                    if isinstance(value, (list, tuple)) and all(
+                        isinstance(item, str) for item in value
+                    ):
+                        return node, list(value)
+    return None
+
+
+def _bound_names(tree: ast.Module) -> set[str]:
+    """Top-level bindings, descending into conditional/guarded blocks."""
+    bound: set[str] = set()
+
+    def visit(statements: list[ast.stmt]) -> None:
+        for node in statements:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound.add((alias.asname or alias.name).split(".")[0])
+            elif isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name != "*":
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                bound.add(node.name)
+            elif isinstance(node, ast.ClassDef):
+                bound.add(node.name)
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for name in ast.walk(target):
+                        if isinstance(name, ast.Name):
+                            bound.add(name.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    bound.add(node.target.id)
+            elif isinstance(node, ast.If):
+                visit(node.body)
+                visit(node.orelse)
+            elif isinstance(node, ast.Try):
+                visit(node.body)
+                for handler in node.handlers:
+                    visit(handler.body)
+                visit(node.orelse)
+                visit(node.finalbody)
+
+    visit(tree.body)
+    return bound
+
+
+def _lazy_names(tree: ast.Module) -> set[str]:
+    """String constants inside a module-level ``__getattr__`` (PEP 562)."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "__getattr__":
+            return string_literals(node)
+    return set()
+
+
+def _package_dotted(rel: str) -> str | None:
+    """``src/repro/serving/__init__.py`` -> ``repro.serving``."""
+    parts = Path(rel).parts
+    if parts[-1] != "__init__.py":
+        return None
+    try:
+        anchor = parts.index("repro")
+    except ValueError:
+        return None
+    return ".".join(parts[anchor:-1])
+
+
+def _own_submodule_imports(
+    tree: ast.Module, package: str, package_dir: set[str]
+) -> dict[str, ast.ImportFrom]:
+    """Public names imported from the package's own submodules."""
+    out: dict[str, ast.ImportFrom] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        own = node.level >= 1 or (
+            node.module is not None and node.module.startswith(package + ".")
+        )
+        if not own:
+            continue
+        for alias in node.names:
+            name = alias.asname or alias.name
+            if name.startswith("_") or alias.name == "*":
+                continue
+            if name in package_dir:
+                continue  # importing a submodule, not re-exporting a name
+            out[name] = node
+    return out
+
+
+def check(context: ModuleContext) -> Iterator[Finding]:
+    exported = _exported_names(context.tree)
+    if exported is None:
+        return
+    node, names = exported
+    bound = _bound_names(context.tree) | _lazy_names(context.tree)
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            yield context.finding(
+                node, RULE_ID, f"__all__ lists {name!r} more than once"
+            )
+        seen.add(name)
+        if name not in bound:
+            yield context.finding(
+                node,
+                RULE_ID,
+                f"__all__ exports {name!r} but the module never binds it "
+                "(statically or via module __getattr__)",
+            )
+    package = _package_dotted(context.rel)
+    if package is None:
+        return
+    yield from _missing_exports(context, node, names, package)
+
+
+def _missing_exports(
+    context: ModuleContext,
+    all_node: ast.stmt,
+    names: list[str],
+    package: str,
+) -> Iterator[Finding]:
+    package_dir: set[str] = set()
+    # The engine analyses source text without touching the filesystem in
+    # general, but submodule detection needs the sibling listing; in-memory
+    # snippets (context.root is None) fall back to "no siblings".
+    if context.root is not None:
+        directory = context.root / Path(context.rel).parent
+        if directory.is_dir():
+            package_dir = {
+                entry.stem for entry in directory.iterdir() if entry.suffix == ".py"
+            } | {entry.name for entry in directory.iterdir() if entry.is_dir()}
+    declared = set(names)
+    for name, node in _own_submodule_imports(
+        context.tree, package, package_dir
+    ).items():
+        if name not in declared:
+            yield context.finding(
+                node,
+                RULE_ID,
+                f"{name!r} is imported from an own submodule but missing "
+                "from __all__ — export it or rename it underscore-private",
+            )
+
+
+RULE = Rule(
+    id=RULE_ID,
+    summary="__all__ must match the module's real export surface",
+    check=check,
+)

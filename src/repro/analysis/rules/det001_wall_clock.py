@@ -1,0 +1,57 @@
+"""DET001 — no wall-clock reads inside the simulation.
+
+Every latency the reproduction reports is *simulated* time accumulated on a
+:class:`~repro.models.latency.SimClock`; a single ``time.perf_counter()``
+or ``datetime.now()`` smuggled into ``src/repro`` makes results depend on
+host load and breaks replay bit-identity.  Wall time is legitimate in the
+bench tools (measuring it is their job), so this rule is scoped to
+``src/repro`` only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules.base import import_aliases, iter_calls, resolve_call
+
+RULE_ID = "DET001"
+
+#: Fully-qualified callables whose return value is host wall-clock time.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+
+def check(context: ModuleContext) -> Iterator[Finding]:
+    aliases = import_aliases(context.tree)
+    for call in iter_calls(context.tree):
+        resolved = resolve_call(call, aliases)
+        if resolved in WALL_CLOCK_CALLS:
+            yield context.finding(
+                call,
+                RULE_ID,
+                f"wall-clock read {resolved}(): simulated time must come "
+                "from SimClock, never the host clock",
+            )
+
+
+RULE = Rule(
+    id=RULE_ID,
+    summary="no wall-clock reads under src/repro (sim time comes from SimClock)",
+    check=check,
+    scope="src/repro",
+)

@@ -1,0 +1,140 @@
+"""DET002 — no unseeded or global-state randomness.
+
+The whole reproduction is a pure function of its configuration: every
+random decision flows through explicitly seeded generators
+(:mod:`repro.utils.rng`) or :func:`repro.utils.hashing.stable_hash`
+streams.  Three bug classes re-introduce hidden state:
+
+* the stdlib ``random`` module's global functions (``random.random()``,
+  ``random.shuffle()``, ...), seeded per process;
+* numpy's *legacy* global RandomState (``np.random.seed``,
+  ``np.random.rand``, ``np.random.choice``, ...);
+* entropy-seeded constructors — ``default_rng()``, ``SeedSequence()``,
+  ``PCG64()`` or ``random.Random()`` called with **no seed argument** pull
+  OS entropy and differ on every run.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules.base import (
+    has_star_args,
+    import_aliases,
+    iter_calls,
+    resolve_call,
+)
+
+RULE_ID = "DET002"
+
+#: numpy legacy global-RandomState functions (the non-Generator API).
+NUMPY_LEGACY = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "bytes",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "beta",
+        "binomial",
+        "poisson",
+        "exponential",
+        "gamma",
+        "geometric",
+        "lognormal",
+    }
+)
+
+#: Constructors that fall back to OS entropy when called without a seed.
+ENTROPY_WHEN_UNSEEDED = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "random.Random",
+    }
+)
+
+#: Sources that are nondeterministic no matter how they are called.
+ALWAYS_NONDETERMINISTIC = frozenset(
+    {
+        "random.SystemRandom",
+        "os.urandom",
+        "secrets.token_bytes",
+        "secrets.token_hex",
+        "secrets.randbelow",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+
+def _is_seeded(call: ast.Call) -> bool:
+    """Does the constructor call pass any seed material?"""
+    if call.args or has_star_args(call):
+        return True
+    return any(keyword.arg in ("seed", "entropy", "x") for keyword in call.keywords)
+
+
+def check(context: ModuleContext) -> Iterator[Finding]:
+    aliases = import_aliases(context.tree)
+    for call in iter_calls(context.tree):
+        resolved = resolve_call(call, aliases)
+        if resolved is None:
+            continue
+        # `np`/`numpy` both resolve through aliases; normalise the head.
+        normalized = resolved.replace("np.random.", "numpy.random.", 1)
+        if normalized in ALWAYS_NONDETERMINISTIC:
+            yield context.finding(
+                call,
+                RULE_ID,
+                f"{resolved}() is nondeterministic by construction; derive "
+                "randomness from the config seed via repro.utils.rng",
+            )
+            continue
+        if normalized in ENTROPY_WHEN_UNSEEDED:
+            if not _is_seeded(call):
+                yield context.finding(
+                    call,
+                    RULE_ID,
+                    f"{resolved}() without a seed argument pulls OS entropy; "
+                    "pass an explicit seed (see repro.utils.rng)",
+                )
+            continue
+        head, _, tail = normalized.partition(".")
+        if head == "random" and tail and "." not in tail:
+            # Module-level stdlib random functions share hidden global state.
+            yield context.finding(
+                call,
+                RULE_ID,
+                f"module-level random.{tail}() uses the process-global RNG; "
+                "use an explicitly seeded generator instead",
+            )
+        elif normalized.startswith("numpy.random.") and (
+            normalized.rsplit(".", 1)[-1] in NUMPY_LEGACY
+        ):
+            yield context.finding(
+                call,
+                RULE_ID,
+                f"legacy numpy global RNG call {resolved}(); use a seeded "
+                "numpy.random.Generator (repro.utils.rng.fast_generator)",
+            )
+
+
+RULE = Rule(
+    id=RULE_ID,
+    summary="randomness must be explicitly seeded (no global RNG state)",
+    check=check,
+)

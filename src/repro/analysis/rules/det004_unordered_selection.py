@@ -1,0 +1,88 @@
+"""DET004 — no selection from unordered collections without a deterministic key.
+
+Set iteration order depends on ``PYTHONHASHSEED`` for strings (and on
+insertion/deletion history in general), so picking an element out of a set
+— ``next(iter(s))``, ``s.pop()``, or ``min``/``max`` without an explicit
+tie-breaking ``key=`` — can change across runs.  These are exactly the
+scheduler tie-break bugs PR 4/5 had to hand-audit; this rule makes the
+contract mechanical.
+
+``dict.values()`` iteration is insertion-ordered in CPython, but *selecting*
+from it without a key inherits whatever ordering produced the dict — the
+rule flags it so the tie-break is written down (or consciously suppressed).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules.base import dotted_name, iter_calls, keyword_arg
+
+RULE_ID = "DET004"
+
+
+def _unordered_expr(node: ast.expr) -> str | None:
+    """Describe ``node`` if it produces an unordered/ambiguous iterable."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "a set"
+    if isinstance(node, ast.Call):
+        target = dotted_name(node.func)
+        if target in ("set", "frozenset"):
+            return f"a {target}"
+        if isinstance(node.func, ast.Attribute) and node.func.attr == "values":
+            return ".values()"
+    return None
+
+
+def check(context: ModuleContext) -> Iterator[Finding]:
+    for call in iter_calls(context.tree):
+        target = dotted_name(call.func)
+        # min(set_like) / max(set_like) without key=: ties resolve in
+        # iteration order, which is hash-dependent for sets.
+        if target in ("min", "max") and call.args:
+            described = _unordered_expr(call.args[0])
+            if described is not None and keyword_arg(call, "key") is None:
+                yield context.finding(
+                    call,
+                    RULE_ID,
+                    f"{target}() over {described} without key=: ties resolve "
+                    "in iteration order — pass a deterministic key",
+                )
+        # next(iter(set_like)) selects an arbitrary element.
+        if target == "next" and call.args:
+            inner = call.args[0]
+            if (
+                isinstance(inner, ast.Call)
+                and dotted_name(inner.func) == "iter"
+                and inner.args
+            ):
+                described = _unordered_expr(inner.args[0])
+                if described is not None:
+                    yield context.finding(
+                        call,
+                        RULE_ID,
+                        f"next(iter(...)) over {described} selects an "
+                        "arbitrary element; sort or key the selection",
+                    )
+        # set_expr.pop() removes a hash-order-dependent element.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "pop"
+            and not call.args
+            and _unordered_expr(call.func.value) is not None
+        ):
+            yield context.finding(
+                call,
+                RULE_ID,
+                "pop() on a set removes an arbitrary element; select "
+                "deterministically instead",
+            )
+
+
+RULE = Rule(
+    id=RULE_ID,
+    summary="selection from sets/.values() needs a deterministic key",
+    check=check,
+)

@@ -1,0 +1,89 @@
+"""SIM001 — every phase construction and device execution bills explicit cost.
+
+Simulated latency is the product under test: a
+:class:`~repro.decoding.base.PhaseOutcome` whose ``ms`` is omitted (or a
+hard-coded zero) silently makes a phase free, and a
+``Device.execute(...)`` call that drops the phase batch bills nothing to
+the busy timeline.  Both bugs keep every functional test green while
+corrupting every latency/SLO number, so the contract is enforced
+statically: constructions must pass ``ms`` explicitly (and not as a bare
+``0`` literal — a genuinely free phase should say why with a suppression),
+and ``execute`` calls must pass both a start time and the phase batch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.engine import Finding, ModuleContext, Rule
+from repro.analysis.rules.base import (
+    dotted_name,
+    has_star_args,
+    iter_calls,
+    keyword_arg,
+)
+
+RULE_ID = "SIM001"
+
+#: Position of ``ms`` in PhaseOutcome's field order.
+_MS_POSITION = 2
+
+
+def _is_zero_literal(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+def check(context: ModuleContext) -> Iterator[Finding]:
+    for call in iter_calls(context.tree):
+        target = dotted_name(call.func)
+        if target is not None and target.rsplit(".", 1)[-1] == "PhaseOutcome":
+            if has_star_args(call):
+                continue  # forwarded argument packs are opaque to the AST
+            cost = keyword_arg(call, "ms")
+            if cost is None and len(call.args) > _MS_POSITION:
+                cost = call.args[_MS_POSITION]
+            if cost is None:
+                yield context.finding(
+                    call,
+                    RULE_ID,
+                    "PhaseOutcome(...) without an explicit ms= cost: a "
+                    "silently free phase corrupts every latency metric",
+                )
+            elif _is_zero_literal(cost):
+                yield context.finding(
+                    call,
+                    RULE_ID,
+                    "PhaseOutcome(...) with a literal zero ms: bill the "
+                    "real SimClock delta (or suppress with a justification)",
+                )
+        elif (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "execute"
+            and not has_star_args(call)
+        ):
+            head = dotted_name(call.func.value) or ""
+            # Only device-shaped receivers: `device.execute`, `self.device…`,
+            # pool members etc.  Unrelated APIs named execute (e.g. a DB
+            # cursor) would not mention devices.
+            if "device" not in head.lower() and head.lower() not in ("self", "pool"):
+                continue
+            positional = len(call.args)
+            names = {keyword.arg for keyword in call.keywords}
+            has_start = positional >= 1 or "start_ms" in names
+            has_phases = positional >= 2 or "phases" in names
+            if not (has_start and has_phases):
+                yield context.finding(
+                    call,
+                    RULE_ID,
+                    f"{head}.execute(...) must pass the start time and the "
+                    "phase batch so the busy timeline is billed explicitly",
+                )
+
+
+RULE = Rule(
+    id=RULE_ID,
+    summary="PhaseOutcome/Device.execute must carry explicit costs",
+    check=check,
+    scope="src/repro",
+)

@@ -27,7 +27,9 @@ def measure_token_snr(audio: SynthesizedAudio) -> list[float]:
     the noisy waveform: ``noise ≈ total - clean``.
     """
     snrs: list[float] = []
-    for (start, end), clean_power in zip(audio.token_spans, audio.clean_power):
+    for (start, end), clean_power in zip(
+        audio.token_spans, audio.clean_power, strict=True
+    ):
         segment = audio.waveform[start:end]
         total_power = float(np.mean(segment**2)) + 1e-12
         noise_power = max(total_power - clean_power, 1e-12)

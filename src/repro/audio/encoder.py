@@ -96,7 +96,7 @@ class AudioEncoder:
                 f"expected (*, {self.config.n_mels}) features, got {log_mel.shape}"
             )
         x = log_mel.T  # (channels, frames)
-        for weight, bias in zip(self._conv_weights, self._conv_biases):
+        for weight, bias in zip(self._conv_weights, self._conv_biases, strict=True):
             x = _conv1d(x, weight, bias, self.config.conv_stride)
             x = np.maximum(x, 0.0)  # ReLU
         x = x.T  # (frames, channels)
@@ -113,7 +113,7 @@ class AudioEncoder:
     def param_count(self) -> int:
         """Exact number of scalar parameters in this encoder."""
         total = 0
-        for weight, bias in zip(self._conv_weights, self._conv_biases):
+        for weight, bias in zip(self._conv_weights, self._conv_biases, strict=True):
             total += weight.size + bias.size
         total += self._proj.size + self._proj_bias.size
         return total

@@ -6,6 +6,7 @@ Subcommands:
 * ``run EXP [...]``   — run one or all experiments and print their reports
 * ``decode``          — decode a sample utterance with every method
 * ``serve-sim``       — simulate live traffic against a latency SLO
+* ``lint``            — statically check the determinism/simulation contracts
 * ``models``          — show the model registry
 """
 
@@ -298,6 +299,57 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also save the report as JSON here",
     )
 
+    lint_parser = sub.add_parser(
+        "lint",
+        help="statically check the determinism & simulation contracts",
+        description="AST-based lint over the repo's determinism contracts "
+        "(DET001-004), simulation cost billing (SIM001), config pickle "
+        "compat (CFG001) and export surfaces (API001).  Suppress one "
+        "finding with a '# repro: ignore[RULE]' comment on its line.",
+    )
+    lint_parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tools"],
+        help="files or directories to lint (default: src tools)",
+    )
+    lint_parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report style: compiler-log text or machine-readable JSON",
+    )
+    lint_parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero when any finding survives suppressions/baseline",
+    )
+    lint_parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="JSON baseline of grandfathered findings to filter out "
+        "(matched on rule+path+message; line numbers are ignored)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    lint_parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="analyse files with N parallel workers (identical output; "
+        "see repro.harness.executor)",
+    )
+    lint_parser.add_argument(
+        "--rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
     sub.add_parser("models", help="show the model registry")
     return parser
 
@@ -447,6 +499,52 @@ def _cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.analysis import (
+        default_rules,
+        load_baseline,
+        render_json,
+        render_text,
+        run_lint,
+        write_baseline,
+    )
+
+    if args.rules:
+        for rule in default_rules():
+            scope = f" [{rule.scope}]" if rule.scope else ""
+            print(f"{rule.id}{scope}: {rule.summary}")
+        return 0
+    root = Path.cwd()
+    baseline = None
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        if not baseline_path.exists():
+            raise SystemExit(
+                f"specasr lint: error: baseline file {args.baseline!r} not found"
+            )
+        baseline = load_baseline(baseline_path)
+    try:
+        result = run_lint(args.paths, root, workers=args.workers, baseline=baseline)
+    except FileNotFoundError as error:
+        raise SystemExit(f"specasr lint: error: {error}") from None
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), list(result.findings))
+        print(
+            f"baseline with {len(result.findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    if args.strict and not result.clean:
+        return 1
+    return 0
+
+
 def _cmd_models() -> int:
     print(
         f"{'model':22s} {'family':8s} {'dec (B)':>8s} {'enc (B)':>8s} "
@@ -474,6 +572,8 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_decode(args)
     if args.command == "serve-sim":
         return _cmd_serve_sim(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     if args.command == "models":
         return _cmd_models()
     raise AssertionError(f"unhandled command {args.command}")

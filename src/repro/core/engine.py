@@ -225,7 +225,7 @@ class SpecASREngine:
         plain = draft_adaptive(draft_session, prefix, config, eos_id, truncate=True)
         items = [
             DraftedToken(token, prob, ())
-            for token, prob in zip(plain.tokens, plain.probs)
+            for token, prob in zip(plain.tokens, plain.probs, strict=True)
         ]
         tree, info = assemble_tree(items)
         stats.draft_steps = plain.draft_steps

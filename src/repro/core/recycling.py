@@ -162,7 +162,7 @@ def draft_with_recycling(
             frontier.append(("regen", regen_cursor))
         results = session.step_frontier([c for _, c in frontier], kind=KIND_DRAFT)
         steps += 1
-        for (kind, _), result in zip(frontier, results):
+        for (kind, _), result in zip(frontier, results, strict=True):
             drafted = DraftedToken(result.token, result.top_prob, result.topk)
             if kind == "ext":
                 extension.append(drafted)

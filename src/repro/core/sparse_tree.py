@@ -89,7 +89,7 @@ def build_sparse_tree_round(
         plain = draft_adaptive(session, base, config, eos_id, truncate=False)
         trunk = [
             DraftedToken(token, prob, ())
-            for token, prob in zip(plain.tokens, plain.probs)
+            for token, prob in zip(plain.tokens, plain.probs, strict=True)
         ]
         # draft_adaptive records alternatives on uncertain points; fold the
         # top-k back into the trunk items so pass 2 can branch on them.
@@ -148,7 +148,7 @@ def build_sparse_tree_round(
         )
         steps += 1
         next_live: list[SparseBranch] = []
-        for branch, result in zip(live, results):
+        for branch, result in zip(live, results, strict=True):
             branch.items.append(
                 DraftedToken(result.token, result.top_prob, result.topk)
             )

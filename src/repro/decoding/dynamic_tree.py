@@ -136,7 +136,7 @@ class DynamicTreeDecoder:
             # Collect candidate children across the whole frontier, then
             # admit the highest-path-probability ones within the budget.
             candidates: list[tuple[float, int, int, int, float]] = []
-            for order, (node, result) in enumerate(zip(frontier, results)):
+            for order, (node, result) in enumerate(zip(frontier, results, strict=True)):
                 seen: set[int] = set()
                 for token, prob in result.topk[: config.max_children]:
                     if token in seen:

@@ -172,7 +172,7 @@ class SpeculativeDecoder:
             )
             stats.draft_steps += 1
             frontier = []
-            for node, result in zip(live, results):
+            for node, result in zip(live, results, strict=True):
                 child = tree.add(result.token, node, result.top_prob)
                 node_cursors[child] = node_cursors[node].advance(result.token)
                 frontier.append(child)

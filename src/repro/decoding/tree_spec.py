@@ -106,7 +106,7 @@ class FixedTreeDecoder:
         tree = TokenTree()
         node_cursors = {ROOT_PARENT: draft_cursor}
         frontier: list[int] = [ROOT_PARENT]
-        for depth, branch_factor in enumerate(self.config.branching):
+        for _depth, branch_factor in enumerate(self.config.branching):
             live = [
                 node
                 for node in frontier
@@ -119,7 +119,7 @@ class FixedTreeDecoder:
             )
             stats.draft_steps += 1
             next_frontier: list[int] = []
-            for node, result in zip(live, results):
+            for node, result in zip(live, results, strict=True):
                 taken: set[int] = set()
                 for token, prob in result.topk[:branch_factor]:
                     if token in taken:

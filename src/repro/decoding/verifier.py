@@ -50,7 +50,9 @@ def verify_sequence(
         cursors.append(cursor)
     results = target.verify_eval(cursors, billed_tokens=len(drafts))
     accepted = 0
-    for draft_token, result in zip(drafts, results):
+    # results carries one extra entry (the post-acceptance correction
+    # distribution), so this zip truncates by design.
+    for draft_token, result in zip(drafts, results, strict=False):
         if result.token != draft_token:
             break
         accepted += 1

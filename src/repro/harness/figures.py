@@ -37,11 +37,11 @@ def ascii_table(
     lines = []
     if title:
         lines.append(title)
-    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    header_line = " | ".join(h.ljust(w) for h, w in zip(headers, widths, strict=True))
     lines.append(header_line)
     lines.append("-+-".join("-" * w for w in widths))
     for row in formatted:
-        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths, strict=True)))
     return "\n".join(lines)
 
 
@@ -58,7 +58,7 @@ def ascii_bars(
     peak = max((abs(v) for v in values), default=1.0) or 1.0
     label_width = max((len(l) for l in labels), default=0)
     lines = [title] if title else []
-    for label, value in zip(labels, values):
+    for label, value in zip(labels, values, strict=True):
         bar = "#" * max(1, int(round(abs(value) / peak * width))) if value else ""
         lines.append(f"{label.ljust(label_width)} | {bar} {format_value(value)}{unit}")
     return "\n".join(lines)

@@ -45,7 +45,7 @@ def error_burstiness(indicators: Sequence[Sequence[int]]) -> float:
     values: list[int] = []
     for row in indicators:
         values.extend(row)
-        pairs.extend(zip(row, row[1:]))
+        pairs.extend(zip(row, row[1:], strict=False))
     if not pairs or not values:
         return 0.0
     mean = sum(values) / len(values)

@@ -119,7 +119,7 @@ def aggregate_latency(
     by_model = breakdown.by_model_ms
     by_kind = breakdown.by_kind_ms
     total_ms = 0.0
-    for result, unit in zip(results, units):
+    for result, unit in zip(results, units, strict=True):
         duration = getattr(unit, "duration_s", default_duration_s)
         if duration is None:
             raise ValueError(

@@ -24,7 +24,7 @@ def corpus_wer(references: Sequence[Sequence], hypotheses: Sequence[Sequence]) -
         )
     total_errors = 0
     total_ref = 0
-    for ref, hyp in zip(references, hypotheses):
+    for ref, hyp in zip(references, hypotheses, strict=True):
         subs, ins, dels, ref_len = wer_counts(ref, hyp)
         total_errors += subs + ins + dels
         total_ref += ref_len

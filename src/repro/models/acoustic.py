@@ -569,14 +569,18 @@ def _prewarm_candidates(requests: "list[tuple[EmissionOracle, int]]") -> None:
             ]
         )
     )
-    conf_by_key = {key: rng for (key, _job), rng in zip(conf_jobs, conf_rngs)}
+    conf_by_key = {
+        key: rng for (key, _job), rng in zip(conf_jobs, conf_rngs, strict=True)
+    }
     dist_rngs = _batched_rngs(
         [
             stable_hash_ints(oracle._h_distractors, pos)
             for _key, (oracle, pos, _cache, _nc) in job_list
         ]
     )
-    for (key, (oracle, pos, cache, _need_conf)), drng in zip(job_list, dist_rngs):
+    for (key, (oracle, pos, cache, _need_conf)), drng in zip(
+        job_list, dist_rngs, strict=True
+    ):
         cache.put(
             key, oracle._build_candidates(pos, rng=conf_by_key.get(key), drng=drng)
         )
@@ -643,7 +647,10 @@ def _compute_base_blocks(
             else:
                 shared_rows[row] = draws
         for row, key, rng in zip(
-            miss_rows, miss_keys, _batched_rngs([key[0] for key in miss_keys])
+            miss_rows,
+            miss_keys,
+            _batched_rngs([key[0] for key in miss_keys]),
+            strict=True,
         ):
             draws = rng.standard_normal(n)
             draws.setflags(write=False)
@@ -711,7 +718,7 @@ def _compute_base_blocks(
                     for _row, i in drop_rows
                 ]
             )
-            for (row, _i), rng in zip(drop_rows, drop_rngs):
+            for (row, _i), rng in zip(drop_rows, drop_rngs, strict=True):
                 if rng.uniform() < drop_probs[row]:
                     scores2[row, 0] -= p.rank_drop_penalty
 
@@ -766,7 +773,9 @@ def prewarm_oracles(oracles: "list[EmissionOracle]") -> None:
                 requests.append((oracle, start))
     if not requests:
         return
-    for (oracle, start), block in zip(requests, _compute_base_blocks(requests)):
+    for (oracle, start), block in zip(
+        requests, _compute_base_blocks(requests), strict=True
+    ):
         oracle._base.put(start, block)
 
 

@@ -153,7 +153,7 @@ def _resolve_pending_steps(oracle: EmissionOracle, pending: list) -> None:
     its scalar scoring, and StepResult construction is the same).
     """
     oracle_steps = oracle.step_many([key for _results, _node, key in pending])
-    for (results, node, key), oracle_step in zip(pending, oracle_steps):
+    for (results, node, key), oracle_step in zip(pending, oracle_steps, strict=True):
         step = results.get(key)
         if step is None:
             step = StepResult(

@@ -177,4 +177,5 @@ __all__ = [
     "save_trace",
     "simulate",
     "sweep_qps",
+    "uniform_trace",
 ]

@@ -180,7 +180,7 @@ def plan_pool_split(
             total_blocks = sum(blocks)
             weights = [
                 0.5 * (speed / total_speed) + 0.5 * (cap / total_blocks)
-                for speed, cap in zip(speeds, blocks)
+                for speed, cap in zip(speeds, blocks, strict=True)
             ]
     order = sorted(range(len(weights)), key=lambda i: (weights[i], i))
     total = sum(weights)
@@ -303,7 +303,7 @@ class DisaggregatedRouter:
         self._memory_blocks = (
             None
             if memory_blocks is None
-            else {d.index: b for d, b in zip(devices, memory_blocks)}
+            else {d.index: b for d, b in zip(devices, memory_blocks, strict=True)}
         )
         self._available: set[int] | None = None
         self._projected: dict[int, float] = {}

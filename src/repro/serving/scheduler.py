@@ -463,7 +463,9 @@ class ContinuousBatchScheduler:
             # Lazy for the same partial-initialisation reason as above.
             from repro.models.simulated import prewarm_models as prewarm
         if plan is not None:
-            for device, profile in zip(devices, plan.profiles(len(devices))):
+            for device, profile in zip(
+                devices, plan.profiles(len(devices)), strict=True
+            ):
                 device.set_fault_profile(profile)
         records = []
         for arrival in arrivals:
@@ -653,7 +655,9 @@ class ContinuousBatchScheduler:
             assert record.revised_tokens == 0
             assert all(
                 earlier <= later
-                for earlier, later in zip(record.emission_ms, record.emission_ms[1:])
+                for earlier, later in zip(
+                    record.emission_ms, record.emission_ms[1:], strict=False
+                )
             )
             # Per-chunk emission latency: for every chunk that raised the
             # position cap, when its last due token became final, relative
@@ -773,7 +777,7 @@ class ContinuousBatchScheduler:
                 # pristine, so transcripts and decode_ms never see it.
                 phases = [
                     replace(phase, ms=phase.ms + penalty) if penalty else phase
-                    for phase, penalty in zip(phases, penalties)
+                    for phase, penalty in zip(phases, penalties, strict=True)
                 ]
             crash = None
             if plan is not None and device.faults.crash_ms is not None:

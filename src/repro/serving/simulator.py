@@ -203,10 +203,17 @@ class ServeSimConfig:
             object.__setattr__(self, name, value)
 
     def __setstate__(self, state: dict) -> None:
-        if "cluster" not in state or "stream" not in state:
-            # A pickle predating a sub-config (flat seed-era layout, or a
-            # composed one from before streaming): rebuild through
-            # __init__, which folds flat names in and defaults the rest.
+        if (
+            "cluster" not in state
+            or "chaos" not in state
+            or "memory" not in state
+            or "stream" not in state
+        ):
+            # A pickle predating any sub-config (flat seed-era layout, or a
+            # composed one from before a later sub-config existed): rebuild
+            # through __init__, which folds flat names in and defaults the
+            # rest.  Every sub-config field is guarded independently — the
+            # CFG001 lint rule cross-checks this list against the fields.
             rebuilt = ServeSimConfig(**state)
             state = dict(rebuilt.__dict__)
         self.__dict__.update(state)
@@ -411,7 +418,7 @@ def sweep_qps(
     else:
         decoder = build_decoder(config)
         reports = [simulate(c, decoder=decoder) for c in configs]
-    return dict(zip(qps_values, reports))
+    return dict(zip(qps_values, reports, strict=True))
 
 
 def max_sustainable_qps(

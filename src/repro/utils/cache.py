@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import Generic, Hashable, TypeVar
+from typing import Generic, Hashable, KeysView, TypeVar
 
 K = TypeVar("K", bound=Hashable)
 V = TypeVar("V")
@@ -56,13 +56,13 @@ class LRUCache(Generic[K, V]):
                     data.popitem(last=False)
                     self.evictions += 1
 
-    def __getstate__(self) -> dict:
+    def __getstate__(self) -> dict[str, object]:
         # Locks don't pickle; process-pool workers get their own.
         return {
             slot: getattr(self, slot) for slot in self.__slots__ if slot != "_lock"
         }
 
-    def __setstate__(self, state: dict) -> None:
+    def __setstate__(self, state: dict[str, object]) -> None:
         for slot, value in state.items():
             setattr(self, slot, value)
         self._lock = threading.Lock()
@@ -76,5 +76,5 @@ class LRUCache(Generic[K, V]):
     def clear(self) -> None:
         self._data.clear()
 
-    def keys(self):
+    def keys(self) -> KeysView[K]:
         return self._data.keys()

@@ -133,7 +133,7 @@ class TestScalarVectorParity:
         queries = queries + queries[:3]
         batched = vector.step_many(queries)
         solo = [scalar.step(*query) for query in queries]
-        for a, b in zip(solo, batched):
+        for a, b in zip(solo, batched, strict=True):
             _assert_steps_equal(a, b)
 
     def test_prewarm_oracles_changes_no_value(self, clean_dataset, vocab):
@@ -190,7 +190,7 @@ class TestSessionBatchParity:
         solo_entries = self._frontiers(scalar_model, units)
         batched = vector_model.score_batch(batch_entries, kind=kind)
         for (b_session, _), (s_session, prefixes), results in zip(
-            batch_entries, solo_entries, batched
+            batch_entries, solo_entries, batched, strict=True
         ):
             if kind == "verify":
                 solo = s_session.verify_eval(prefixes)
@@ -231,7 +231,9 @@ class TestBatchedGenerators:
             assert np.array_equal(states[row], expected)
 
     def test_generators_match_default_rng(self):
-        for seed, rng in zip(self.EDGE_SEEDS, batched_generators(self.EDGE_SEEDS)):
+        for seed, rng in zip(
+            self.EDGE_SEEDS, batched_generators(self.EDGE_SEEDS), strict=True
+        ):
             stock = np.random.default_rng(seed)
             assert rng.standard_normal(4).tolist() == stock.standard_normal(
                 4
@@ -241,7 +243,7 @@ class TestBatchedGenerators:
 
     def test_fallback_for_out_of_range_seeds(self):
         seeds = [3, 2**64 + 17]  # beyond 64-bit: per-seed fallback path
-        for seed, rng in zip(seeds, batched_generators(seeds)):
+        for seed, rng in zip(seeds, batched_generators(seeds), strict=True):
             assert (
                 rng.standard_normal(4).tolist()
                 == np.random.default_rng(seed).standard_normal(4).tolist()
@@ -264,7 +266,7 @@ class TestBaseCacheBounded:
         assert vector._base.maxsize == 3
         scalar = _oracle(utterance, vocab, block_size=1)
         positions = list(range(vector.max_positions)) + [vector.max_positions + 1]
-        for sweep in range(2):
+        for _sweep in range(2):
             for pos in positions:
                 vector._cache.clear()  # force re-reads through _base
                 _assert_steps_equal(scalar.step(pos), vector.step(pos))

@@ -148,7 +148,9 @@ class TestDifficulty:
         audio = synthesize_utterance(utterance)
         measured = measure_difficulty(audio)
         assert len(measured) == utterance.num_tokens
-        errors = [abs(m - d) for m, d in zip(measured, utterance.difficulty)]
+        errors = [
+            abs(m - d) for m, d in zip(measured, utterance.difficulty, strict=True)
+        ]
         assert sum(errors) / len(errors) < 0.12
 
     def test_snr_per_token(self, utterance):

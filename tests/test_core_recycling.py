@@ -17,7 +17,9 @@ from tests.fakes import EOS, FakeUnit, ScriptedModel
 def suffix_of(tokens, probs=None):
     probs = probs or [0.9] * len(tokens)
     return RecycledSuffix(
-        items=[DraftedToken(t, p, ((t, p),)) for t, p in zip(tokens, probs)]
+        items=[
+            DraftedToken(t, p, ((t, p),)) for t, p in zip(tokens, probs, strict=True)
+        ]
     )
 
 

@@ -31,7 +31,7 @@ class TestLexicon:
     def test_zipf_weights_decreasing(self):
         weights = default_lexicon().zipf_weights()
         values = list(weights.values())
-        assert all(a >= b for a, b in zip(values, values[1:]))
+        assert all(a >= b for a, b in zip(values, values[1:], strict=False))
 
 
 class TestSentenceSampler:

@@ -408,7 +408,7 @@ class TestCrashRecovery:
         assert 0.0 < stats.degraded_ms <= 1200.0
         # every request survived, and survivors are bit-identical to the
         # fault-free run — recovery resumes, it does not re-decode
-        for record, reference in zip(records, baseline):
+        for record, reference in zip(records, baseline, strict=True):
             assert record.status == STATUS_COMPLETED
             assert record.tokens == reference.tokens
             assert record.decode_ms == reference.decode_ms
@@ -426,7 +426,7 @@ class TestCrashRecovery:
         )
         profiles = plan.profiles(4)
         assert scheduler.last_dispatch_log, "expected dispatches"
-        for device_index, start, end, phases, aborted in scheduler.last_dispatch_log:
+        for device_index, start, end, phases, _aborted in scheduler.last_dispatch_log:
             assert profiles[device_index].available(start)
             assert end >= start and phases >= 1
         # the crash aborted at least one in-flight batch on dev3
@@ -566,7 +566,7 @@ class TestDegradation:
         _assert_conservation(records, stats)
         assert stats.duplicates > 0, "the 20x straggler must trigger re-issues"
         assert stats.cancelled > 0, "losing copies must settle as stale"
-        for record, reference in zip(records, baseline):
+        for record, reference in zip(records, baseline, strict=True):
             assert record.status == STATUS_COMPLETED
             assert record.tokens == reference.tokens
             assert record.decode_ms == reference.decode_ms

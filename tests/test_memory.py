@@ -488,7 +488,8 @@ class TestSchedulerMemory:
         _, stats = self._run(decoder, clean_dataset, trace, cluster)
         assert stats.memory_blocks == (64, 32)
         assert all(
-            peak <= cap for peak, cap in zip(stats.peak_memory_blocks, (64, 32))
+            peak <= cap
+            for peak, cap in zip(stats.peak_memory_blocks, (64, 32), strict=True)
         )
 
     def test_prefix_sharing_reduces_peak(self, decoder, clean_dataset):

@@ -80,7 +80,7 @@ class TestAcceptanceAnalyses:
         curve = accept_at_topk(draft, target, list(clean_dataset)[:4], max_k=4)
         assert len(curve) == 4
         assert all(0.0 <= v <= 1.0 for v in curve)
-        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:]))
+        assert all(a <= b + 1e-12 for a, b in zip(curve, curve[1:], strict=False))
 
     def test_rank_distribution_sums_to_one(
         self, whisper_pair, clean_dataset, other_dataset

@@ -73,7 +73,9 @@ class TestCapacityEffect:
                 oracle = make_oracle(utt, vocab, capacity=capacity, seed=9)
                 stream = oracle.greedy_stream()[:-1]
                 errors[capacity] += sum(
-                    1 for got, ref in zip(stream, utt.tokens) if got != ref
+                    1
+                    for got, ref in zip(stream, utt.tokens, strict=False)
+                    if got != ref
                 )
             total += utt.num_tokens
         assert errors[0.95] < errors[0.70]

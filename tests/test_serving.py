@@ -107,7 +107,9 @@ class TestArrivals:
 
     def test_uniform_spacing(self):
         trace = uniform_trace(5, 2.0, 3, seed=0)
-        gaps = [b.arrival_ms - a.arrival_ms for a, b in zip(trace, trace[1:])]
+        gaps = [
+            b.arrival_ms - a.arrival_ms for a, b in zip(trace, trace[1:], strict=False)
+        ]
         assert all(gap == pytest.approx(500.0) for gap in gaps)
 
     def test_trace_roundtrip(self, tmp_path):

@@ -421,7 +421,9 @@ class TestPlacementSemantics:
         records = scheduler.run(trace, clean_dataset)
         assert all(r.status == STATUS_COMPLETED for r in records)
         stats = scheduler.last_stats
-        for role, busy in zip(stats.device_roles, stats.per_device_busy_ms):
+        for role, busy in zip(
+            stats.device_roles, stats.per_device_busy_ms, strict=True
+        ):
             assert busy > 0.0, f"idle {role} device in a saturated pool"
 
     def test_sharding_speeds_up_saturated_serving(self, whisper_pair, clean_dataset):

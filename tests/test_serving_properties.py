@@ -153,7 +153,9 @@ class TestDeviceTimeline:
             intervals.append((begin, end))
         # busy intervals never overlap: each starts at or after the
         # previous one ended (submission order is execution order)
-        for (_, prev_end), (next_begin, _) in zip(intervals, intervals[1:]):
+        for (_, prev_end), (next_begin, _) in zip(
+            intervals, intervals[1:], strict=False
+        ):
             assert next_begin >= prev_end - 1e-9
         assert device.busy_ms == pytest.approx(
             sum(end - begin for begin, end in intervals)

@@ -201,7 +201,7 @@ class TestStreamingScheduler:
         stream_records, _ = _run(serving_decoder, streamed, clean_dataset, spec)
         offline_records, _ = _run(serving_decoder, offline, clean_dataset)
         assert len(stream_records) == len(offline_records)
-        for streamed_r, offline_r in zip(stream_records, offline_records):
+        for streamed_r, offline_r in zip(stream_records, offline_records, strict=True):
             assert streamed_r.status == STATUS_COMPLETED
             assert streamed_r.tokens == offline_r.tokens
             assert streamed_r.decode_ms == pytest.approx(offline_r.decode_ms)
@@ -355,7 +355,7 @@ class TestLongForm:
             # window spans tile the transcript in order
             assert result.window_spans[0][0] == 0
             for (_, prev_end), (next_start, _) in zip(
-                result.window_spans, result.window_spans[1:]
+                result.window_spans, result.window_spans[1:], strict=False
             ):
                 assert next_start <= prev_end  # overlapping, never gapped
 

@@ -33,7 +33,7 @@ class TestStreaming:
         result = streamer.decode_stream(utterance)
         times = result.emission_times_s
         assert len(times) == len(result.tokens)
-        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:]))
+        assert all(a <= b + 1e-9 for a, b in zip(times, times[1:], strict=False))
 
     def test_tokens_never_precede_their_audio(self, streamer, utterance):
         """A token cannot finalize before any audio has arrived."""

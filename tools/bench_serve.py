@@ -263,7 +263,7 @@ def _check_determinism(config: ServeSimConfig) -> None:
                 "request conservation violated under the chaos fault plan"
             )
         assert reference is not None
-        for record, (ref_tokens, ref_decode) in zip(records, reference):
+        for record, (ref_tokens, ref_decode) in zip(records, reference, strict=True):
             if record.status == "completed" and (
                 record.tokens != ref_tokens or record.decode_ms != ref_decode
             ):
@@ -444,7 +444,7 @@ def _streaming_entry(args, num_requests: int) -> dict:
             s.status == o.status
             and s.tokens == o.tokens
             and s.decode_ms == o.decode_ms
-            for s, o in zip(streamed, offline)
+            for s, o in zip(streamed, offline, strict=True)
         )
         summary = StreamingSummary.from_records(streamed)
         assert summary is not None  # every arrival in the trace streams
